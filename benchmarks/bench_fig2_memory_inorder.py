@@ -1,0 +1,58 @@
+"""Figure 2 — Memory of LMerge variants over in-order input streams.
+
+Paper shape: LMR0/LMR1/LMR2 negligible and overlapping; LMR3+ somewhat
+higher but nearly independent of the number of inputs (payload sharing);
+LMR3- much higher and growing linearly with the number of inputs.
+"""
+
+import pytest
+
+from conftest import ALL_VARIANTS, fmt_bytes, ordered_workload, run_merge, series_benchmark
+
+INPUT_COUNTS = [2, 4, 6, 8, 10]
+
+
+def peak_memory(variant_cls, n_inputs, stream):
+    merge = variant_cls()
+    stats = run_merge(merge, [stream] * n_inputs, memory_every=200)
+    return stats["peak_memory"]
+
+
+@series_benchmark
+def test_fig2_memory_series(report):
+    # The paper's payloads are ~1KB; payload sharing is what keeps LMR3+
+    # flat, so the payload must dominate the per-input entry overhead.
+    stream = ordered_workload(count=4000, blob=1000)
+    series = {}
+    for name, cls in ALL_VARIANTS.items():
+        series[name] = [peak_memory(cls, n, stream) for n in INPUT_COUNTS]
+    report("Figure 2: peak merge memory vs #inputs (in-order streams)")
+    report(f"{'inputs':>8}" + "".join(f"{name:>12}" for name in series))
+    for index, n_inputs in enumerate(INPUT_COUNTS):
+        row = f"{n_inputs:>8}"
+        for name in series:
+            row += f"{fmt_bytes(series[name][index]):>12}"
+        report(row)
+    # Paper shape assertions:
+    # 1. The simple variants are tiny and flat.
+    for name in ("LMR0", "LMR1", "LMR2"):
+        assert max(series[name]) < 1_000_000
+    # 2. LMR3+ is nearly independent of the input count (payload shared;
+    #    only a small per-input Ve entry is added).
+    assert series["LMR3+"][-1] < 1.6 * series["LMR3+"][0]
+    # 3. LMR3- grows roughly linearly and dominates LMR3+.
+    assert series["LMR3-"][-1] > 3 * series["LMR3-"][0]
+    assert series["LMR3-"][-1] > 3 * series["LMR3+"][-1]
+
+
+
+@pytest.mark.parametrize("name", list(ALL_VARIANTS))
+def test_fig2_memory_benchmark(benchmark, name):
+    """Timed companion: the memory sweep's merge at 6 inputs."""
+    stream = ordered_workload(count=2000)
+
+    def run():
+        merge = ALL_VARIANTS[name]()
+        return run_merge(merge, [stream] * 6)["elements"]
+
+    assert benchmark(run) == 6 * len(stream)

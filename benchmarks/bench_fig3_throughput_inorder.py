@@ -1,0 +1,46 @@
+"""Figure 3 — Throughput of LMerge variants over in-order input streams.
+
+Paper shape: the simpler the algorithm, the higher the throughput
+(LMR0 >= LMR1 >= LMR2 >> LMR3+ > LMR3-); LMR3+ clearly beats LMR3- thanks
+to the optimized shared data structure.
+"""
+
+import pytest
+
+from conftest import ALL_VARIANTS, ordered_workload, run_merge, series_benchmark
+
+N_INPUTS = 3
+
+
+def throughput(variant_cls, stream, n_inputs=N_INPUTS):
+    merge = variant_cls()
+    return run_merge(merge, [stream] * n_inputs)["throughput"]
+
+
+@series_benchmark
+def test_fig3_throughput_series(report):
+    stream = ordered_workload(count=4000)
+    series = {
+        name: throughput(cls, stream) for name, cls in ALL_VARIANTS.items()
+    }
+    report("Figure 3: merge throughput (elements/s), in-order streams, "
+           f"{N_INPUTS} inputs")
+    for name, value in series.items():
+        report(f"  {name:>6}: {value:>12,.0f}")
+    # Paper shape: simple beats general; in2t beats the naive structure.
+    assert series["LMR0"] > series["LMR3+"]
+    assert series["LMR1"] > series["LMR3+"]
+    assert series["LMR2"] > series["LMR3+"]
+    assert series["LMR3+"] > series["LMR3-"]
+
+
+@pytest.mark.parametrize("name", list(ALL_VARIANTS))
+def test_fig3_throughput_benchmark(benchmark, name):
+    stream = ordered_workload(count=3000)
+    variant = ALL_VARIANTS[name]
+
+    def run():
+        merge = variant()
+        return run_merge(merge, [stream] * N_INPUTS)["elements"]
+
+    assert benchmark(run) == N_INPUTS * len(stream)

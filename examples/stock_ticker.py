@@ -1,0 +1,99 @@
+"""Stock-ticker revisions: merging feeds that amend earlier quotes.
+
+Commercial ticker feeds issue revision tuples to amend previously issued
+quotes (Section I-B.2).  Here two redundant feed handlers watch the same
+exchange; both deliver every trading interval as an event (symbol, VWAP)
+valid until the next interval, but they disagree transiently: each feed
+speculates an interval is over, then revises when late trades arrive, and
+the feeds punctuate at different cadences.
+
+LMerge gives downstream consumers one clean, duplicate-free quote stream
+regardless of which handler is ahead — the paper's footnote-2 workload
+(real ticker data "worked with no problem") in synthetic form.
+
+Run:  python examples/stock_ticker.py
+"""
+
+import random
+
+from repro import INFINITY, PhysicalStream, Insert, Stable
+from repro.engine.query import Query
+from repro.lmerge.selector import create_lmerge
+from repro.operators.aggregate import AggregateMode, GroupedCount
+from repro.streams.divergence import diverge
+
+SYMBOLS = ["AAPL", "MSFT", "GOOG", "AMZN", "TSLA"]
+INTERVAL = 60  # one quote interval = 60 time units
+
+
+def trade_stream(count=8000, seed=5) -> PhysicalStream:
+    """Raw trades: (symbol, price-bucket) events, mildly disordered."""
+    rng = random.Random(seed)
+    prices = {symbol: 100.0 + 20 * i for i, symbol in enumerate(SYMBOLS)}
+    elements = []
+    clock = 0
+    for trade_id in range(count):
+        clock += rng.randint(0, 2)
+        symbol = rng.choice(SYMBOLS)
+        prices[symbol] = max(1.0, prices[symbol] + rng.gauss(0, 0.5))
+        # Late-arriving trades: timestamp up to one interval behind.
+        vs = max(0, clock - (rng.randint(1, INTERVAL) if rng.random() < 0.2 else 0))
+        payload = (symbol, round(prices[symbol]), trade_id)
+        elements.append(Insert(payload, vs, vs + 1))
+        if rng.random() < 0.01:
+            # Watermark: future trades may be backshifted by up to one
+            # interval, so only promise stability behind that horizon.
+            elements.append(Stable(max(0, clock - INTERVAL)))
+    elements.append(Stable(INFINITY))
+    return PhysicalStream(elements, name="trades")
+
+
+def feed_handler(trades: PhysicalStream, seed: int) -> PhysicalStream:
+    """One feed handler: per-symbol trade count per interval, published
+    speculatively and revised when late trades land."""
+    query = Query.from_stream(diverge(trades, seed=seed)).then(
+        GroupedCount(
+            window=INTERVAL,
+            key_fn=lambda payload: payload[0],
+            mode=AggregateMode.SPECULATIVE,
+        )
+    )
+    return query.run()
+
+
+def main() -> None:
+    trades = trade_stream()
+    print(f"raw trades: {trades.count_inserts():,} "
+          f"({trades.count_adjusts()} revisions at source)")
+
+    feed_a = feed_handler(trades, seed=1)
+    feed_b = feed_handler(trades, seed=2)
+    for name, feed in (("A", feed_a), ("B", feed_b)):
+        print(f"feed {name}: {len(feed):,} elements, "
+              f"{feed.count_adjusts()} amendments")
+
+    # Compile-time selection: feed outputs are keyed but revised and
+    # disordered -> the R3 algorithm.
+    properties = Query.from_stream(trades).then(
+        GroupedCount(INTERVAL, key_fn=lambda p: p[0],
+                     mode=AggregateMode.SPECULATIVE)
+    ).properties()
+    merge = create_lmerge(properties)
+    print(f"selected algorithm: {merge.algorithm}")
+
+    consolidated = merge.merge([feed_a, feed_b], schedule="random", seed=3)
+    assert consolidated.tdb() == feed_a.tdb() == feed_b.tdb()
+    print(f"consolidated tape: {len(consolidated):,} elements, "
+          f"{merge.stats.adjusts_out} amendments survive "
+          f"(of {merge.stats.adjusts_in} received)")
+
+    tape = sorted(consolidated.tdb(), key=lambda e: (e.vs, str(e.payload)))
+    print("first intervals on the consolidated tape:")
+    for event in tape[:6]:
+        symbol, trades_in_interval = event.payload
+        print(f"  [{event.vs:>4}, {event.ve:>4}) {symbol}: "
+              f"{trades_in_interval} trades")
+
+
+if __name__ == "__main__":
+    main()

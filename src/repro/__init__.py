@@ -1,0 +1,96 @@
+"""repro — Physically Independent Stream Merging.
+
+A from-scratch reproduction of *Physically Independent Stream Merging*
+(Chandramouli, Maier, Goldstein; ICDE 2012): the **LMerge** operator
+family over a temporal mini-DSMS.
+
+Quickstart::
+
+    from repro import (
+        GeneratorConfig, StreamGenerator, diverge, LMergeR3,
+    )
+
+    ref = StreamGenerator(GeneratorConfig(count=10_000, seed=1)).generate()
+    inputs = [diverge(ref, seed=i, speculate_fraction=0.3) for i in range(3)]
+    merge = LMergeR3()
+    merged = merge.merge(inputs)
+    assert merged.tdb() == ref.tdb()      # one clean logical stream
+
+See :mod:`repro.lmerge` for the algorithm family, :mod:`repro.engine` for
+query plans and simulation, and :mod:`repro.ha` for high availability,
+jumpstart, and cutover built on LMerge.
+"""
+
+from repro.temporal import (
+    INFINITY,
+    Adjust,
+    Event,
+    FreezeStatus,
+    Insert,
+    Stable,
+    TDB,
+    reconstitute,
+)
+from repro.streams import (
+    GeneratorConfig,
+    PhysicalStream,
+    Restriction,
+    StreamGenerator,
+    StreamProperties,
+    classify,
+    diverge,
+    measure_properties,
+)
+from repro.lmerge import (
+    FeedbackSignal,
+    LMergeR0,
+    LMergeR1,
+    LMergeR2,
+    LMergeR3,
+    LMergeR3Naive,
+    LMergeR4,
+    MergeStats,
+    OutputPolicy,
+    algorithm_for,
+    create_lmerge,
+)
+from repro.engine import Query
+from repro.ha import Checkpoint, ReplicatedDeployment, checkpoint_of, replay_stream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "INFINITY",
+    "Insert",
+    "Adjust",
+    "Stable",
+    "Event",
+    "FreezeStatus",
+    "TDB",
+    "reconstitute",
+    "PhysicalStream",
+    "StreamProperties",
+    "Restriction",
+    "classify",
+    "measure_properties",
+    "GeneratorConfig",
+    "StreamGenerator",
+    "diverge",
+    "LMergeR0",
+    "LMergeR1",
+    "LMergeR2",
+    "LMergeR3",
+    "LMergeR3Naive",
+    "LMergeR4",
+    "MergeStats",
+    "OutputPolicy",
+    "FeedbackSignal",
+    "algorithm_for",
+    "create_lmerge",
+    "Query",
+    "Checkpoint",
+    "checkpoint_of",
+    "replay_stream",
+    "ReplicatedDeployment",
+    "__version__",
+]

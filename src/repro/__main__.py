@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands operate on JSON-lines stream files (see
+:mod:`repro.streams.io`):
+
+* ``generate`` — produce a synthetic workload (Section VI-B knobs);
+* ``diverge`` — derive a physically divergent, logically equivalent copy;
+* ``merge`` — LMerge several stream files into one (algorithm selected
+  from measured properties, or forced with ``--algorithm``);
+* ``validate`` — check the element contract (and optionally the key
+  property) of a stream file;
+* ``inspect`` — summarize a stream file (counts, properties, TDB size).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lmerge.selector import algorithm_for, create_lmerge
+from repro.streams.divergence import diverge
+from repro.streams.generator import GeneratorConfig, StreamGenerator
+from repro.streams.io import read_stream, save_stream
+from repro.streams.properties import Restriction, classify, measure_properties
+from repro.temporal.validate import validate_stream
+from repro.temporal.tdb import StreamViolationError
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = GeneratorConfig(
+        count=args.count,
+        seed=args.seed,
+        disorder=args.disorder,
+        stable_freq=args.stable_freq,
+        event_duration=args.event_duration,
+        max_gap=args.max_gap,
+        payload_blob_bytes=args.payload_bytes,
+    )
+    generator = StreamGenerator(config)
+    stream = generator.generate()
+    written = save_stream(stream, args.output)
+    print(
+        f"wrote {written} elements to {args.output} "
+        f"({generator.stats.inserts} inserts, "
+        f"{generator.stats.stables} stables, "
+        f"{generator.stats.achieved_disorder:.0%} disordered)"
+    )
+    return 0
+
+
+def _cmd_diverge(args: argparse.Namespace) -> int:
+    stream = read_stream(args.input)
+    divergent = diverge(
+        stream,
+        seed=args.seed,
+        speculate_fraction=args.speculate,
+        stable_keep_probability=args.stable_keep,
+    )
+    written = save_stream(divergent, args.output)
+    print(f"wrote {written} elements to {args.output}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    inputs = [read_stream(path) for path in args.inputs]
+    if args.algorithm:
+        merge = create_lmerge(Restriction[args.algorithm.upper()])
+    else:
+        properties = [measure_properties(stream) for stream in inputs]
+        merge = create_lmerge(properties)
+    output = merge.merge(inputs, schedule=args.schedule, seed=args.seed)
+    written = save_stream(output, args.output)
+    print(
+        f"{merge.algorithm}: merged {merge.stats.elements_in} elements "
+        f"from {len(inputs)} inputs into {written} "
+        f"({merge.stats.adjusts_out} adjusts) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    stream = read_stream(args.input)
+    try:
+        checker = validate_stream(stream, enforce_key=args.keyed)
+    except StreamViolationError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print(
+        f"valid: {checker.elements_checked} elements, stable point "
+        f"{checker.stable_point}, {checker.stable_regressions} stable "
+        f"regressions, {checker.live_keys} keys still live"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    stream = read_stream(args.input)
+    properties = measure_properties(stream)
+    print(f"{args.input}: {len(stream)} elements")
+    print(
+        f"  inserts {stream.count_inserts()}, adjusts "
+        f"{stream.count_adjusts()}, stables {stream.count_stables()}"
+    )
+    print(f"  measured properties: {properties}")
+    print(f"  restriction class: {classify(properties).name} "
+          f"(algorithm {algorithm_for(properties).algorithm})")
+    try:
+        tdb = stream.tdb()
+    except StreamViolationError as exc:
+        print(f"  TDB: INVALID STREAM ({exc})")
+        return 1
+    print(f"  TDB: {len(tdb)} events, stable point {tdb.stable_point}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Physically independent stream merging (LMerge) tools",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="synthesize a workload")
+    generate.add_argument("output")
+    generate.add_argument("--count", type=int, default=10_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--disorder", type=float, default=0.2)
+    generate.add_argument("--stable-freq", type=float, default=0.01)
+    generate.add_argument("--event-duration", type=int, default=1_000)
+    generate.add_argument("--max-gap", type=int, default=20)
+    generate.add_argument("--payload-bytes", type=int, default=100)
+    generate.set_defaults(func=_cmd_generate)
+
+    divergent = commands.add_parser(
+        "diverge", help="derive an equivalent physical variant"
+    )
+    divergent.add_argument("input")
+    divergent.add_argument("output")
+    divergent.add_argument("--seed", type=int, default=1)
+    divergent.add_argument("--speculate", type=float, default=0.3)
+    divergent.add_argument("--stable-keep", type=float, default=1.0)
+    divergent.set_defaults(func=_cmd_diverge)
+
+    merge = commands.add_parser("merge", help="LMerge stream files")
+    merge.add_argument("inputs", nargs="+")
+    merge.add_argument("--output", "-o", required=True)
+    merge.add_argument(
+        "--algorithm",
+        choices=["r0", "r1", "r2", "r3", "r4"],
+        help="force an algorithm (default: select from measured properties)",
+    )
+    merge.add_argument(
+        "--schedule",
+        choices=["round_robin", "sequential", "random"],
+        default="round_robin",
+    )
+    merge.add_argument("--seed", type=int, default=0)
+    merge.set_defaults(func=_cmd_merge)
+
+    validate = commands.add_parser("validate", help="check stream contract")
+    validate.add_argument("input")
+    validate.add_argument(
+        "--keyed", action="store_true",
+        help="also enforce the (Vs, payload) key property",
+    )
+    validate.set_defaults(func=_cmd_validate)
+
+    inspect = commands.add_parser("inspect", help="summarize a stream file")
+    inspect.add_argument("input")
+    inspect.set_defaults(func=_cmd_inspect)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""The push-based operator protocol.
+
+Operators receive stream elements on numbered input ports, update state,
+and push results to subscribers.  Feedback signals (Section V-D) travel the
+opposite direction: ``on_feedback`` lets an operator drop future work below
+a horizon and forward the signal to its upstreams.
+
+Every operator declares how it transforms stream properties
+(:meth:`Operator.derive_properties`), which is what the compile-time
+LMerge-algorithm selection of Section IV-G walks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.lmerge.feedback import FeedbackSignal
+from repro.streams.properties import StreamProperties
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Adjust, Element, Insert, Stable
+from repro.temporal.time import Timestamp
+
+
+class Operator:
+    """Base class for all streaming operators.
+
+    Subclasses override :meth:`on_insert` / :meth:`on_adjust` /
+    :meth:`on_stable` (the default handlers drop adjusts with an error to
+    catch wiring mistakes) and :meth:`derive_properties`.
+    """
+
+    #: Human-readable operator kind.
+    kind = "operator"
+
+    def __init__(self, name: str = ""):
+        self.name = name or type(self).__name__
+        self._subscribers: List[Tuple["Operator", int]] = []
+        self._upstreams: List["Operator"] = []
+        self.elements_in = 0
+        self.elements_out = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def subscribe(self, downstream: "Operator", port: int = 0) -> "Operator":
+        """Wire this operator's output to *downstream*'s input *port*.
+
+        Returns *downstream* so pipelines chain naturally.
+        """
+        self._subscribers.append((downstream, port))
+        downstream._upstreams.append(self)
+        return downstream
+
+    @property
+    def upstreams(self) -> Tuple["Operator", ...]:
+        return tuple(self._upstreams)
+
+    # ------------------------------------------------------------------
+    # Element flow
+    # ------------------------------------------------------------------
+
+    def receive(self, element: Element, port: int = 0) -> None:
+        """Entry point: dispatch one element arriving on *port*."""
+        self.elements_in += 1
+        if isinstance(element, Insert):
+            self.on_insert(element, port)
+        elif isinstance(element, Adjust):
+            self.on_adjust(element, port)
+        elif isinstance(element, Stable):
+            self.on_stable(element.vc, port)
+        else:
+            raise TypeError(f"not a stream element: {element!r}")
+
+    def emit(self, element: Element) -> None:
+        """Push one element to every subscriber."""
+        self.elements_out += 1
+        for downstream, port in self._subscribers:
+            downstream.receive(element, port)
+
+    def on_insert(self, element: Insert, port: int) -> None:
+        raise NotImplementedError(f"{self.name} does not handle insert()")
+
+    def on_adjust(self, element: Adjust, port: int) -> None:
+        raise NotImplementedError(f"{self.name} does not handle adjust()")
+
+    def on_stable(self, vc: Timestamp, port: int) -> None:
+        raise NotImplementedError(f"{self.name} does not handle stable()")
+
+    def flush(self) -> None:
+        """End-of-stream hook; default forwards to upstream-less state."""
+
+    # ------------------------------------------------------------------
+    # Feedback (Section V-D)
+    # ------------------------------------------------------------------
+
+    def on_feedback(self, signal: FeedbackSignal) -> None:
+        """Handle "not interested before horizon".
+
+        Default behaviour: purge nothing locally, propagate upstream —
+        subclasses with state or per-element cost override and then call
+        ``super().on_feedback(signal)`` to keep the signal travelling.
+        """
+        self.propagate_feedback(signal)
+
+    def propagate_feedback(self, signal: FeedbackSignal) -> None:
+        for upstream in self._upstreams:
+            upstream.on_feedback(signal)
+
+    # ------------------------------------------------------------------
+    # Properties & accounting
+    # ------------------------------------------------------------------
+
+    def derive_properties(
+        self, input_properties: List[StreamProperties]
+    ) -> StreamProperties:
+        """Output stream properties given the input properties.
+
+        Default: no guarantees survive (safe for any operator).
+        """
+        return StreamProperties.unknown()
+
+    def memory_bytes(self) -> int:
+        """Approximate retained state; stateless operators report 0."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class CollectorSink(Operator):
+    """Terminal operator that records everything it receives."""
+
+    kind = "sink"
+
+    def __init__(self, name: str = "sink"):
+        super().__init__(name)
+        self.stream = PhysicalStream(name=name)
+
+    def receive(self, element: Element, port: int = 0) -> None:
+        self.elements_in += 1
+        self.stream.append(element)
+
+    def derive_properties(self, input_properties):
+        return input_properties[0] if input_properties else StreamProperties.unknown()
+
+
+class CallbackSink(Operator):
+    """Terminal operator invoking a callback per element."""
+
+    kind = "sink"
+
+    def __init__(self, callback: Callable[[Element], None], name: str = "callback"):
+        super().__init__(name)
+        self._callback = callback
+
+    def receive(self, element: Element, port: int = 0) -> None:
+        self.elements_in += 1
+        self._callback(element)

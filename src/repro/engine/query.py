@@ -1,0 +1,192 @@
+"""Query graphs and compile-time property inference.
+
+A :class:`Query` is a fluent wrapper over an operator DAG ending at one
+output operator.  ``query.properties()`` runs the Section IV-G inference —
+each operator transforms its inputs' guarantees — and
+``query.merge_with(...)`` builds the LMerge that Section IV-G's selector
+picks for a set of replica queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.engine.operator import CollectorSink, Operator
+from repro.lmerge.base import LMergeBase
+from repro.lmerge.selector import create_lmerge
+from repro.operators.source import StreamSource
+from repro.streams.properties import Restriction, StreamProperties, classify
+from repro.streams.stream import PhysicalStream
+
+
+def infer_properties(operator: Operator) -> StreamProperties:
+    """Walk the plan upstream-first and derive output properties."""
+    input_properties = [infer_properties(up) for up in operator.upstreams]
+    return operator.derive_properties(input_properties)
+
+
+class Query:
+    """A single-output operator pipeline.
+
+    >>> q = Query.from_stream(stream).then(Filter(lambda p: p[0] > 10))
+    >>> out = q.run()                      # offline execution
+    >>> q.properties()                     # inferred guarantees
+    """
+
+    def __init__(self, head: Operator, tail: Optional[Operator] = None):
+        self.head = head
+        self.tail = tail or head
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_stream(
+        stream: PhysicalStream,
+        properties: Optional[StreamProperties] = None,
+        name: str = "source",
+    ) -> "Query":
+        return Query(StreamSource(stream, properties=properties, name=name))
+
+    def then(self, operator: Operator) -> "Query":
+        """Append *operator* to the pipeline (returns a new Query view)."""
+        self.tail.subscribe(operator)
+        return Query(self.head, operator)
+
+    @staticmethod
+    def combine(queries: Sequence["Query"], operator: Operator) -> "Query":
+        """Feed several queries into a multi-input *operator* (ports in
+        order)."""
+        for port, query in enumerate(queries):
+            query.tail.subscribe(operator, port=port)
+        heads = [query.head for query in queries]
+        combined = Query(heads[0], operator)
+        combined._extra_heads = heads[1:]  # type: ignore[attr-defined]
+        return combined
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def properties(self) -> StreamProperties:
+        """Compile-time output properties of the pipeline."""
+        return infer_properties(self.tail)
+
+    def restriction(self) -> Restriction:
+        """The LMerge restriction class the output satisfies."""
+        return classify(self.properties())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _sources(self) -> List[StreamSource]:
+        sources: List[StreamSource] = []
+        seen = set()
+        stack: List[Operator] = [self.tail]
+        while stack:
+            operator = stack.pop()
+            if id(operator) in seen:
+                continue
+            seen.add(id(operator))
+            if isinstance(operator, StreamSource):
+                sources.append(operator)
+            stack.extend(operator.upstreams)
+        sources.reverse()
+        return sources
+
+    def run(self, interleave: bool = True, chunk: int = 64) -> PhysicalStream:
+        """Execute offline and return the output stream.
+
+        With several sources, ``interleave=True`` plays them in *chunk*-
+        element slices round-robin (modelling concurrent arrival);
+        otherwise each source drains in turn.
+        """
+        sink = CollectorSink()
+        self.tail.subscribe(sink)
+        try:
+            self.play(interleave=interleave, chunk=chunk)
+        finally:
+            # Leave the graph reusable: drop the temporary sink.
+            self.tail._subscribers = [
+                (op, port)
+                for op, port in self.tail._subscribers
+                if op is not sink
+            ]
+        return sink.stream
+
+    def play(self, interleave: bool = True, chunk: int = 64) -> None:
+        """Drive all sources to exhaustion (results flow to subscribers)."""
+        sources = self._sources()
+        if not sources:
+            raise ValueError("query has no StreamSource to drive")
+        if not interleave or len(sources) == 1:
+            for source in sources:
+                source.play()
+            return
+        while any(not source.exhausted for source in sources):
+            for source in sources:
+                source.play(limit=chunk)
+
+    # ------------------------------------------------------------------
+    # LMerge integration
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def merge_with(
+        replicas: Sequence["Query"],
+        policy=None,
+        feedback: bool = False,
+        **lmerge_kwargs,
+    ) -> LMergeBase:
+        """Create the cheapest LMerge valid for all *replicas* (attached
+        as stream ids ``0..n-1``); wire each replica's output into it.
+
+        ``feedback=True`` additionally wires fast-forward signalling
+        (Section V-D) from the merge back into each replica plan: lagging
+        replicas then *skip* work the output no longer needs.  Leave it
+        off to reproduce plain LMerge behaviour.
+        """
+        properties = [query.properties() for query in replicas]
+        lmerge = create_lmerge(properties, policy=policy, **lmerge_kwargs)
+        for stream_id, query in enumerate(replicas):
+            lmerge.attach(stream_id)
+            query.tail.subscribe(_LMergeAdapter(lmerge, stream_id, feedback))
+        return lmerge
+
+
+def play_together(queries: Sequence["Query"], chunk: int = 64) -> None:
+    """Drive several queries' sources round-robin in *chunk*-element
+    slices, modelling replicas executing concurrently."""
+    sources: List[StreamSource] = []
+    for query in queries:
+        sources.extend(query._sources())
+    while any(not source.exhausted for source in sources):
+        for source in sources:
+            source.play(limit=chunk)
+
+
+class _LMergeAdapter(Operator):
+    """Bridges an operator output port into ``lmerge.process(e, id)``."""
+
+    kind = "lmerge-adapter"
+
+    def __init__(self, lmerge: LMergeBase, stream_id, feedback: bool = False) -> None:
+        super().__init__(f"lmerge-in[{stream_id}]")
+        self.lmerge = lmerge
+        self.stream_id = stream_id
+        if feedback:
+            # Feedback raised by the merge flows back through this
+            # adapter's upstreams via propagate_feedback.
+            lmerge.add_feedback_listener(self._on_merge_feedback)
+
+    def receive(self, element, port: int = 0) -> None:
+        self.elements_in += 1
+        self.lmerge.process(element, self.stream_id)
+
+    def _on_merge_feedback(self, stream_id, horizon) -> None:
+        if stream_id == self.stream_id:
+            from repro.lmerge.feedback import FeedbackSignal
+
+            self.propagate_feedback(FeedbackSignal(horizon))

@@ -1,0 +1,175 @@
+"""Cooperative runtime with inter-operator queues.
+
+The push-based operator protocol (:mod:`repro.engine.operator`) executes
+synchronously — an ``emit`` runs the whole downstream immediately.  Real
+DSMSs decouple operators with queues and a scheduler; queue build-up
+between operators is one of the paper's listed sources of burstiness
+(Section VI-E.1).  This module adds that execution mode without changing
+the operators:
+
+* :class:`QueuedEdge` — replaces a direct subscription with a bounded
+  FIFO queue;
+* :class:`Runtime` — a round-robin cooperative scheduler that drains the
+  queues in batches, recording per-edge depth statistics and applying
+  backpressure (a full queue pauses its producer's drain).
+
+Operators are unmodified: the runtime wraps their subscriptions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.engine.operator import Operator
+from repro.temporal.elements import Element
+
+
+class QueueFullError(RuntimeError):
+    """An unbounded producer overwhelmed a bounded edge with no room to
+    apply backpressure (the producer was external)."""
+
+
+class QueuedEdge(Operator):
+    """A FIFO queue standing between a producer and a consumer port."""
+
+    kind = "queue"
+
+    def __init__(
+        self,
+        consumer: Operator,
+        port: int = 0,
+        capacity: Optional[int] = None,
+        name: str = "",
+    ):
+        super().__init__(name or f"queue->{consumer.name}[{port}]")
+        self.consumer = consumer
+        self.port = port
+        self.capacity = capacity
+        self._queue: Deque[Element] = deque()
+        self.peak_depth = 0
+        self.enqueued = 0
+        self.drained = 0
+
+    # -- producer side -----------------------------------------------------
+
+    def receive(self, element: Element, port: int = 0) -> None:
+        self.elements_in += 1
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            raise QueueFullError(
+                f"{self.name}: capacity {self.capacity} exceeded"
+            )
+        self._queue.append(element)
+        self.enqueued += 1
+        if len(self._queue) > self.peak_depth:
+            self.peak_depth = len(self._queue)
+
+    # -- scheduler side ------------------------------------------------------
+
+    def drain(self, budget: int) -> int:
+        """Deliver up to *budget* queued elements; returns how many."""
+        delivered = 0
+        while self._queue and delivered < budget:
+            element = self._queue.popleft()
+            self.consumer.receive(element, self.port)
+            delivered += 1
+            self.drained += 1
+        return delivered
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def has_room(self) -> bool:
+        return self.capacity is None or len(self._queue) < self.capacity
+
+    def derive_properties(self, input_properties):
+        # A FIFO queue reorders nothing.
+        from repro.streams.properties import StreamProperties
+
+        if not input_properties:
+            return StreamProperties.unknown()
+        return input_properties[0]
+
+
+class Runtime:
+    """Round-robin cooperative scheduler over queued edges."""
+
+    def __init__(self, batch: int = 32):
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        self.batch = batch
+        self._edges: List[QueuedEdge] = []
+        self.rounds = 0
+
+    def connect(
+        self,
+        producer: Operator,
+        consumer: Operator,
+        port: int = 0,
+        capacity: Optional[int] = None,
+    ) -> QueuedEdge:
+        """Wire ``producer -> consumer`` through a queue."""
+        edge = QueuedEdge(consumer, port=port, capacity=capacity)
+        producer.subscribe(edge)
+        self._edges.append(edge)
+        return edge
+
+    def pump(self) -> int:
+        """One scheduling round: drain each edge up to the batch size.
+
+        Downstream-first order so one round moves elements at most one
+        hop (modelling per-operator scheduling quanta); returns elements
+        moved.
+        """
+        moved = 0
+        self.rounds += 1
+        for edge in reversed(self._edges):
+            for _ in range(self.batch):
+                # Backpressure: stop draining the moment the consumer's
+                # own output queues run out of room (one delivered
+                # element can produce output, so re-check per element).
+                if edge.depth == 0 or not self._downstream_has_room(
+                    edge.consumer
+                ):
+                    break
+                moved += edge.drain(1)
+        return moved
+
+    def run(self, max_rounds: Optional[int] = None) -> int:
+        """Pump until every queue is empty (or *max_rounds*); returns the
+        total elements moved."""
+        total = 0
+        rounds = 0
+        while any(edge.depth for edge in self._edges):
+            moved = self.pump()
+            total += moved
+            rounds += 1
+            if moved == 0:
+                raise RuntimeError(
+                    "runtime stalled: backpressure cycle with no progress"
+                )
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+        return total
+
+    def _downstream_has_room(self, operator: Operator) -> bool:
+        for downstream, _ in operator._subscribers:
+            if isinstance(downstream, QueuedEdge) and not downstream.has_room:
+                return False
+        return True
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def edges(self) -> Tuple[QueuedEdge, ...]:
+        return tuple(self._edges)
+
+    def depth_report(self) -> Dict[str, int]:
+        """Current depth per edge (diagnostics)."""
+        return {edge.name: edge.depth for edge in self._edges}
+
+    def peak_report(self) -> Dict[str, int]:
+        """Peak depth per edge — the queue-build-up statistic."""
+        return {edge.name: edge.peak_depth for edge in self._edges}

@@ -1,0 +1,305 @@
+"""Discrete-event simulation of stream transport and plan execution.
+
+The paper's timing experiments run on real machines with real network
+congestion, CPU contention, and scheduling noise.  This module simulates
+the same *arrival-time processes* so the figures' shapes can be
+regenerated deterministically:
+
+* :class:`Simulation` — a simple discrete-event clock;
+* delay models — :class:`FixedLag` (Figure 5), :class:`BurstyDelay`
+  (Figure 8: rare truncated-normal stalls), :class:`CongestionWindows`
+  (Figure 9: per-stream congestion periods);
+* :class:`SimulatedChannel` — a FIFO link applying a delay model;
+* :class:`SimulatedPlan` — a single-server queue with per-element service
+  cost, modelling a query plan's CPU (Figure 10's UDF plans), with
+  fast-forward support.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lmerge.feedback import FeedbackSignal
+from repro.temporal.elements import Adjust, Element, Insert, Stable
+from repro.temporal.time import Timestamp
+
+
+class Simulation:
+    """A minimal discrete-event executor.
+
+    Events are ``(time, callback)`` pairs; :meth:`run` drains them in time
+    order.  Ties break by scheduling order, so runs are deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._queue, (time, next(self._sequence), action))
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        self.schedule_at(self.now + delay, action)
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Execute events until the queue drains (or *until*); returns the
+        number of events processed."""
+        processed = 0
+        while self._queue:
+            time, _, action = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            action()
+            processed += 1
+        if until is not None and self.now < until:
+            self.now = until
+        self._processed += processed
+        return processed
+
+
+class DelayModel:
+    """Per-element transmission delay (seconds of simulated time)."""
+
+    def delay(self, element: Element, now: float, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+class NoDelay(DelayModel):
+    """Ideal link."""
+
+    def delay(self, element: Element, now: float, rng: random.Random) -> float:
+        return 0.0
+
+
+@dataclass
+class FixedLag(DelayModel):
+    """Every element arrives exactly *lag* seconds late (Figure 5)."""
+
+    lag: float
+
+    def delay(self, element: Element, now: float, rng: random.Random) -> float:
+        return self.lag
+
+
+@dataclass
+class BurstyDelay(DelayModel):
+    """Rare stalls: with probability *probability*, a truncated-normal
+    delay (paper: mean 20, std 5, prob 0.3-0.5%) — Figure 8.
+
+    Because the channel is FIFO, one stalled element holds everything
+    behind it, producing the queue build-up and compensating throughput
+    spike the paper describes.
+    """
+
+    probability: float = 0.004
+    mean: float = 20.0
+    std: float = 5.0
+
+    def delay(self, element: Element, now: float, rng: random.Random) -> float:
+        if rng.random() >= self.probability:
+            return 0.0
+        return max(0.0, rng.normalvariate(self.mean, self.std))
+
+
+@dataclass
+class CongestionWindows(DelayModel):
+    """Per-element delays inside configured congestion periods (Figure 9).
+
+    *windows* is a list of ``(start, end)`` intervals in simulated send
+    time; elements sent inside a window get a normal delay.
+    """
+
+    windows: Sequence[Tuple[float, float]]
+    mean: float = 5.0
+    std: float = 1.0
+
+    def delay(self, element: Element, now: float, rng: random.Random) -> float:
+        for start, end in self.windows:
+            if start <= now < end:
+                return max(0.0, rng.normalvariate(self.mean, self.std))
+        return 0.0
+
+
+class SimulatedChannel:
+    """A FIFO link from a timed element schedule to a consumer.
+
+    ``feed`` schedules ``(send_time, element)`` pairs; each element's
+    arrival is ``max(previous arrival, send_time + delay)`` — FIFO order
+    is preserved, so a delayed element stalls everything behind it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        consumer: Callable[[Element], None],
+        delay_model: Optional[DelayModel] = None,
+        service_model: Optional[DelayModel] = None,
+        seed: int = 0,
+        name: str = "channel",
+    ):
+        self.sim = sim
+        self.name = name
+        self._consumer = consumer
+        self._delay_model = delay_model or NoDelay()
+        # A *latency* delays one element (and whatever queues behind it);
+        # a *service* time throttles the link's rate — each element holds
+        # the channel for that long, so congestion collapses throughput
+        # and builds a backlog that drains as a spike afterwards.
+        self._service_model = service_model or NoDelay()
+        self._rng = random.Random(seed)
+        self._last_arrival = 0.0
+        self.delivered = 0
+
+    def feed(self, timed_elements: Iterable[Tuple[float, Element]]) -> None:
+        """Schedule delivery of all ``(send_time, element)`` pairs.
+
+        Latency is evaluated at the element's *send* time (a stall on the
+        wire); service at the instant the link would start carrying it
+        (congestion is a property of the link's current condition, so a
+        backlog drains at full speed once the congested period ends).
+        """
+        for send_time, element in timed_elements:
+            delay = self._delay_model.delay(element, send_time, self._rng)
+            begin = max(self._last_arrival, send_time + delay)
+            service = self._service_model.delay(element, begin, self._rng)
+            arrival = begin + service
+            self._last_arrival = arrival
+            self.sim.schedule_at(arrival, _Delivery(self, element))
+
+
+class _Delivery:
+    """A scheduled element hand-off (picklable, debuggable closure)."""
+
+    __slots__ = ("channel", "element")
+
+    def __init__(self, channel: SimulatedChannel, element: Element):
+        self.channel = channel
+        self.element = element
+
+    def __call__(self) -> None:
+        self.channel.delivered += 1
+        self.channel._consumer(self.element)
+
+
+class SimulatedPlan:
+    """A query plan as a single-server queue with per-element CPU cost.
+
+    ``service_cost(element)`` returns simulated CPU seconds for one
+    element.  Elements entering while the server is busy queue up.  On
+    completion the element is handed to *consumer* (typically
+    ``lmerge.process`` bound to a stream id).
+
+    Fast-forward (Section V-D): a :class:`FeedbackSignal` raises
+    ``horizon``; queued or future elements relevant only to times before
+    the horizon are served at ``fast_forward_cost`` instead — the plan
+    skips the real work.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        consumer: Callable[[Element], None],
+        service_cost: Callable[[Element], float],
+        fast_forward_cost: float = 0.0,
+        name: str = "plan",
+    ):
+        self.sim = sim
+        self.name = name
+        self._consumer = consumer
+        self._service_cost = service_cost
+        self._fast_forward_cost = fast_forward_cost
+        self._queue: "deque[Element]" = deque()
+        self._busy = False
+        self._last_completion = 0.0
+        self.horizon: Timestamp = float("-inf")
+        self.completed = 0
+        self.skipped = 0
+        self.busy_time = 0.0
+
+    def on_feedback(self, signal: FeedbackSignal) -> None:
+        """Raise the fast-forward horizon (monotone).
+
+        Applies to everything still queued: skippability is decided when
+        the server *starts* an element, so feedback arriving while a
+        backlog waits lets the whole covered backlog be fast-forwarded —
+        the essence of Section V-D.
+        """
+        if signal.horizon > self.horizon:
+            self.horizon = signal.horizon
+
+    def _is_skippable(self, element: Element) -> bool:
+        """True when the output's feedback horizon covers this element.
+
+        An element matters only before its latest effect time; once the
+        horizon passes that, the plan may process it for free (it must
+        still *deliver* it so the merge state stays consistent).
+        """
+        if isinstance(element, Insert):
+            return element.ve < self.horizon
+        if isinstance(element, Adjust):
+            return max(element.v_old, element.ve) < self.horizon
+        return False  # stables are always cheap and always forwarded
+
+    def submit(self, element: Element) -> None:
+        """Enqueue one element at the current simulated time."""
+        self._queue.append(element)
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        element = self._queue.popleft()
+        if self._is_skippable(element):
+            cost = self._fast_forward_cost
+            self.skipped += 1
+        else:
+            cost = self._service_cost(element)
+        self.busy_time += cost
+        done = self.sim.now + cost
+        self._last_completion = done
+        self.sim.schedule_at(done, _Completion(self, element))
+
+    @property
+    def completion_time(self) -> float:
+        """When the server last finished (valid after the run drains)."""
+        return self._last_completion
+
+
+class _Completion:
+    __slots__ = ("plan", "element")
+
+    def __init__(self, plan: SimulatedPlan, element: Element):
+        self.plan = plan
+        self.element = element
+
+    def __call__(self) -> None:
+        self.plan.completed += 1
+        self.plan._consumer(self.element)
+        self.plan._start_next()
+
+
+def timed_schedule(
+    elements: Iterable[Element], rate: float, start: float = 0.0
+) -> List[Tuple[float, Element]]:
+    """Assign send times at a constant *rate* (elements per second)."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    period = 1.0 / rate
+    return [
+        (start + index * period, element)
+        for index, element in enumerate(elements)
+    ]

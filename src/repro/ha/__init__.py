@@ -1,0 +1,26 @@
+"""High availability, jumpstart, and cutover on top of LMerge (Section II).
+
+* :mod:`repro.ha.replica` — replicated deployments with failure injection:
+  n copies of a plan feed one LMerge; replicas detach (fail) and re-attach
+  (recover), possibly with gaps or duplicated history;
+* :mod:`repro.ha.checkpoint` — TDB checkpoints and the query-jumpstart
+  replay stream (seed a fresh replica's state so it joins quickly);
+* :mod:`repro.ha.cutover` — switching a consumer from one plan to another
+  through LMerge without the application noticing.
+"""
+
+from repro.ha.checkpoint import Checkpoint, checkpoint_of, replay_stream
+from repro.ha.replica import FailureEvent, ReplicatedDeployment
+from repro.ha.cutover import cutover
+from repro.ha.hierarchy import FragmentChain, ReplicatedFragment
+
+__all__ = [
+    "Checkpoint",
+    "checkpoint_of",
+    "replay_stream",
+    "FailureEvent",
+    "ReplicatedDeployment",
+    "cutover",
+    "ReplicatedFragment",
+    "FragmentChain",
+]

@@ -1,0 +1,63 @@
+"""Query cutover through LMerge (Section II, application 5).
+
+Switch a consumer from a running plan to a newly instantiated (possibly
+different) plan without the application noticing: attach the new plan's
+output as a second LMerge input, drive both until the newcomer is *joined*
+(the output stable point passed its guarantee), then detach the old plan.
+The consumer sees one uninterrupted logical stream throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.lmerge.base import LMergeBase, StreamId
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Element
+from repro.temporal.time import Timestamp
+
+
+def cutover(
+    lmerge: LMergeBase,
+    old_id: StreamId,
+    old_tail: Iterator[Element],
+    new_id: StreamId,
+    new_stream: PhysicalStream,
+    guarantee_from: Timestamp,
+) -> Tuple[int, int]:
+    """Cut the merge over from *old_id* to *new_id*.
+
+    *old_tail* yields the old plan's remaining elements (consumed only as
+    long as the old plan is still needed); *new_stream* is the new plan's
+    output, correct for every event with ``Ve >= guarantee_from``.
+
+    Returns ``(old_elements_consumed, new_elements_consumed)``.  On
+    return, *old_id* is detached and *new_id* is the sole driver.
+    """
+    lmerge.attach(new_id, guarantee_from=guarantee_from)
+    old_used = 0
+    new_used = 0
+    # Interleave both plans until the newcomer can stand alone.
+    for element in new_stream:
+        lmerge.process(element, new_id)
+        new_used += 1
+        if lmerge.is_joined(new_id):
+            break
+        try:
+            old_element = next(old_tail)
+        except StopIteration:
+            continue
+        lmerge.process(old_element, old_id)
+        old_used += 1
+    if not lmerge.is_joined(new_id):
+        raise RuntimeError(
+            f"new plan never reached its guarantee point {guarantee_from}; "
+            f"output stable is {lmerge.max_stable}"
+        )
+    lmerge.detach(old_id)
+    # The remainder of the new stream drives the output alone.
+    remaining = new_stream[new_used:]
+    for element in remaining:
+        lmerge.process(element, new_id)
+        new_used += 1
+    return old_used, new_used

@@ -1,0 +1,155 @@
+"""Hierarchical LMerge: query-fragment-level resiliency (Section II).
+
+"As LMerge is a composable operator, we can also achieve resiliency on a
+query-fragment level by deploying a hierarchy of LMerge operators — one
+for each replicated query fragment."
+
+:class:`ReplicatedFragment` wraps one query fragment replicated n ways:
+each replica is an operator pipeline, all replicas feed one LMerge, and
+the LMerge's output is itself an operator output that the next fragment's
+replicas consume.  A chain of such fragments tolerates n-1 failures *per
+fragment* independently — failing one replica of every fragment
+simultaneously still yields a correct end-to-end stream, which a single
+top-level merge of full-plan replicas cannot do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.engine.operator import CollectorSink, Operator
+from repro.engine.query import infer_properties
+from repro.lmerge.base import LMergeBase
+from repro.lmerge.selector import create_lmerge
+from repro.streams.properties import StreamProperties
+
+#: Builds one replica of a fragment: returns the (head, tail) operators.
+FragmentBuilder = Callable[[int], Operator]
+
+
+class _MergeOutput(Operator):
+    """Presents an LMerge's output as an ordinary operator output."""
+
+    kind = "lmerge"
+
+    def __init__(self, merge: LMergeBase, properties: StreamProperties):
+        super().__init__(merge.name)
+        self.merge = merge
+        self._properties = properties
+        merge._sink = self.emit  # forward merge output downstream
+
+    def derive_properties(self, input_properties):
+        return self._properties
+
+
+class ReplicatedFragment:
+    """One fragment of a query, replicated and merged.
+
+    ``builder(replica_index)`` constructs a fresh single-input/
+    single-output operator pipeline (returning its head operator; the
+    tail is found by following single subscriptions).  All replicas'
+    outputs feed an LMerge selected from the fragment's inferred output
+    properties.
+    """
+
+    def __init__(
+        self,
+        builder: FragmentBuilder,
+        replicas: int,
+        name: str = "fragment",
+    ):
+        if replicas < 1:
+            raise ValueError("a fragment needs at least one replica")
+        self.name = name
+        self.heads: List[Operator] = []
+        tails: List[Operator] = []
+        for index in range(replicas):
+            head = builder(index)
+            self.heads.append(head)
+            tails.append(_pipeline_tail(head))
+        properties = [infer_properties(tail) for tail in tails]
+        self.merge = create_lmerge(properties, name=f"{name}.lmerge")
+        merged_properties = properties[0]
+        for item in properties[1:]:
+            merged_properties = merged_properties.meet(item)
+        self.output = _MergeOutput(self.merge, merged_properties)
+        for stream_id, tail in enumerate(tails):
+            self.merge.attach(stream_id)
+            tail.subscribe(_FragmentAdapter(self.merge, stream_id))
+
+    def fail_replica(self, index: int) -> None:
+        """Detach replica *index* from this fragment's merge."""
+        self.merge.detach(index)
+
+    def broadcast(self, element, exclude: Sequence[int] = ()) -> None:
+        """Feed *element* to every (non-excluded) replica head."""
+        for index, head in enumerate(self.heads):
+            if index not in exclude:
+                head.receive(element, 0)
+
+
+class _FragmentAdapter(Operator):
+    kind = "lmerge-adapter"
+
+    def __init__(self, merge: LMergeBase, stream_id: int):
+        super().__init__(f"{merge.name}[{stream_id}]")
+        self.merge = merge
+        self.stream_id = stream_id
+
+    def receive(self, element, port: int = 0) -> None:
+        self.elements_in += 1
+        if self.merge.is_attached(self.stream_id):
+            self.merge.process(element, self.stream_id)
+        # A failed replica's residual output is dropped on the floor.
+
+
+def _pipeline_tail(head: Operator) -> Operator:
+    tail = head
+    while tail._subscribers:
+        if len(tail._subscribers) != 1:
+            raise ValueError("fragment pipelines must be linear")
+        tail = tail._subscribers[0][0]
+    return tail
+
+
+class FragmentChain:
+    """A linear query split into replicated fragments with one LMerge
+    per fragment boundary."""
+
+    def __init__(
+        self,
+        builders: Sequence[FragmentBuilder],
+        replicas: int,
+        name: str = "chain",
+    ):
+        if not builders:
+            raise ValueError("a chain needs at least one fragment")
+        self.fragments: List[ReplicatedFragment] = []
+        previous: Optional[ReplicatedFragment] = None
+        for index, builder in enumerate(builders):
+            fragment = ReplicatedFragment(
+                builder, replicas, name=f"{name}.f{index}"
+            )
+            if previous is not None:
+                # The previous fragment's merged output drives every
+                # replica of this fragment.
+                for head in fragment.heads:
+                    previous.output.subscribe(head)
+            self.fragments.append(fragment)
+            previous = fragment
+        self.sink = CollectorSink(name=f"{name}.out")
+        self.fragments[-1].output.subscribe(self.sink)
+
+    def feed(self, elements) -> None:
+        """Push source elements into every replica of the first fragment."""
+        first = self.fragments[0]
+        for element in elements:
+            first.broadcast(element)
+
+    def fail(self, fragment_index: int, replica_index: int) -> None:
+        """Fail one replica of one fragment."""
+        self.fragments[fragment_index].fail_replica(replica_index)
+
+    @property
+    def output(self):
+        return self.sink.stream

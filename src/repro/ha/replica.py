@@ -1,0 +1,170 @@
+"""Replicated deployments with failure injection (Section II, app 1).
+
+``ReplicatedDeployment`` feeds *n* physically divergent copies of a
+logical stream into one LMerge, element by element (round-robin), while a
+failure schedule detaches and re-attaches replicas mid-run.  Recovery
+modes model the artifacts Section I-B.4 warns about:
+
+* ``PAUSE``  — the replica was merely unreachable; on re-attach it resumes
+  where it stopped (delayed, no loss);
+* ``GAP``    — the replica lost its backlog; it resumes *past* the
+  elements produced while it was down (missing elements);
+* ``REWIND`` — the replica restarted and reprocesses recent input,
+  re-producing elements the merge has already seen (duplicates).
+
+The deliverable guarantee (the paper's HA claim): the merged output is
+logically correct as long as, at every instant, at least one replica that
+has seen the relevant history is attached.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.lmerge.base import LMergeBase
+from repro.streams.stream import PhysicalStream
+from repro.temporal.time import MINUS_INFINITY
+
+
+class RecoveryMode(enum.Enum):
+    PAUSE = "pause"
+    GAP = "gap"
+    REWIND = "rewind"
+
+
+@dataclass
+class FailureEvent:
+    """One detach/re-attach episode for a replica.
+
+    The replica detaches when it has delivered ``fail_after`` elements and
+    re-attaches after ``down_for`` global scheduling rounds (never, when
+    None).  ``rewind`` is how many elements to replay in REWIND mode.
+    """
+
+    replica: int
+    fail_after: int
+    down_for: Optional[int] = None
+    mode: RecoveryMode = RecoveryMode.PAUSE
+    rewind: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fail_after < 0:
+            raise ValueError("fail_after must be non-negative")
+        if self.down_for is not None and self.down_for < 1:
+            raise ValueError("down_for must be positive when given")
+        if self.rewind < 0:
+            raise ValueError("rewind must be non-negative")
+
+
+class ReplicatedDeployment:
+    """Drives replicas into an LMerge under a failure schedule."""
+
+    def __init__(
+        self,
+        lmerge: LMergeBase,
+        replicas: List[PhysicalStream],
+        failures: Optional[List[FailureEvent]] = None,
+    ):
+        self.lmerge = lmerge
+        self.replicas = replicas
+        self.failures = sorted(
+            failures or [], key=lambda f: (f.replica, f.fail_after)
+        )
+        for event in self.failures:
+            if not 0 <= event.replica < len(replicas):
+                raise ValueError(f"failure names unknown replica {event.replica}")
+        self.detach_count = 0
+        self.reattach_count = 0
+
+    def run(self) -> PhysicalStream:
+        """Execute the full schedule; returns the merged output stream."""
+        cursors = [0] * len(self.replicas)
+        down_until: Dict[int, Optional[int]] = {}
+        pending: List[FailureEvent] = list(self.failures)
+        for replica_id in range(len(self.replicas)):
+            self.lmerge.attach(replica_id)
+        round_number = 0
+        while True:
+            progressed = False
+            for replica_id, stream in enumerate(self.replicas):
+                if replica_id in down_until:
+                    recovery_round = down_until[replica_id]
+                    if recovery_round is None or round_number < recovery_round:
+                        continue
+                    self._reattach(replica_id, cursors, down_until)
+                if cursors[replica_id] >= len(stream):
+                    continue
+                failure = self._failure_due(pending, replica_id, cursors[replica_id])
+                if failure is not None:
+                    pending.remove(failure)
+                    self._detach(replica_id, failure, cursors, down_until, round_number)
+                    continue
+                element = stream[cursors[replica_id]]
+                cursors[replica_id] += 1
+                self.lmerge.process(element, replica_id)
+                progressed = True
+            round_number += 1
+            if not progressed and not self._any_recovery_pending(
+                down_until, round_number, cursors
+            ):
+                break
+        return self.lmerge.output
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _failure_due(
+        pending: List[FailureEvent], replica_id: int, cursor: int
+    ) -> Optional[FailureEvent]:
+        for event in pending:
+            if event.replica == replica_id and cursor >= event.fail_after:
+                return event
+        return None
+
+    def _detach(
+        self,
+        replica_id: int,
+        failure: FailureEvent,
+        cursors: List[int],
+        down_until: Dict[int, Optional[int]],
+        round_number: int,
+    ) -> None:
+        self.lmerge.detach(replica_id)
+        self.detach_count += 1
+        if failure.down_for is None:
+            down_until[replica_id] = None
+        else:
+            down_until[replica_id] = round_number + failure.down_for
+        if failure.mode is RecoveryMode.GAP and failure.down_for is not None:
+            # Lose the backlog it would have delivered while down.
+            cursors[replica_id] = min(
+                len(self.replicas[replica_id]),
+                cursors[replica_id] + failure.down_for,
+            )
+        elif failure.mode is RecoveryMode.REWIND:
+            cursors[replica_id] = max(0, cursors[replica_id] - failure.rewind)
+
+    def _reattach(
+        self,
+        replica_id: int,
+        cursors: List[int],
+        down_until: Dict[int, Optional[int]],
+    ) -> None:
+        del down_until[replica_id]
+        # The replica re-joins guaranteeing correctness from the merge's
+        # current stable point onward (Section V-B).
+        self.lmerge.attach(replica_id, guarantee_from=self.lmerge.max_stable)
+        self.reattach_count += 1
+
+    @staticmethod
+    def _any_recovery_pending(
+        down_until: Dict[int, Optional[int]],
+        round_number: int,
+        cursors: List[int],
+    ) -> bool:
+        return any(
+            recovery is not None and recovery >= round_number
+            for recovery in down_until.values()
+        )

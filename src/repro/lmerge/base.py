@@ -1,0 +1,341 @@
+"""Common machinery for every LMerge algorithm.
+
+Responsibilities shared across R0-R4:
+
+* input-stream lifecycle — dynamic attach/detach with the joining protocol
+  of Section V-B (a joining stream supplies a timestamp *t* from which it
+  guarantees the correct TDB; it counts as fully joined once the output
+  stable point reaches *t*);
+* output emission with statistics (the chattiness metric of Section VI-B
+  is ``stats.adjusts_out``);
+* feedback signalling hooks (Section V-D);
+* the offline ``merge`` driver used by tests and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Adjust, Element, Insert, Stable
+from repro.temporal.event import Event, Payload
+from repro.temporal.time import MINUS_INFINITY, Timestamp
+
+StreamId = Hashable
+#: Callback receiving each output element as it is emitted.
+Sink = Callable[[Element], None]
+#: Callback receiving feedback signals ("not interested before t").
+FeedbackListener = Callable[["StreamId", Timestamp], None]
+
+
+class UnsupportedElementError(TypeError):
+    """An element kind the configured restriction forbids (e.g. adjust
+    under R0-R2)."""
+
+
+class InputStateError(RuntimeError):
+    """An element arrived from a stream that is not attached."""
+
+
+@dataclass
+class MergeStats:
+    """Element counts in and out; the basis of the paper's metrics."""
+
+    inserts_in: int = 0
+    adjusts_in: int = 0
+    stables_in: int = 0
+    inserts_out: int = 0
+    adjusts_out: int = 0
+    stables_out: int = 0
+
+    @property
+    def elements_in(self) -> int:
+        return self.inserts_in + self.adjusts_in + self.stables_in
+
+    @property
+    def elements_out(self) -> int:
+        return self.inserts_out + self.adjusts_out + self.stables_out
+
+    @property
+    def chattiness(self) -> int:
+        """Output-size metric of Section VI-B: adjust() elements emitted."""
+        return self.adjusts_out
+
+
+@dataclass
+class _InputState:
+    """Lifecycle bookkeeping for one attached input."""
+
+    stream_id: StreamId
+    #: Timestamp from which this input guarantees a correct TDB.
+    guarantee_from: Timestamp = MINUS_INFINITY
+    #: Largest stable() received from this input.
+    last_stable: Timestamp = MINUS_INFINITY
+    leaving: bool = False
+
+
+class LMergeBase:
+    """Abstract LMerge operator.
+
+    Subclasses implement ``_insert``, ``_adjust``, and ``_stable``; the
+    base class handles dispatch, statistics, input lifecycle, and output.
+    """
+
+    #: Human-readable algorithm name (set by subclasses, e.g. "LMR3+").
+    algorithm = "LM?"
+    #: Whether the algorithm accepts adjust() elements.
+    supports_adjust = True
+
+    def __init__(self, sink: Optional[Sink] = None, name: str = "lmerge"):
+        self.name = name
+        self.stats = MergeStats()
+        self.output = PhysicalStream(name=f"{name}.out")
+        self._sink = sink
+        self._inputs: Dict[StreamId, _InputState] = {}
+        self._feedback_listeners: List[FeedbackListener] = []
+        #: Largest stable() emitted on the output.
+        self.max_stable: Timestamp = MINUS_INFINITY
+
+    # ------------------------------------------------------------------
+    # Input lifecycle (Section V-B)
+    # ------------------------------------------------------------------
+
+    def attach(
+        self, stream_id: StreamId, guarantee_from: Timestamp = MINUS_INFINITY
+    ) -> None:
+        """Attach an input stream.
+
+        *guarantee_from* is the joining timestamp *t*: the stream promises
+        to deliver the correct TDB for every event with ``Ve >= t``.  The
+        stream is *joined* (able to sustain the output alone) once the
+        output stable point reaches *t* — see :meth:`is_joined`.
+        """
+        if stream_id in self._inputs:
+            raise InputStateError(f"stream {stream_id!r} already attached")
+        self._inputs[stream_id] = _InputState(stream_id, guarantee_from)
+        self._on_attach(stream_id)
+
+    def detach(self, stream_id: StreamId) -> None:
+        """Detach an input stream; its pending state is discarded.
+
+        Safe at any time: the compatibility rules guarantee the output can
+        continue from the remaining inputs (detaching the *last* input
+        simply freezes progress until another attaches).
+        """
+        state = self._inputs.pop(stream_id, None)
+        if state is None:
+            raise InputStateError(f"stream {stream_id!r} is not attached")
+        self._on_detach(stream_id)
+
+    def is_attached(self, stream_id: StreamId) -> bool:
+        return stream_id in self._inputs
+
+    def is_joined(self, stream_id: StreamId) -> bool:
+        """True when *stream_id* alone could sustain the output.
+
+        Per Section V-B: the joining stream's guarantee point has been
+        passed by the output stable point, so simultaneous failure of all
+        other inputs is tolerable.
+        """
+        state = self._inputs.get(stream_id)
+        if state is None:
+            return False
+        return self.max_stable >= state.guarantee_from
+
+    @property
+    def input_ids(self) -> Tuple[StreamId, ...]:
+        return tuple(self._inputs)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self._inputs)
+
+    def input_stable(self, stream_id: StreamId) -> Timestamp:
+        """The largest stable() received from *stream_id*."""
+        return self._inputs[stream_id].last_stable
+
+    def guarantee_of(self, stream_id: StreamId) -> Timestamp:
+        """The joining guarantee point of *stream_id* (Section V-B).
+
+        The stream vouches for every event with ``Ve >= guarantee``;
+        missing elements before it carry no information.
+        """
+        return self._inputs[stream_id].guarantee_from
+
+    def leading_stream(self) -> Optional[StreamId]:
+        """The input with the largest stable point (Section V-A), if any."""
+        best: Optional[StreamId] = None
+        best_stable = MINUS_INFINITY
+        for stream_id, state in self._inputs.items():
+            if state.last_stable > best_stable:
+                best_stable = state.last_stable
+                best = stream_id
+        return best
+
+    def _on_attach(self, stream_id: StreamId) -> None:
+        """Subclass hook: initialize per-input state."""
+
+    def _on_detach(self, stream_id: StreamId) -> None:
+        """Subclass hook: drop per-input state."""
+
+    # ------------------------------------------------------------------
+    # Element processing
+    # ------------------------------------------------------------------
+
+    def process(self, element: Element, stream_id: StreamId) -> None:
+        """Feed one element from one input through the merge."""
+        state = self._inputs.get(stream_id)
+        if state is None:
+            raise InputStateError(
+                f"element from unattached stream {stream_id!r}: {element}"
+            )
+        if isinstance(element, Insert):
+            self.stats.inserts_in += 1
+            self._insert(element, stream_id)
+        elif isinstance(element, Adjust):
+            self.stats.adjusts_in += 1
+            if not self.supports_adjust:
+                raise UnsupportedElementError(
+                    f"{self.algorithm} does not support adjust(): {element}"
+                )
+            self._adjust(element, stream_id)
+        elif isinstance(element, Stable):
+            self.stats.stables_in += 1
+            if element.vc > state.last_stable:
+                state.last_stable = element.vc
+            if self.is_joined(stream_id):
+                self._stable(element.vc, stream_id)
+            # A still-joining stream (Section V-B) may deliver data but
+            # not drive the output frontier: its punctuation does not
+            # vouch for history it may have missed before its guarantee
+            # point.  Its stables are tracked (for leading-stream and
+            # feedback purposes) but not forwarded.
+        else:
+            raise TypeError(f"not a stream element: {element!r}")
+
+    def _insert(self, element: Insert, stream_id: StreamId) -> None:
+        raise NotImplementedError
+
+    def _adjust(self, element: Adjust, stream_id: StreamId) -> None:
+        raise NotImplementedError
+
+    def _stable(self, t: Timestamp, stream_id: StreamId) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Output emission
+    # ------------------------------------------------------------------
+
+    def _emit(self, element: Element) -> None:
+        self.output.append(element)
+        if self._sink is not None:
+            self._sink(element)
+
+    def _output_insert(self, payload: Payload, vs: Timestamp, ve: Timestamp) -> None:
+        self.stats.inserts_out += 1
+        self._emit(Insert(payload, vs, ve))
+
+    def _output_adjust(
+        self, payload: Payload, vs: Timestamp, v_old: Timestamp, ve: Timestamp
+    ) -> None:
+        self.stats.adjusts_out += 1
+        self._emit(Adjust(payload, vs, v_old, ve))
+
+    def _output_stable(self, t: Timestamp) -> None:
+        self.stats.stables_out += 1
+        self.max_stable = t
+        self._emit(Stable(t))
+        self._signal_feedback(t)
+
+    # ------------------------------------------------------------------
+    # Feedback (Section V-D)
+    # ------------------------------------------------------------------
+
+    def add_feedback_listener(self, listener: FeedbackListener) -> None:
+        """Register a callback invoked as ``listener(stream_id, t)`` when
+        the merge decides elements before *t* from *stream_id* are no
+        longer of interest."""
+        self._feedback_listeners.append(listener)
+
+    def _signal_feedback(self, t: Timestamp) -> None:
+        """Fan a "fast-forward to *t*" signal to every lagging input.
+
+        Called after the output stable point advances to *t*: any input
+        whose own stable point trails the output cannot contribute events
+        before *t* to the output any more, so its upstream work before *t*
+        is wasted (Section V-D).
+        """
+        if not self._feedback_listeners:
+            return
+        for stream_id, state in self._inputs.items():
+            if state.last_stable < t:
+                for listener in self._feedback_listeners:
+                    listener(stream_id, t)
+
+    # ------------------------------------------------------------------
+    # State accounting
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Approximate bytes of merge state (see :mod:`repro.structures.sizing`)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Offline driver
+    # ------------------------------------------------------------------
+
+    def merge(
+        self,
+        streams: Iterable[PhysicalStream],
+        schedule: str = "round_robin",
+        seed: int = 0,
+    ) -> PhysicalStream:
+        """Merge complete physical streams offline and return the output.
+
+        ``schedule`` interleaves the inputs: ``"round_robin"`` alternates
+        element-by-element, ``"sequential"`` drains each stream in turn
+        (the worst case for buffering), ``"random"`` interleaves by a
+        seeded coin.  All inputs are attached as ids ``0..n-1``.
+        """
+        streams = list(streams)
+        for index in range(len(streams)):
+            if not self.is_attached(index):
+                self.attach(index)
+        for element, stream_id in interleave(streams, schedule, seed):
+            self.process(element, stream_id)
+        return self.output
+
+
+def interleave(
+    streams: List[PhysicalStream], schedule: str = "round_robin", seed: int = 0
+) -> Iterable[Tuple[Element, int]]:
+    """Yield ``(element, stream_id)`` pairs per the named schedule."""
+    import random as _random
+
+    if schedule == "sequential":
+        for stream_id, stream in enumerate(streams):
+            for element in stream:
+                yield element, stream_id
+        return
+    positions = [0] * len(streams)
+    remaining = sum(len(s) for s in streams)
+    rng = _random.Random(seed)
+    turn = 0
+    while remaining:
+        if schedule == "round_robin":
+            stream_id = turn % len(streams)
+            turn += 1
+            if positions[stream_id] >= len(streams[stream_id]):
+                continue
+        elif schedule == "random":
+            live = [
+                i for i in range(len(streams)) if positions[i] < len(streams[i])
+            ]
+            stream_id = rng.choice(live)
+        else:
+            raise ValueError(f"unknown schedule {schedule!r}")
+        element = streams[stream_id][positions[stream_id]]
+        positions[stream_id] += 1
+        remaining -= 1
+        yield element, stream_id

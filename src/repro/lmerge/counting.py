@@ -1,0 +1,74 @@
+"""The trivial counting merge — the strawman of Section I.
+
+"This problem has a trivial solution if all the input streams present the
+same elements in exactly the same order — just keep a count on each
+input, and let the output follow the stream with the largest count."
+
+:class:`CountingMerge` implements exactly that.  It is correct only under
+the strongest possible assumptions (identical element sequences), and —
+the paper's point in Section I-B.4 — it breaks under failures: a stream
+that detaches and re-attaches with a *gap* silently desynchronizes the
+counts, making the merge emit duplicates or drop elements.  Tests
+demonstrate both behaviours; the LMerge family exists because of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lmerge.base import LMergeBase, StreamId
+from repro.temporal.elements import Adjust, Insert, Stable
+from repro.temporal.time import Timestamp
+
+
+class CountingMerge(LMergeBase):
+    """Follow the input with the largest element count.
+
+    Every element (of any kind) increments its input's counter; an
+    element is forwarded iff its input's count moves strictly past the
+    maximum count seen so far across all inputs.  With identical input
+    sequences this forwards each element exactly once.
+    """
+
+    algorithm = "COUNT"
+    supports_adjust = True
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._counts: Dict[StreamId, int] = {}
+        self._emitted = 0
+
+    def _on_attach(self, stream_id: StreamId) -> None:
+        self._counts[stream_id] = 0
+
+    def _on_detach(self, stream_id: StreamId) -> None:
+        self._counts.pop(stream_id, None)
+
+    def _bump(self, stream_id: StreamId) -> bool:
+        self._counts[stream_id] += 1
+        if self._counts[stream_id] > self._emitted:
+            self._emitted = self._counts[stream_id]
+            return True
+        return False
+
+    def _insert(self, element: Insert, stream_id: StreamId) -> None:
+        if self._bump(stream_id):
+            self._output_insert(element.payload, element.vs, element.ve)
+
+    def _adjust(self, element: Adjust, stream_id: StreamId) -> None:
+        if self._bump(stream_id):
+            self._output_adjust(
+                element.payload, element.vs, element.v_old, element.ve
+            )
+
+    def _stable(self, t: Timestamp, stream_id: StreamId) -> None:
+        # No content-based guard anywhere: the counting merge trusts
+        # *position*, not content.  That trust is exactly its flaw.
+        if self._bump(stream_id):
+            self.stats.stables_out += 1
+            if t > self.max_stable:
+                self.max_stable = t
+            self._emit(Stable(t))
+
+    def memory_bytes(self) -> int:
+        return 8 + 8 * len(self._counts)

@@ -1,0 +1,54 @@
+"""Feedback signals for fast-forwarding lagging plans (Section V-D).
+
+When LMerge combines alternative plans, the slower plan's work is mostly
+wasted — LMerge ignores its output.  A feedback signal tells a plan that
+elements before time *t* are no longer of interest, letting its operators
+skip work, purge state, and propagate the signal further upstream (along
+the lines of feedback punctuation [8]).
+
+:class:`repro.lmerge.base.LMergeBase` raises a signal toward every input
+whose stable point trails a freshly emitted output stable; the
+:class:`FeedbackPolicy` here decides *whether* a given lag is worth
+signalling (signalling has a cost: upstream operators must re-examine
+state), and the engine's operators implement the receiving side
+(``on_feedback``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.temporal.time import Timestamp
+
+
+@dataclass(frozen=True)
+class FeedbackSignal:
+    """"Elements with Ve earlier than *horizon* are no longer of interest."
+
+    Operators receiving the signal may drop queued elements and purge state
+    strictly before *horizon*, but must retain enough information to
+    produce output at or after *horizon*.
+    """
+
+    horizon: Timestamp
+
+    def covers(self, t: Timestamp) -> bool:
+        """True when work concerning time *t* can be skipped."""
+        return t < self.horizon
+
+
+@dataclass(frozen=True)
+class FeedbackPolicy:
+    """When is an input's lag worth a fast-forward signal?
+
+    ``min_lag`` is the hysteresis: signal only when the input's stable
+    point trails the output's by more than this much.  Zero reproduces the
+    always-signal behaviour used in the paper's Figure 10 experiment.
+    """
+
+    min_lag: float = 0.0
+
+    def should_signal(
+        self, output_stable: Timestamp, input_stable: Timestamp
+    ) -> bool:
+        return output_stable - input_stable > self.min_lag

@@ -1,0 +1,91 @@
+"""Output-policy knobs for the general LMerge algorithms (Section V-A).
+
+Compatibility (Section III-D) leaves freedom in *when* the output reflects
+input activity.  Two decision points in Algorithm R3 are marked in the
+paper (locations 1 and 2); this module names the choices:
+
+* **location 1 — adjust propagation**: the paper's default never forwards
+  incoming adjusts, issuing corrective adjusts only when a stable() forces
+  the output into line (:attr:`AdjustPropagation.LAZY`; this is what makes
+  Theorem 1's non-chattiness bound hold).  :attr:`AdjustPropagation.EAGER`
+  reflects every incoming adjust immediately — chattier, lower latency for
+  listeners that care about revisions.
+* **location 2 — insert propagation**: the paper's default emits the first
+  insert seen for a key (:attr:`InsertPropagation.FIRST`).  Alternatives:
+  only follow the *leading* input (largest stable point); wait until the
+  key is half frozen on some input (never emits an event that later needs
+  full deletion, at a latency cost); or wait for a quorum fraction of
+  inputs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AdjustPropagation(enum.Enum):
+    """When incoming adjust() elements reach the output."""
+
+    #: Defer; reconcile only at stable() boundaries (paper default).
+    LAZY = "lazy"
+    #: Forward every incoming adjust for the followed value immediately.
+    EAGER = "eager"
+
+
+class InsertPropagation(enum.Enum):
+    """When a newly seen event is placed on the output."""
+
+    #: Emit the first insert seen for each key (paper default).
+    FIRST = "first"
+    #: Emit only inserts arriving from the current leading stream.
+    LEADING = "leading"
+    #: Emit a key only once it is half frozen on some input.
+    HALF_FROZEN = "half_frozen"
+    #: Emit once a fraction of attached inputs have produced the key.
+    QUORUM = "quorum"
+
+
+@dataclass(frozen=True)
+class OutputPolicy:
+    """A complete policy choice for LMerge R3/R4.
+
+    ``OutputPolicy()`` is the paper's evaluated configuration: maximally
+    responsive inserts, non-chatty adjusts, stable point tracking the
+    maximum input stable point.
+    """
+
+    insert: InsertPropagation = InsertPropagation.FIRST
+    adjust: AdjustPropagation = AdjustPropagation.LAZY
+    #: Quorum fraction (only read when ``insert == QUORUM``).
+    quorum_fraction: float = 0.5
+    #: Hold the output stable point this far behind the inputs' maximum.
+    #: Section V-A's closing observation: "there might be cases where
+    #: lagging a bit behind the maximum would avoid some adjust()
+    #: elements" — events inside the lag window can still be reconciled
+    #: without ever emitting a correction.  Costs freshness (downstream
+    #: learns about stability later) and memory (nodes retire later).
+    stable_lag: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quorum_fraction <= 1.0:
+            raise ValueError("quorum_fraction must be in (0, 1]")
+        if self.stable_lag < 0:
+            raise ValueError("stable_lag must be non-negative")
+
+    def quorum_needed(self, attached_inputs: int) -> int:
+        """Inputs that must have produced a key before it is emitted."""
+        import math
+
+        return max(1, math.ceil(self.quorum_fraction * attached_inputs))
+
+
+#: The paper's default policy (Algorithm R3/R4 as printed).
+DEFAULT_POLICY = OutputPolicy()
+
+#: Conservative policy: an output event always has half-frozen support, so
+#: no output event is ever fully deleted (Section V-A alternative).
+CONSERVATIVE_POLICY = OutputPolicy(insert=InsertPropagation.HALF_FROZEN)
+
+#: Chatty policy: every revision is visible downstream as soon as possible.
+EAGER_POLICY = OutputPolicy(adjust=AdjustPropagation.EAGER)

@@ -1,0 +1,43 @@
+"""LMerge for case R0 (Algorithm R0).
+
+Inputs contain only insert() and stable() elements with *strictly
+increasing* Vs — deterministic order, no duplicate timestamps (e.g. the
+output of a windowed aggregate over an in-order stream).  Two scalars
+suffice: the maximum Vs and the maximum stable() timestamp seen across all
+inputs.  O(1) time per element, O(1) space.
+"""
+
+from __future__ import annotations
+
+from repro.lmerge.base import LMergeBase, StreamId
+from repro.temporal.elements import Adjust, Insert
+from repro.temporal.time import MINUS_INFINITY, Timestamp
+
+
+class LMergeR0(LMergeBase):
+    """Constant-state merge for strictly increasing insert-only inputs."""
+
+    algorithm = "LMR0"
+    supports_adjust = False
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._max_vs: Timestamp = MINUS_INFINITY
+
+    def _insert(self, element: Insert, stream_id: StreamId) -> None:
+        # Algorithm R0, lines 3-5: output iff the element advances MaxVs.
+        if element.vs > self._max_vs:
+            self._max_vs = element.vs
+            self._output_insert(element.payload, element.vs, element.ve)
+
+    def _adjust(self, element: Adjust, stream_id: StreamId) -> None:
+        raise AssertionError("unreachable: supports_adjust is False")
+
+    def _stable(self, t: Timestamp, stream_id: StreamId) -> None:
+        # Lines 9-11: stables are redundant under R0 (the stable point
+        # rides MaxVs) but are forwarded to signal progress through lulls.
+        if t > self.max_stable:
+            self._output_stable(t)
+
+    def memory_bytes(self) -> int:
+        return 16  # MaxVs + MaxStable

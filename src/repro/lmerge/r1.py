@@ -1,0 +1,61 @@
+"""LMerge for case R1 (Algorithm R1).
+
+Insert-only inputs with non-decreasing Vs; elements sharing a Vs appear in
+the *same deterministic order* on every input (e.g. rank order out of a
+Top-k aggregate).  Beyond MaxVs/MaxStable, one counter per input tracks how
+many elements each input has delivered at the current MaxVs; an input's
+element is new exactly when its counter ties the maximum.
+
+O(s) time per insert (s = number of inputs), O(s) space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lmerge.base import LMergeBase, StreamId
+from repro.structures.sizing import HASH_ENTRY_OVERHEAD
+from repro.temporal.elements import Adjust, Insert
+from repro.temporal.time import MINUS_INFINITY, Timestamp
+
+
+class LMergeR1(LMergeBase):
+    """Counter-per-input merge for deterministic same-Vs order."""
+
+    algorithm = "LMR1"
+    supports_adjust = False
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._max_vs: Timestamp = MINUS_INFINITY
+        self._same_vs_count: Dict[StreamId, int] = {}
+
+    def _on_attach(self, stream_id: StreamId) -> None:
+        # A newly attached input has produced nothing at the current MaxVs.
+        self._same_vs_count[stream_id] = 0
+
+    def _on_detach(self, stream_id: StreamId) -> None:
+        self._same_vs_count.pop(stream_id, None)
+
+    def _insert(self, element: Insert, stream_id: StreamId) -> None:
+        # Algorithm R1, lines 4-10.
+        if element.vs < self._max_vs:
+            return
+        if element.vs > self._max_vs:
+            for key in self._same_vs_count:
+                self._same_vs_count[key] = 0
+            self._max_vs = element.vs
+        count = self._same_vs_count[stream_id]
+        if count == max(self._same_vs_count.values()):
+            self._output_insert(element.payload, element.vs, element.ve)
+        self._same_vs_count[stream_id] = count + 1
+
+    def _adjust(self, element: Adjust, stream_id: StreamId) -> None:
+        raise AssertionError("unreachable: supports_adjust is False")
+
+    def _stable(self, t: Timestamp, stream_id: StreamId) -> None:
+        if t > self.max_stable:
+            self._output_stable(t)
+
+    def memory_bytes(self) -> int:
+        return 16 + len(self._same_vs_count) * HASH_ENTRY_OVERHEAD

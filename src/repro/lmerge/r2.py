@@ -1,0 +1,60 @@
+"""LMerge for case R2 (Algorithm R2).
+
+Insert-only inputs with non-decreasing Vs where elements sharing a Vs may
+arrive in *different orders* on different inputs (e.g. grouped aggregation
+over an ordered stream), and ``(Vs, payload)`` is a key of any prefix TDB.
+A hash table indexes, by payload, the elements already output at the
+current MaxVs; advancing MaxVs clears it.
+
+O(s) time per insert, O(g * p) space (g = events at the current Vs, p =
+payload size).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lmerge.base import LMergeBase, StreamId
+from repro.structures.sizing import HASH_ENTRY_OVERHEAD, payload_bytes
+from repro.temporal.elements import Adjust, Insert
+from repro.temporal.event import Payload
+from repro.temporal.time import MINUS_INFINITY, Timestamp
+
+
+class LMergeR2(LMergeBase):
+    """Current-Vs hash merge for nondeterministic same-Vs order."""
+
+    algorithm = "LMR2"
+    supports_adjust = False
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._max_vs: Timestamp = MINUS_INFINITY
+        # Payloads already output at the current MaxVs.  Values are the
+        # payload's accounted size, so memory_bytes() is O(1).
+        self._hash: Dict[Payload, int] = {}
+        self._hash_bytes = 0
+
+    def _insert(self, element: Insert, stream_id: StreamId) -> None:
+        # Algorithm R2, lines 4-10.
+        if element.vs < self._max_vs:
+            return
+        if element.vs > self._max_vs:
+            self._hash.clear()
+            self._hash_bytes = 0
+            self._max_vs = element.vs
+        if element.payload not in self._hash:
+            size = payload_bytes(element.payload)
+            self._hash[element.payload] = size
+            self._hash_bytes += size
+            self._output_insert(element.payload, element.vs, element.ve)
+
+    def _adjust(self, element: Adjust, stream_id: StreamId) -> None:
+        raise AssertionError("unreachable: supports_adjust is False")
+
+    def _stable(self, t: Timestamp, stream_id: StreamId) -> None:
+        if t > self.max_stable:
+            self._output_stable(t)
+
+    def memory_bytes(self) -> int:
+        return 16 + self._hash_bytes + len(self._hash) * HASH_ENTRY_OVERHEAD

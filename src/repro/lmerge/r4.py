@@ -1,0 +1,256 @@
+"""LMerge for the unrestricted case R4 (Algorithm R4) — the paper's LMR4.
+
+No constraints at all: all element kinds, arbitrary order (modulo stable()
+semantics), and a *multiset* TDB — many events may share ``(Vs, payload)``
+with different Ve values, and exact duplicates are allowed.  State is the
+three-tier in3t index: per ``(Vs, payload)`` node, a per-stream ordered
+multiset of ``Ve -> count``.
+
+The stable() handler maintains the paper's two invariants before
+propagating punctuation:
+
+* when a key first becomes half frozen, the output holds exactly as many
+  events for it as the freezing input (``AdjustOutputCount``);
+* for every Ve the stable() fully freezes, the output holds exactly as
+  many events at that ``(Vs, payload, Ve)`` as the freezing input
+  (``AdjustOutput``), achieved by retiming previously output events.
+
+Complexities (Table IV): insert/adjust O(lg w + lg d); stable
+O(c lg w + h*d); space O(w (p + s*d)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lmerge.base import LMergeBase, StreamId
+from repro.structures.in2t import OUTPUT
+from repro.structures.in3t import In3T, In3TNode
+from repro.temporal.elements import Adjust, Insert
+from repro.temporal.tdb import StreamViolationError
+from repro.temporal.time import Timestamp
+
+
+class LMergeR4(LMergeBase):
+    """Fully general merge over the three-tier index (LMR4)."""
+
+    algorithm = "LMR4"
+    supports_adjust = True
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._index = In3T()
+        #: Inserts dropped because their key was already frozen out
+        #: (the cheap path that speeds up merging lagging streams, Fig. 5).
+        self.dropped_frozen = 0
+        #: Nodes visited by stable() reconciliation scans (Fig. 6).
+        self.stable_scan_nodes = 0
+
+    # ------------------------------------------------------------------
+    # Insert (Algorithm R4, lines 3-11)
+    # ------------------------------------------------------------------
+
+    def _insert(self, element: Insert, stream_id: StreamId) -> None:
+        node = self._index.find(element.vs, element.payload)
+        if node is None:
+            if element.vs < self.max_stable:
+                self.dropped_frozen += 1
+                return
+            node = self._index.add(element.vs, element.payload)
+        node.increment(stream_id, element.ve)
+        if element.vs >= self.max_stable and (
+            node.total_count(stream_id) > node.total_count(OUTPUT)
+        ):
+            # This input now holds more events for the key than we have
+            # output — the new event is not a duplicate of anything the
+            # output already carries.
+            self._output_insert(element.payload, element.vs, element.ve)
+            node.increment(OUTPUT, element.ve)
+
+    # ------------------------------------------------------------------
+    # Adjust (lines 12-15)
+    # ------------------------------------------------------------------
+
+    def _adjust(self, element: Adjust, stream_id: StreamId) -> None:
+        node = self._index.find(element.vs, element.payload)
+        if node is None:
+            return
+        try:
+            node.decrement(stream_id, element.v_old)
+        except KeyError:
+            # The adjusted version was never tracked for this input (e.g.
+            # a late joiner revising history it replayed before attach, or
+            # state already retired); the revision is irrelevant here.
+            return
+        if not element.is_cancel:
+            node.increment(stream_id, element.ve)
+
+    # ------------------------------------------------------------------
+    # Stable (lines 16-30)
+    # ------------------------------------------------------------------
+
+    def _stable(self, t: Timestamp, stream_id: StreamId) -> None:
+        if t <= self.max_stable:
+            return
+        guarantee = self.guarantee_of(stream_id)
+        affected = self._index.half_frozen(t)
+        self.stable_scan_nodes += len(affected)
+        for node in affected:
+            if (
+                node.total_count(stream_id) == 0
+                and node.max_ve(OUTPUT) < guarantee
+            ):
+                # A late joiner is silent about history entirely before its
+                # guarantee point; other inputs will freeze this key.
+                continue
+            if node.vs >= self.max_stable:
+                # The key is transitioning unfrozen -> half frozen now:
+                # pin the output's event *count* to the freezing input's.
+                self._adjust_output_count(node, stream_id)
+            self._adjust_output(node, t, stream_id)
+            if node.max_ve(stream_id) < t:
+                # Every version on the freezing input is now fully frozen
+                # and mirrored on the output; retire the key.
+                self._index.delete(node)
+        self._output_stable(t)
+
+    # ------------------------------------------------------------------
+    # AdjustOutputCount: equalize totals at the half-freeze transition
+    # ------------------------------------------------------------------
+
+    def _adjust_output_count(self, node: In3TNode, stream_id: StreamId) -> None:
+        out_total = node.total_count(OUTPUT)
+        in_total = node.total_count(stream_id)
+        if out_total > in_total:
+            self._cancel_surplus(node, stream_id, out_total - in_total)
+        elif in_total > out_total:
+            self._emit_missing(node, stream_id, in_total - out_total)
+
+    def _cancel_surplus(
+        self, node: In3TNode, stream_id: StreamId, surplus: int
+    ) -> None:
+        """Delete output events until counts match, preferring Ve values
+        the freezing input lacks (they would need retiming anyway)."""
+        candidates = sorted(
+            node.ve_counts(OUTPUT),
+            key=lambda item: node.count_of(stream_id, item[0]),
+        )
+        for ve, available in candidates:
+            while surplus and available:
+                self._output_adjust(node.payload, node.vs, ve, node.vs)
+                node.decrement(OUTPUT, ve)
+                available -= 1
+                surplus -= 1
+            if not surplus:
+                return
+
+    def _emit_missing(
+        self, node: In3TNode, stream_id: StreamId, missing: int
+    ) -> None:
+        """Output new inserts with Ve values seen on the freezing input."""
+        for ve, in_count in node.ve_counts(stream_id):
+            while missing and node.count_of(OUTPUT, ve) < in_count:
+                self._output_insert(node.payload, node.vs, ve)
+                node.increment(OUTPUT, ve)
+                missing -= 1
+            if not missing:
+                return
+        if missing:
+            raise StreamViolationError(
+                f"cannot source {missing} events for "
+                f"({node.vs}, {node.payload!r}) from stream {stream_id!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # AdjustOutput: mirror the freezing input's fully frozen versions
+    # ------------------------------------------------------------------
+
+    def _adjust_output(
+        self, node: In3TNode, t: Timestamp, stream_id: StreamId
+    ) -> None:
+        in_counts: Dict[Timestamp, int] = dict(node.ve_counts(stream_id))
+        out_counts: Dict[Timestamp, int] = dict(node.ve_counts(OUTPUT))
+        # When the freezing input holds no version surviving past t the
+        # whole key dies with this stable(): every output version, frozen
+        # or not, must be reconciled away.
+        dying = node.max_ve(stream_id) < t
+
+        def constrained(ve: Timestamp) -> bool:
+            return ve < t or dying
+
+        deficits: List[List] = []
+        surpluses: List[List] = []
+        for ve in sorted(set(in_counts) | set(out_counts)):
+            if not constrained(ve):
+                continue
+            need = in_counts.get(ve, 0) if ve < t else 0
+            have = out_counts.get(ve, 0)
+            if have < need:
+                deficits.append([ve, need - have])
+            elif have > need:
+                surpluses.append([ve, have - need])
+        if not deficits and not surpluses:
+            return
+        # Donor pool: surplus versions in the constrained region first,
+        # then output versions in the free region (ve >= t, node alive).
+        pool: List[List] = [
+            [ve, out_counts[ve]]
+            for ve in sorted(out_counts)
+            if not constrained(ve)
+        ]
+        donors = surpluses + pool
+        for ve, needed in deficits:
+            while needed:
+                donor = self._next_donor(donors)
+                if donor is None:
+                    raise StreamViolationError(
+                        f"no donor version for ({node.vs}, {node.payload!r}) "
+                        f"at Ve={ve}: inputs are not mutually consistent"
+                    )
+                self._retime(node, donor[0], ve)
+                donor[1] -= 1
+                needed -= 1
+        # Remaining surpluses must vacate the frozen region: park them on
+        # an input-supported future version, or cancel when none exists.
+        future_ve = self._future_version(in_counts, t)
+        for ve, extra in surpluses:
+            while extra:
+                if future_ve is not None:
+                    self._retime(node, ve, future_ve)
+                else:
+                    self._output_adjust(node.payload, node.vs, ve, node.vs)
+                    node.decrement(OUTPUT, ve)
+                extra -= 1
+
+    @staticmethod
+    def _next_donor(donors: List[List]) -> Optional[List]:
+        for donor in donors:
+            if donor[1] > 0:
+                return donor
+        return None
+
+    def _retime(self, node: In3TNode, old_ve: Timestamp, new_ve: Timestamp) -> None:
+        self._output_adjust(node.payload, node.vs, old_ve, new_ve)
+        node.decrement(OUTPUT, old_ve)
+        node.increment(OUTPUT, new_ve)
+
+    @staticmethod
+    def _future_version(
+        in_counts: Dict[Timestamp, int], t: Timestamp
+    ) -> Optional[Timestamp]:
+        future = [ve for ve in in_counts if ve >= t]
+        return min(future) if future else None
+
+    # ------------------------------------------------------------------
+    # Lifecycle & accounting
+    # ------------------------------------------------------------------
+
+    # Section V-B: per-stream counts of a left stream are never consulted
+    # again and retire with their nodes (see the R3 note).
+
+    def memory_bytes(self) -> int:
+        return 16 + self._index.memory_bytes()
+
+    @property
+    def live_keys(self) -> int:
+        return len(self._index)

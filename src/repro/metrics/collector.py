@@ -1,0 +1,134 @@
+"""Metric probes: throughput timelines, memory sampling, latency."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.temporal.elements import Element, Insert, Stable
+from repro.temporal.time import MINUS_INFINITY, Timestamp
+
+
+class ThroughputTimeline:
+    """Events per simulated-time bucket (the series in Figures 8-10).
+
+    Call :meth:`record` with the simulation clock whenever an element of
+    interest passes; :meth:`series` returns ``(bucket_start, count)``
+    pairs with empty buckets filled in.
+    """
+
+    def __init__(self, bucket: float = 1.0):
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        self.bucket = bucket
+        self._counts: Dict[int, int] = {}
+        self.total = 0
+
+    def record(self, sim_time: float, count: int = 1) -> None:
+        index = int(sim_time // self.bucket)
+        self._counts[index] = self._counts.get(index, 0) + count
+        self.total += count
+
+    def series(self) -> List[Tuple[float, int]]:
+        if not self._counts:
+            return []
+        last = max(self._counts)
+        return [
+            (index * self.bucket, self._counts.get(index, 0))
+            for index in range(0, last + 1)
+        ]
+
+    def rates(self) -> List[float]:
+        """Per-bucket rates (events / second)."""
+        return [count / self.bucket for _, count in self.series()]
+
+    def coefficient_of_variation(self) -> float:
+        """Std/mean of the bucket rates — the "smoothness" statistic used
+        to quantify Figures 8 and 9 (lower = steadier output)."""
+        rates = self.rates()
+        if not rates:
+            return 0.0
+        mean = sum(rates) / len(rates)
+        if mean == 0:
+            return 0.0
+        variance = sum((r - mean) ** 2 for r in rates) / len(rates)
+        return variance**0.5 / mean
+
+
+class MemoryProbe:
+    """Samples a ``memory_bytes()`` callable every *interval* elements."""
+
+    def __init__(self, subject: Callable[[], int], interval: int = 100):
+        if interval < 1:
+            raise ValueError("interval must be positive")
+        self._subject = subject
+        self.interval = interval
+        self._since_sample = 0
+        self.samples: List[int] = []
+
+    def tick(self) -> None:
+        """Note one element processed; sample when the interval elapses."""
+        self._since_sample += 1
+        if self._since_sample >= self.interval:
+            self._since_sample = 0
+            self.sample()
+
+    def sample(self) -> int:
+        value = self._subject()
+        self.samples.append(value)
+        return value
+
+    @property
+    def peak(self) -> int:
+        return max(self.samples) if self.samples else 0
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+
+class AppTimeLatencyProbe:
+    """Application-time latency of output inserts.
+
+    Latency of an output ``insert(p, Vs, Ve)`` is measured as the input
+    frontier (largest Vs fed into the system so far) minus the event's Vs:
+    how much application time passed between the event's occurrence and
+    its release downstream.  A buffering strategy (Cleanse) shows latency
+    on the order of event lifetimes; direct LMerge shows latency on the
+    order of the disorder window — the Figure 7 latency comparison.
+    """
+
+    def __init__(self) -> None:
+        self.frontier: Timestamp = MINUS_INFINITY
+        self.latencies: List[float] = []
+
+    def observe_input(self, element: Element) -> None:
+        if isinstance(element, Insert) and element.vs > self.frontier:
+            self.frontier = element.vs
+
+    def observe_output(self, element: Element) -> None:
+        if isinstance(element, Insert) and self.frontier != MINUS_INFINITY:
+            self.latencies.append(self.frontier - element.vs)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+
+def wall_clock_throughput(run: Callable[[], int]) -> Tuple[float, int]:
+    """Execute *run* (returning an element count) and report
+    ``(elements_per_second, elements)`` by wall clock."""
+    start = time.perf_counter()
+    count = run()
+    elapsed = time.perf_counter() - start
+    if elapsed <= 0:
+        return float("inf"), count
+    return count / elapsed, count

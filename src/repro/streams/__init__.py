@@ -1,0 +1,54 @@
+"""Physical streams, stream properties, and workload generation.
+
+* :mod:`repro.streams.stream` — :class:`PhysicalStream`, a concrete element
+  sequence with prefix/TDB helpers;
+* :mod:`repro.streams.properties` — the compile-time property lattice of
+  Section IV-G and the R0–R4 restriction classification of Section III-C;
+* :mod:`repro.streams.generator` — the synthetic stream generator of
+  Section VI-B (StableFreq / EventDuration / MaxGap / Disorder knobs);
+* :mod:`repro.streams.divergence` — transforms that derive physically
+  different but logically equivalent presentations of a reference stream
+  (reordering, speculation/revision, stable thinning, gaps, duplication).
+"""
+
+from repro.streams.stream import PhysicalStream
+from repro.streams.properties import (
+    Restriction,
+    StreamProperties,
+    classify,
+    measure_properties,
+)
+from repro.streams.generator import GeneratorConfig, StreamGenerator
+from repro.streams.analyze import DisorderStats, measure_disorder
+from repro.streams.punctuation import (
+    WatermarkTracker,
+    strip_stables,
+    with_heartbeats,
+)
+from repro.streams.divergence import (
+    diverge,
+    inject_gap,
+    reorder_within_stability,
+    speculate,
+    thin_stables,
+)
+
+__all__ = [
+    "PhysicalStream",
+    "Restriction",
+    "StreamProperties",
+    "classify",
+    "measure_properties",
+    "GeneratorConfig",
+    "StreamGenerator",
+    "diverge",
+    "reorder_within_stability",
+    "speculate",
+    "thin_stables",
+    "inject_gap",
+    "WatermarkTracker",
+    "with_heartbeats",
+    "strip_stables",
+    "DisorderStats",
+    "measure_disorder",
+]

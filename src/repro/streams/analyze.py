@@ -1,0 +1,99 @@
+"""Stream analysis: disorder and punctuation statistics.
+
+The right configuration for Cleanse buffers, heartbeat watermarks
+(:mod:`repro.streams.punctuation`), and the stable-lag policy all hinge on
+one question: *how far back can an element reach?*  :func:`measure_disorder`
+answers it from a sample of the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.temporal.elements import Adjust, Element, Insert, Stable
+from repro.temporal.time import INFINITY, MINUS_INFINITY, Timestamp
+
+
+@dataclass
+class DisorderStats:
+    """Disorder profile of an element sequence.
+
+    *Backshift* of an insert is how far its Vs lies behind the largest Vs
+    seen before it (0 for in-order elements).
+    """
+
+    inserts: int = 0
+    disordered: int = 0
+    max_backshift: Timestamp = 0
+    total_backshift: float = 0.0
+    #: Histogram of backshifts in power-of-two buckets: bucket k counts
+    #: backshifts in [2^k, 2^(k+1)).
+    histogram: Dict[int, int] = field(default_factory=dict)
+    stables: int = 0
+    #: Smallest gap between any stable's promise Vc and the smallest Vs
+    #: arriving after it.  Negative would mean a broken stream; a small
+    #: positive margin means the producer punctuates aggressively.
+    min_stable_margin: Optional[Timestamp] = None
+
+    @property
+    def disorder_fraction(self) -> float:
+        return self.disordered / self.inserts if self.inserts else 0.0
+
+    @property
+    def mean_backshift(self) -> float:
+        return (
+            self.total_backshift / self.disordered if self.disordered else 0.0
+        )
+
+    def suggested_max_delay(self, slack: float = 1.25) -> Timestamp:
+        """A ``max_delay`` for :class:`~repro.streams.punctuation.WatermarkTracker`
+        covering every observed backshift, with *slack* headroom."""
+        return type(self.max_backshift)(self.max_backshift * slack)
+
+
+def measure_disorder(elements: Iterable[Element]) -> DisorderStats:
+    """Profile the disorder of *elements*.
+
+    ``min_stable_margin`` exposes how close the producer's punctuation
+    sails to its data: the minimum, over all mid-stream stables, of
+    (smallest subsequent data Vs) − Vc.  Zero means some element landed
+    exactly on a promise; a generous margin means conservative
+    watermarking.
+    """
+    stats = DisorderStats()
+    materialized: List[Element] = list(elements)
+    frontier: Timestamp = MINUS_INFINITY
+    for element in materialized:
+        if isinstance(element, Stable):
+            stats.stables += 1
+            continue
+        if not isinstance(element, (Insert, Adjust)):
+            raise TypeError(f"not a stream element: {element!r}")
+        if isinstance(element, Insert):
+            stats.inserts += 1
+            if frontier != MINUS_INFINITY and element.vs < frontier:
+                backshift = frontier - element.vs
+                stats.disordered += 1
+                stats.total_backshift += backshift
+                if backshift > stats.max_backshift:
+                    stats.max_backshift = backshift
+                bucket = max(0, int(backshift).bit_length() - 1)
+                stats.histogram[bucket] = stats.histogram.get(bucket, 0) + 1
+            if element.vs > frontier:
+                frontier = element.vs
+    # Stable margins need the minimum Vs *after* each stable: suffix scan.
+    min_vs_after: Timestamp = INFINITY
+    for element in reversed(materialized):
+        if isinstance(element, Stable):
+            if element.vc != INFINITY and min_vs_after != INFINITY:
+                margin = min_vs_after - element.vc
+                if (
+                    stats.min_stable_margin is None
+                    or margin < stats.min_stable_margin
+                ):
+                    stats.min_stable_margin = margin
+        elif isinstance(element, Insert):
+            if element.vs < min_vs_after:
+                min_vs_after = element.vs
+    return stats

@@ -1,0 +1,260 @@
+"""Physical-divergence transforms.
+
+Given one reference stream, these transforms derive *physically different
+but logically equivalent* presentations — the inputs LMerge exists to
+merge.  They model the real-world causes catalogued in Section I:
+
+* :func:`reorder_within_stability` — transmission disorder: data elements
+  are permuted, but never across a stable() boundary and never breaking an
+  event's insert-before-adjust chain;
+* :func:`speculate` — speculative/revision behaviour: an insert is replaced
+  by an early insert with a provisional Ve plus later adjust(s) converging
+  on the true Ve (the aggressive-operator pattern of the data-center
+  example);
+* :func:`thin_stables` — different punctuation cadence: stables are
+  dropped (the TDB limit is unchanged);
+* :func:`inject_gap` / :func:`duplicate_inserts` — failure artifacts: a
+  re-attaching input may miss elements or re-produce prior ones
+  (Section I-B issue 4).  These produce *mutually consistent*, not
+  equivalent, streams.
+
+All transforms are deterministic given their ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Adjust, Element, Insert, Stable
+from repro.temporal.time import INFINITY, Timestamp
+
+
+def _segments(stream: PhysicalStream) -> List[Tuple[List[Element], Optional[Stable]]]:
+    """Split into (data-elements, trailing-stable) segments."""
+    segments: List[Tuple[List[Element], Optional[Stable]]] = []
+    current: List[Element] = []
+    for element in stream:
+        if isinstance(element, Stable):
+            segments.append((current, element))
+            current = []
+        else:
+            current.append(element)
+    if current:
+        segments.append((current, None))
+    return segments
+
+
+def _rebuild(
+    segments: List[Tuple[List[Element], Optional[Stable]]], name: str
+) -> PhysicalStream:
+    out: List[Element] = []
+    for data, stable in segments:
+        out.extend(data)
+        if stable is not None:
+            out.append(stable)
+    return PhysicalStream(out, name=name)
+
+
+def reorder_within_stability(
+    stream: PhysicalStream, rng: random.Random
+) -> PhysicalStream:
+    """Randomly permute data elements without changing the logical stream.
+
+    Elements never cross a stable() boundary (that could violate the
+    punctuation contract) and elements touching the same ``(Vs, payload)``
+    keep their relative order (an adjust must follow the insert it names).
+    """
+    segments = _segments(stream)
+    shuffled: List[Tuple[List[Element], Optional[Stable]]] = []
+    for data, stable in segments:
+        queues: Dict[Tuple, List[Element]] = {}
+        order: List[Tuple] = []
+        for element in data:
+            key = element.key  # Insert and Adjust both expose .key
+            if key not in queues:
+                queues[key] = []
+                order.append(key)
+            queues[key].append(element)
+        result: List[Element] = []
+        live = [key for key in order if queues[key]]
+        while live:
+            index = rng.randrange(len(live))
+            key = live[index]
+            result.append(queues[key].pop(0))
+            if not queues[key]:
+                live.pop(index)
+        shuffled.append((result, stable))
+    return _rebuild(shuffled, name=f"{stream.name}+reorder")
+
+
+def speculate(
+    stream: PhysicalStream,
+    rng: random.Random,
+    fraction: float = 0.3,
+    max_revisions: int = 2,
+    provisional_infinite: float = 0.5,
+) -> PhysicalStream:
+    """Replace some inserts with a speculative insert + adjust chain.
+
+    The provisional Ve is either ``+inf`` (the "process started, end
+    unknown" pattern) or a random point past Vs; each revision moves Ve,
+    and the chain always converges on the original Ve, so the final TDB is
+    unchanged.  The chain stays inside the insert's stability segment,
+    preserving punctuation validity.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    segments = _segments(stream)
+    rebuilt: List[Tuple[List[Element], Optional[Stable]]] = []
+    for data, stable in segments:
+        expanded: List[Element] = []
+        chains: List[List[Adjust]] = []
+        for element in data:
+            if not isinstance(element, Insert) or rng.random() >= fraction:
+                expanded.append(element)
+                continue
+            provisional = _provisional_ve(element, rng, provisional_infinite)
+            expanded.append(Insert(element.payload, element.vs, provisional))
+            chain: List[Adjust] = []
+            current = provisional
+            revisions = rng.randint(1, max_revisions)
+            for step in range(revisions):
+                target = (
+                    element.ve
+                    if step == revisions - 1
+                    else _provisional_ve(element, rng, provisional_infinite)
+                )
+                if target != current:
+                    chain.append(
+                        Adjust(element.payload, element.vs, current, target)
+                    )
+                    current = target
+            if current != element.ve:
+                chain.append(
+                    Adjust(element.payload, element.vs, current, element.ve)
+                )
+            chains.append(chain)
+        # Interleave the adjust chains at random positions *after* their
+        # inserts within the segment.
+        for chain in chains:
+            for adjust in chain:
+                insert_pos = _position_of_key(expanded, adjust.key)
+                pos = rng.randint(insert_pos + 1, len(expanded))
+                expanded.insert(pos, adjust)
+        rebuilt.append((expanded, stable))
+    return _rebuild(rebuilt, name=f"{stream.name}+speculate")
+
+
+def _provisional_ve(
+    insert: Insert, rng: random.Random, provisional_infinite: float
+) -> Timestamp:
+    if rng.random() < provisional_infinite:
+        return INFINITY
+    true_span = 100 if insert.ve == INFINITY else max(1, int(insert.ve - insert.vs))
+    return insert.vs + rng.randint(1, 2 * true_span)
+
+
+def _position_of_key(elements: List[Element], key: Tuple) -> int:
+    """Index of the last element bearing *key* (insert or prior adjust)."""
+    for index in range(len(elements) - 1, -1, -1):
+        element = elements[index]
+        if not isinstance(element, Stable) and element.key == key:
+            return index
+    raise ValueError(f"no element with key {key!r}")
+
+
+def thin_stables(
+    stream: PhysicalStream, rng: random.Random, keep_probability: float = 0.5
+) -> PhysicalStream:
+    """Drop stables at random (keeping any final ``stable(+inf)``).
+
+    Punctuation only promises — removing promises is always sound, so the
+    result is logically equivalent; it just reveals stability later.
+    """
+    if not 0.0 <= keep_probability <= 1.0:
+        raise ValueError("keep_probability must be in [0, 1]")
+    out: List[Element] = []
+    for index, element in enumerate(stream):
+        is_final = index == len(stream) - 1
+        if (
+            isinstance(element, Stable)
+            and not is_final
+            and element.vc != INFINITY
+            and rng.random() >= keep_probability
+        ):
+            continue
+        out.append(element)
+    return PhysicalStream(out, name=f"{stream.name}+thin")
+
+
+def inject_gap(
+    stream: PhysicalStream, rng: random.Random, gap_fraction: float = 0.1
+) -> PhysicalStream:
+    """Remove a contiguous run of data elements (a failure gap).
+
+    The result is **not** equivalent to the input — it models an input that
+    missed elements (Section V-C).  Adjusts whose insert fell in the gap
+    are removed too, keeping the stream internally well-formed.
+    """
+    data_indices = [
+        i for i, e in enumerate(stream) if not isinstance(e, Stable)
+    ]
+    if not data_indices or gap_fraction <= 0:
+        return PhysicalStream(list(stream), name=f"{stream.name}+gap")
+    gap_len = max(1, int(len(data_indices) * gap_fraction))
+    start = rng.randrange(max(1, len(data_indices) - gap_len + 1))
+    removed = set(data_indices[start : start + gap_len])
+    removed_keys = {
+        stream[i].key for i in removed if isinstance(stream[i], Insert)
+    }
+    out: List[Element] = []
+    for index, element in enumerate(stream):
+        if index in removed:
+            continue
+        if isinstance(element, Adjust) and element.key in removed_keys:
+            continue
+        out.append(element)
+    return PhysicalStream(out, name=f"{stream.name}+gap")
+
+
+def duplicate_inserts(
+    stream: PhysicalStream, rng: random.Random, fraction: float = 0.1
+) -> PhysicalStream:
+    """Re-emit some inserts immediately (an R4 duplicate-bearing stream).
+
+    Breaks the ``(Vs, payload)`` key property on purpose; only the R4
+    algorithm accepts such streams.
+    """
+    out: List[Element] = []
+    for element in stream:
+        out.append(element)
+        if isinstance(element, Insert) and rng.random() < fraction:
+            out.append(element)
+    return PhysicalStream(out, name=f"{stream.name}+dups")
+
+
+def diverge(
+    stream: PhysicalStream,
+    seed: int,
+    speculate_fraction: float = 0.0,
+    reorder: bool = True,
+    stable_keep_probability: float = 1.0,
+) -> PhysicalStream:
+    """Compose the equivalence-preserving transforms with one seed.
+
+    The canonical way to build LMerge inputs in tests and benches::
+
+        inputs = [diverge(ref, seed=i, speculate_fraction=0.3)
+                  for i in range(n)]
+    """
+    rng = random.Random(seed)
+    result = stream
+    if stable_keep_probability < 1.0:
+        result = thin_stables(result, rng, stable_keep_probability)
+    if speculate_fraction > 0.0:
+        result = speculate(result, rng, fraction=speculate_fraction)
+    if reorder:
+        result = reorder_within_stability(result, rng)
+    return PhysicalStream(list(result), name=f"{stream.name}+div{seed}")

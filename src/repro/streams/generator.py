@@ -1,0 +1,166 @@
+"""Synthetic stream generator (Section VI-B).
+
+Reimplements the paper's test workload generator [26] with the same knobs:
+
+* ``stable_freq`` — probability that an element is a ``stable()``; at least
+  one insert is generated between consecutive stables;
+* ``event_duration`` — event lifetime, controlling how many events are
+  alive (contributing to output) at any instant;
+* ``max_gap`` — the application-time gap between consecutive elements is
+  drawn uniformly from ``[0, max_gap]``;
+* ``disorder`` — the fraction of inserts whose Vs is moved *back* by a
+  random amount, best-effort (a backshift never crosses the preceding
+  stable point, so heavy punctuation limits achievable disorder — exactly
+  the paper's "we cannot have 100% disorder with StableFreq=1").
+
+Payloads mirror the paper's: an integer drawn from ``[0, 400]`` plus a
+1000-byte random string, extended with a unique sequence number so that
+``(Vs, payload)`` is a key (the property the R2/R3 algorithms assume; the
+paper's grouped-aggregation workloads provide it the same way).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Element, Insert, Stable
+from repro.temporal.time import INFINITY, MINUS_INFINITY
+
+_BLOB_POOL_SIZE = 256
+_ALPHABET = string.ascii_letters + string.digits
+
+
+@dataclass
+class GeneratorConfig:
+    """Workload parameters (paper defaults in brackets)."""
+
+    #: Total number of elements to generate (paper: 200K-400K).
+    count: int = 10_000
+    #: Probability that an element is a stable() [1%].
+    stable_freq: float = 0.01
+    #: Event lifetime in time units; the paper tunes this so ~10K events
+    #: are alive at once (alive ~= event_duration / average_gap).
+    event_duration: int = 1_000
+    #: Maximum application-time gap between consecutive elements [20].
+    max_gap: int = 20
+    #: Minimum gap; set to 1 to force strictly increasing Vs (case R0).
+    min_gap: int = 0
+    #: Fraction of inserts that are disordered (Vs moved back) [20%].
+    disorder: float = 0.20
+    #: Maximum backshift applied to a disordered element's Vs.
+    disorder_window: int = 500
+    #: Size of the random string in each payload [1000 bytes].
+    payload_blob_bytes: int = 1000
+    #: Inclusive range of the integer payload field [0, 400].
+    value_range: Tuple[int, int] = (0, 400)
+    #: Append stable(+inf) at the end, finalizing the stream.
+    final_stable: bool = True
+    #: RNG seed; the same seed reproduces the same stream.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be positive")
+        if not 0.0 <= self.stable_freq <= 1.0:
+            raise ValueError("stable_freq must be a probability")
+        if not 0.0 <= self.disorder <= 1.0:
+            raise ValueError("disorder must be a fraction in [0, 1]")
+        if self.event_duration < 1:
+            raise ValueError("event_duration must be positive")
+        if self.max_gap < 0:
+            raise ValueError("max_gap must be non-negative")
+        if not 0 <= self.min_gap <= self.max_gap and not (self.min_gap >= 0 and self.max_gap == 0):
+            raise ValueError("min_gap must lie in [0, max_gap]")
+
+
+@dataclass
+class GeneratorStats:
+    """What the generator actually produced (disorder is best-effort)."""
+
+    inserts: int = 0
+    stables: int = 0
+    disordered: int = 0
+
+    @property
+    def achieved_disorder(self) -> float:
+        return self.disordered / self.inserts if self.inserts else 0.0
+
+
+class StreamGenerator:
+    """Seedable generator of ordered-or-disordered insert/stable streams.
+
+    >>> gen = StreamGenerator(GeneratorConfig(count=100, seed=7))
+    >>> stream = gen.generate()
+    >>> stream.count_inserts() + stream.count_stables() >= 100
+    True
+    """
+
+    def __init__(self, config: Optional[GeneratorConfig] = None):
+        self.config = config or GeneratorConfig()
+        self.stats = GeneratorStats()
+        self._rng = random.Random(self.config.seed)
+        self._blob_pool = self._make_blob_pool()
+
+    def _make_blob_pool(self) -> List[str]:
+        size = self.config.payload_blob_bytes
+        if size == 0:
+            return [""]
+        rng = random.Random(self.config.seed ^ 0x5EED)
+        return [
+            "".join(rng.choices(_ALPHABET, k=size))
+            for _ in range(_BLOB_POOL_SIZE)
+        ]
+
+    def generate(self) -> PhysicalStream:
+        """Generate one physical stream per the configuration."""
+        cfg = self.config
+        rng = self._rng
+        self.stats = GeneratorStats()
+        elements: List[Element] = []
+        vs = 0
+        seq = 0
+        last_was_stable = True  # forces the stream to start with an insert
+        last_stable_vc = MINUS_INFINITY
+        lo, hi = cfg.value_range
+        while len(elements) < cfg.count:
+            emit_stable = (
+                not last_was_stable and rng.random() < cfg.stable_freq
+            )
+            if emit_stable:
+                elements.append(Stable(vs))
+                last_stable_vc = vs
+                last_was_stable = True
+                self.stats.stables += 1
+                continue
+            vs += rng.randint(cfg.min_gap, max(cfg.min_gap, cfg.max_gap))
+            actual_vs = vs
+            if rng.random() < cfg.disorder:
+                backshift = rng.randint(1, cfg.disorder_window)
+                floor = max(0, last_stable_vc)
+                shifted = max(floor, vs - backshift)
+                if shifted < vs:
+                    actual_vs = shifted
+                    self.stats.disordered += 1
+            payload = (rng.randint(lo, hi), seq, rng.choice(self._blob_pool))
+            elements.append(
+                Insert(payload, actual_vs, actual_vs + cfg.event_duration)
+            )
+            seq += 1
+            last_was_stable = False
+            self.stats.inserts += 1
+        if cfg.final_stable:
+            elements.append(Stable(INFINITY))
+        return PhysicalStream(elements, name=f"gen(seed={cfg.seed})")
+
+    def generate_ordered(self) -> PhysicalStream:
+        """Convenience: generate with disorder forced to zero."""
+        saved = self.config.disorder
+        try:
+            self.config.disorder = 0.0
+            return self.generate()
+        finally:
+            self.config.disorder = saved

@@ -1,0 +1,123 @@
+"""Stream serialization: JSON-lines persistence of physical streams.
+
+One element per line; payloads must be JSON-representable (tuples are
+round-tripped as tagged lists).  ``+inf`` timestamps serialize as the
+string ``"inf"``.  This is the interchange format the command-line tool
+(``python -m repro``) speaks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, IO, Iterable, Iterator, List, Union
+
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Adjust, Element, Insert, Stable
+from repro.temporal.time import INFINITY
+
+
+def _encode_time(t) -> Union[int, float, str]:
+    return "inf" if t == INFINITY else t
+
+
+def _decode_time(value):
+    return INFINITY if value == "inf" else value
+
+
+def _encode_payload(payload) -> Any:
+    if isinstance(payload, tuple):
+        return {"__tuple__": [_encode_payload(item) for item in payload]}
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return payload
+    raise TypeError(
+        f"payload {payload!r} is not JSON-serializable; use tuples of "
+        "scalars or strings"
+    )
+
+
+def _decode_payload(value) -> Any:
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_decode_payload(item) for item in value["__tuple__"])
+    if isinstance(value, list):
+        return tuple(_decode_payload(item) for item in value)
+    return value
+
+
+def element_to_dict(element: Element) -> dict:
+    """One element as a JSON-ready dict."""
+    if isinstance(element, Insert):
+        return {
+            "t": "insert",
+            "p": _encode_payload(element.payload),
+            "vs": _encode_time(element.vs),
+            "ve": _encode_time(element.ve),
+        }
+    if isinstance(element, Adjust):
+        return {
+            "t": "adjust",
+            "p": _encode_payload(element.payload),
+            "vs": _encode_time(element.vs),
+            "vold": _encode_time(element.v_old),
+            "ve": _encode_time(element.ve),
+        }
+    if isinstance(element, Stable):
+        return {"t": "stable", "vc": _encode_time(element.vc)}
+    raise TypeError(f"not a stream element: {element!r}")
+
+
+def element_from_dict(record: dict) -> Element:
+    """Inverse of :func:`element_to_dict`."""
+    kind = record.get("t")
+    if kind == "insert":
+        return Insert(
+            _decode_payload(record["p"]),
+            _decode_time(record["vs"]),
+            _decode_time(record["ve"]),
+        )
+    if kind == "adjust":
+        return Adjust(
+            _decode_payload(record["p"]),
+            _decode_time(record["vs"]),
+            _decode_time(record["vold"]),
+            _decode_time(record["ve"]),
+        )
+    if kind == "stable":
+        return Stable(_decode_time(record["vc"]))
+    raise ValueError(f"unknown element kind {kind!r}")
+
+
+def dump_stream(stream: Iterable[Element], fp: IO[str]) -> int:
+    """Write elements to *fp* as JSON lines; returns the element count."""
+    count = 0
+    for element in stream:
+        fp.write(json.dumps(element_to_dict(element), separators=(",", ":")))
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def load_stream(fp: IO[str], name: str = "") -> PhysicalStream:
+    """Read a JSON-lines stream from *fp*."""
+    elements: List[Element] = []
+    for line_number, line in enumerate(fp, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            elements.append(element_from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(f"line {line_number}: {exc}") from exc
+    return PhysicalStream(elements, name=name)
+
+
+def save_stream(stream: Iterable[Element], path: Union[str, Path]) -> int:
+    """Write a stream to *path*."""
+    with open(path, "w", encoding="utf-8") as fp:
+        return dump_stream(stream, fp)
+
+
+def read_stream(path: Union[str, Path]) -> PhysicalStream:
+    """Read a stream from *path*."""
+    with open(path, "r", encoding="utf-8") as fp:
+        return load_stream(fp, name=str(path))

@@ -1,0 +1,176 @@
+"""Stream properties and the R0-R4 restriction spectrum.
+
+Section III-C defines a spectrum of input restrictions that enable
+progressively simpler LMerge algorithms:
+
+* **R0** — insert/stable only, strictly increasing Vs (deterministic order,
+  no duplicate timestamps);
+* **R1** — insert/stable only, non-decreasing Vs, and elements sharing a Vs
+  appear in a deterministic order (the same on every input);
+* **R2** — like R1 but equal-Vs order may differ across inputs, and
+  ``(Vs, payload)`` is a key of every prefix TDB;
+* **R3** — all element kinds, no ordering constraint beyond stable()
+  semantics, ``(Vs, payload)`` still a key;
+* **R4** — no restriction at all (multiset TDB, duplicates allowed).
+
+:class:`StreamProperties` carries the facts; :func:`classify` maps them to
+the weakest restriction they justify, which in turn selects the cheapest
+LMerge algorithm (Section IV-G).  Properties are produced three ways:
+stipulated by sources, *inferred* through query plans
+(:meth:`repro.engine.query.Query.output_properties`), or *measured* from a
+concrete stream (:func:`measure_properties`, useful in tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Iterable, Set, Tuple
+
+from repro.temporal.elements import Adjust, Element, Insert, Stable
+from repro.temporal.time import MINUS_INFINITY
+
+
+class Restriction(enum.IntEnum):
+    """The paper's input-restriction cases, ordered weakest-algorithm first.
+
+    Lower values are stronger restrictions and admit cheaper algorithms.
+    """
+
+    R0 = 0
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    R4 = 4
+
+
+@dataclass(frozen=True)
+class StreamProperties:
+    """Compile-time (or measured) facts about a stream.
+
+    The flags are conjunctive guarantees; ``StreamProperties.unknown()``
+    guarantees nothing and therefore classifies as R4.
+    """
+
+    #: Vs values are non-decreasing over the element sequence.
+    ordered: bool = False
+    #: Vs values are strictly increasing (implies ``ordered``).
+    strictly_increasing: bool = False
+    #: The stream contains no adjust() elements (insert/stable only).
+    insert_only: bool = False
+    #: Elements sharing a Vs appear in the same order on every replica
+    #: (e.g. rank order out of a Top-k aggregate).
+    deterministic_same_vs_order: bool = False
+    #: ``(Vs, payload)`` is a key of every prefix TDB (no duplicates).
+    key_vs_payload: bool = False
+
+    def __post_init__(self) -> None:
+        if self.strictly_increasing and not self.ordered:
+            # Strictly increasing subsumes ordered; normalize eagerly so
+            # property algebra can rely on it.
+            object.__setattr__(self, "ordered", True)
+
+    @staticmethod
+    def unknown() -> "StreamProperties":
+        """No guarantees: the fully general R4 case."""
+        return StreamProperties()
+
+    @staticmethod
+    def strongest() -> "StreamProperties":
+        """Every guarantee: the R0 case."""
+        return StreamProperties(
+            ordered=True,
+            strictly_increasing=True,
+            insert_only=True,
+            deterministic_same_vs_order=True,
+            key_vs_payload=True,
+        )
+
+    def meet(self, other: "StreamProperties") -> "StreamProperties":
+        """Greatest lower bound: guarantees that hold on *both* streams.
+
+        LMerge requires one property set describing all inputs; the meet of
+        the individual input properties is the correct (weakest safe)
+        choice.
+        """
+        return StreamProperties(
+            ordered=self.ordered and other.ordered,
+            strictly_increasing=self.strictly_increasing
+            and other.strictly_increasing,
+            insert_only=self.insert_only and other.insert_only,
+            deterministic_same_vs_order=self.deterministic_same_vs_order
+            and other.deterministic_same_vs_order,
+            key_vs_payload=self.key_vs_payload and other.key_vs_payload,
+        )
+
+    def weaken(self, **changes: bool) -> "StreamProperties":
+        """A copy with some guarantees revoked (or granted)."""
+        return replace(self, **changes)
+
+
+def classify(properties: StreamProperties) -> Restriction:
+    """Map guarantees to the strongest restriction they justify.
+
+    This is the compile-time algorithm-selection rule of Section IV-G: the
+    returned restriction indexes directly into the LMerge algorithm family
+    (R0 -> LMergeR0, ..., R4 -> LMergeR4).
+    """
+    if properties.insert_only and properties.strictly_increasing:
+        return Restriction.R0
+    if (
+        properties.insert_only
+        and properties.ordered
+        and properties.deterministic_same_vs_order
+    ):
+        return Restriction.R1
+    if (
+        properties.insert_only
+        and properties.ordered
+        and properties.key_vs_payload
+    ):
+        return Restriction.R2
+    if properties.key_vs_payload:
+        return Restriction.R3
+    return Restriction.R4
+
+
+def measure_properties(elements: Iterable[Element]) -> StreamProperties:
+    """Measure which guarantees actually hold on a concrete stream.
+
+    Used by tests (generated workloads must exhibit the properties their
+    configuration promises) and available for runtime diagnostics.  The
+    ``deterministic_same_vs_order`` flag cannot be established from a single
+    stream, so it is reported as True exactly when no Vs is duplicated
+    (making same-Vs order vacuous).
+    """
+    ordered = True
+    strictly = True
+    insert_only = True
+    key = True
+    last_vs = MINUS_INFINITY
+    vs_duplicated = False
+    seen_keys: Set[Tuple] = set()
+    for element in elements:
+        if isinstance(element, Stable):
+            continue
+        if isinstance(element, Adjust):
+            insert_only = False
+            continue
+        assert isinstance(element, Insert)
+        if element.vs < last_vs:
+            ordered = False
+            strictly = False
+        elif element.vs == last_vs:
+            strictly = False
+            vs_duplicated = True
+        last_vs = max(last_vs, element.vs)
+        if element.key in seen_keys:
+            key = False
+        seen_keys.add(element.key)
+    return StreamProperties(
+        ordered=ordered,
+        strictly_increasing=strictly and ordered,
+        insert_only=insert_only,
+        deterministic_same_vs_order=not vs_duplicated,
+        key_vs_payload=key and insert_only,
+    )

@@ -1,0 +1,122 @@
+"""Punctuation utilities: watermarks and heartbeats.
+
+stable() elements are promises, and emitting an unsafe one corrupts a
+stream forever (a later disordered element would violate it).  These
+helpers make producing correct punctuation easy:
+
+* :class:`WatermarkTracker` — source-side: given a bound on how far back
+  a future element's Vs (or adjusted Ve) can reach, tracks the largest
+  stable point that is currently safe to promise;
+* :func:`with_heartbeats` — rewrite a stream to carry periodic stables at
+  the tracker's watermark (the paper's heartbeat/CTI mechanism [6, 22],
+  used "to constrain future elements and avoid arbitrary disorder");
+* :func:`strip_stables` — remove punctuation (keeping an optional final
+  ``stable(+inf)``), modelling a source that never promises anything.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Adjust, Element, Insert, Stable
+from repro.temporal.time import INFINITY, MINUS_INFINITY, Timestamp
+
+
+class WatermarkTracker:
+    """Tracks the largest safe stable point for a stream being produced.
+
+    *max_delay* bounds the disorder: every future element's Vs (and any
+    adjust's Vold/Ve) is promised to be at least ``observed_frontier -
+    max_delay``.  :meth:`watermark` is then safe to put in a ``stable()``.
+    """
+
+    def __init__(self, max_delay: Timestamp):
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.max_delay = max_delay
+        self._frontier: Timestamp = MINUS_INFINITY
+
+    def observe(self, element: Element) -> None:
+        """Advance the frontier with one produced element."""
+        if isinstance(element, Insert):
+            if element.vs > self._frontier:
+                self._frontier = element.vs
+        elif isinstance(element, Adjust):
+            if element.vs > self._frontier:
+                self._frontier = element.vs
+        # stables do not move the data frontier
+
+    @property
+    def frontier(self) -> Timestamp:
+        return self._frontier
+
+    def watermark(self) -> Timestamp:
+        """The largest Vc such that ``stable(Vc)`` is currently safe."""
+        if self._frontier == MINUS_INFINITY:
+            return MINUS_INFINITY
+        return self._frontier - self.max_delay
+
+    def safe_stable(self) -> Optional[Stable]:
+        """A stable() at the current watermark, or None if none is safe."""
+        point = self.watermark()
+        if point == MINUS_INFINITY:
+            return None
+        return Stable(point)
+
+
+def with_heartbeats(
+    stream: PhysicalStream,
+    max_delay: Timestamp,
+    every: int = 100,
+    final_infinity: bool = True,
+) -> PhysicalStream:
+    """Re-punctuate *stream*: a heartbeat stable every *every* data
+    elements, at the watermark implied by *max_delay*.
+
+    Existing stables are dropped (replaced by the heartbeat discipline).
+    The data elements must actually honour *max_delay*; a violating
+    element raises ValueError rather than producing a corrupt stream.
+    """
+    if every < 1:
+        raise ValueError("every must be positive")
+    tracker = WatermarkTracker(max_delay)
+    out: List[Element] = []
+    emitted_stable: Timestamp = MINUS_INFINITY
+    since_heartbeat = 0
+    for element in stream:
+        if isinstance(element, Stable):
+            continue
+        anchor = element.vs
+        if anchor < emitted_stable or (
+            isinstance(element, Adjust)
+            and min(element.v_old, element.ve) < emitted_stable
+        ):
+            raise ValueError(
+                f"element {element} violates the declared max_delay "
+                f"{max_delay} (emitted stable {emitted_stable})"
+            )
+        tracker.observe(element)
+        out.append(element)
+        since_heartbeat += 1
+        if since_heartbeat >= every:
+            since_heartbeat = 0
+            heartbeat = tracker.safe_stable()
+            if heartbeat is not None and heartbeat.vc > emitted_stable:
+                emitted_stable = heartbeat.vc
+                out.append(heartbeat)
+    if final_infinity:
+        out.append(Stable(INFINITY))
+    return PhysicalStream(out, name=f"{stream.name}+heartbeats")
+
+
+def strip_stables(
+    stream: PhysicalStream, keep_final_infinity: bool = True
+) -> PhysicalStream:
+    """Remove punctuation from *stream*."""
+    out: List[Element] = [
+        element for element in stream if not isinstance(element, Stable)
+    ]
+    if keep_final_infinity and stream.max_stable() == INFINITY:
+        out.append(Stable(INFINITY))
+    return PhysicalStream(out, name=f"{stream.name}+nostables")

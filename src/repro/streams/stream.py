@@ -1,0 +1,116 @@
+"""Concrete physical streams.
+
+A :class:`PhysicalStream` is a finite element sequence ``e1, e2, ...`` with
+the prefix notation of Section III-A: ``stream[i]`` / ``stream.prefix(i)``
+is ``S[i]``, and ``stream.tdb(i)`` is the reconstitution ``tdb(S, i)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, overload
+
+from repro.temporal.elements import Adjust, Element, Insert, Stable
+from repro.temporal.tdb import TDB, reconstitute
+from repro.temporal.time import MINUS_INFINITY, Timestamp
+
+
+class PhysicalStream:
+    """A finite sequence of stream elements with TDB helpers.
+
+    Physical streams are value-like: equality is element-sequence equality
+    (use :meth:`equivalent` for *logical* equivalence).
+    """
+
+    __slots__ = ("_elements", "name")
+
+    def __init__(
+        self, elements: Optional[Iterable[Element]] = None, name: str = ""
+    ):
+        self._elements: List[Element] = list(elements) if elements else []
+        self.name = name
+
+    # -- sequence protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    @overload
+    def __getitem__(self, index: int) -> Element: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "PhysicalStream": ...
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return PhysicalStream(self._elements[index], name=self.name)
+        return self._elements[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PhysicalStream):
+            return NotImplemented
+        return self._elements == other._elements
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __repr__(self) -> str:  # pragma: no cover
+        label = f" {self.name!r}" if self.name else ""
+        return f"PhysicalStream{label}({len(self)} elements)"
+
+    def append(self, element: Element) -> None:
+        """Append one element."""
+        self._elements.append(element)
+
+    def extend(self, elements: Iterable[Element]) -> None:
+        """Append several elements."""
+        self._elements.extend(elements)
+
+    @property
+    def elements(self) -> Sequence[Element]:
+        """Read-only view of the element sequence."""
+        return tuple(self._elements)
+
+    # -- prefixes and reconstitution --------------------------------------
+
+    def prefix(self, length: int) -> "PhysicalStream":
+        """``S[length]``: the first *length* elements."""
+        if length < 0 or length > len(self._elements):
+            raise IndexError(f"prefix length {length} out of range")
+        return PhysicalStream(self._elements[:length], name=self.name)
+
+    def tdb(self, length: Optional[int] = None, strict: bool = True) -> TDB:
+        """``tdb(S, length)`` — or ``tdb(S)`` when *length* is omitted."""
+        if length is None:
+            return reconstitute(self._elements, strict=strict)
+        return reconstitute(self.prefix(length), strict=strict)
+
+    def equivalent(self, other: "PhysicalStream") -> bool:
+        """Logical equivalence: equal reconstituted TDBs (``S == U``)."""
+        return self.tdb() == other.tdb()
+
+    # -- statistics --------------------------------------------------------
+
+    def count_inserts(self) -> int:
+        return sum(1 for e in self._elements if isinstance(e, Insert))
+
+    def count_adjusts(self) -> int:
+        return sum(1 for e in self._elements if isinstance(e, Adjust))
+
+    def count_stables(self) -> int:
+        return sum(1 for e in self._elements if isinstance(e, Stable))
+
+    def max_stable(self) -> Timestamp:
+        """Largest ``stable()`` timestamp, ``-inf`` when there is none."""
+        best = MINUS_INFINITY
+        for element in self._elements:
+            if isinstance(element, Stable) and element.vc > best:
+                best = element.vc
+        return best
+
+    def data_elements(self) -> Iterator[Element]:
+        """Inserts and adjusts, skipping punctuation."""
+        return (e for e in self._elements if not isinstance(e, Stable))

@@ -1,0 +1,157 @@
+"""The in2t (index-2-tier) structure for LMerge case R3 (Fig. 1, left).
+
+Top tier: a red-black tree keyed by ``(Vs, payload)``; each node holds one
+event (payload shared across all inputs) and points to a second-tier hash
+table.  The hash table maps each input stream id to the current Ve that
+stream has reported for this event, plus one entry under the sentinel key
+:data:`OUTPUT` holding the Ve most recently placed on the output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional
+
+from repro.structures.rbtree import RedBlackTree
+from repro.structures.sizing import (
+    HASH_ENTRY_OVERHEAD,
+    TIMESTAMP_BYTES,
+    TREE_NODE_OVERHEAD,
+    PayloadKey,
+    payload_bytes,
+)
+from repro.temporal.event import Event, Payload
+from repro.temporal.time import Timestamp
+
+
+class _Output:
+    """Sentinel hash key for the output stream (the paper's key ``inf``)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "OUTPUT"
+
+
+#: Hash key under which each node records the Ve currently on the output.
+OUTPUT = _Output()
+
+#: Identifier of an input stream (any hashable; typically an int).
+StreamId = Hashable
+
+
+class In2TNode:
+    """One top-tier node: an event plus per-stream Ve entries."""
+
+    __slots__ = ("event", "entries", "_key")
+
+    def __init__(self, event: Event, key: tuple):
+        self.event = event
+        #: stream id (or OUTPUT) -> current Ve on that stream.
+        self.entries: Dict[StreamId, Timestamp] = {}
+        self._key = key
+
+    @property
+    def vs(self) -> Timestamp:
+        return self.event.vs
+
+    @property
+    def payload(self) -> Payload:
+        return self.event.payload
+
+    def add_entry(self, stream: StreamId, ve: Timestamp) -> None:
+        """``AddHashEntry``: record *ve* for *stream* (insert or overwrite)."""
+        self.entries[stream] = ve
+
+    def update_entry(self, stream: StreamId, ve: Timestamp) -> None:
+        """``UpdateHashEntry``: overwrite the Ve recorded for *stream*."""
+        self.entries[stream] = ve
+
+    def get_entry(self, stream: StreamId) -> Optional[Timestamp]:
+        """``GetHashEntry``: the Ve recorded for *stream*, or None."""
+        return self.entries.get(stream)
+
+    def remove_entry(self, stream: StreamId) -> None:
+        """Drop the entry for *stream* (used when an input detaches)."""
+        self.entries.pop(stream, None)
+
+    def memory_bytes(self) -> int:
+        return (
+            TREE_NODE_OVERHEAD
+            + payload_bytes(self.event.payload)
+            + 2 * TIMESTAMP_BYTES
+            + len(self.entries) * (HASH_ENTRY_OVERHEAD + TIMESTAMP_BYTES)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"In2TNode({self.event}, entries={self.entries!r})"
+
+
+class In2T:
+    """The two-tier merge index of Algorithm R3."""
+
+    __slots__ = ("_tree",)
+
+    def __init__(self) -> None:
+        self._tree = RedBlackTree()
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __bool__(self) -> bool:
+        return bool(self._tree)
+
+    @staticmethod
+    def _key(vs: Timestamp, payload: Payload) -> tuple:
+        return (vs, PayloadKey(payload))
+
+    def find(self, vs: Timestamp, payload: Payload) -> Optional[In2TNode]:
+        """``SameVsPayload``: the node for ``(vs, payload)``, or None."""
+        return self._tree.get(self._key(vs, payload))
+
+    def add(self, event: Event) -> In2TNode:
+        """``AddNode``: create (and return) the node for *event*.
+
+        The caller guarantees no node exists for the event's key.
+        """
+        key = self._key(event.vs, event.payload)
+        node = In2TNode(event, key)
+        created = self._tree.insert(key, node)
+        if not created:
+            raise KeyError(f"in2t node already exists for {event}")
+        return node
+
+    def delete(self, node: In2TNode) -> None:
+        """``DeleteNode``: remove *node* from the top tier."""
+        if not self._tree.delete(node._key):
+            raise KeyError(f"in2t node not present: {node!r}")
+
+    def half_frozen(self, t: Timestamp) -> List[In2TNode]:
+        """``FindHalfFrozen``: nodes with ``Vs < t``, in key order.
+
+        Materialized as a list so callers may delete nodes while
+        processing (Algorithm R3, lines 26-27).
+        """
+        return [node for _, node in self._tree.items_below((t, _KEY_FLOOR))]
+
+    def nodes(self) -> Iterator[In2TNode]:
+        """All nodes in ``(Vs, payload)`` order."""
+        return self._tree.values()
+
+    def memory_bytes(self) -> int:
+        return sum(node.memory_bytes() for node in self._tree.values())
+
+
+class _KeyFloor:
+    """Compares below every PayloadKey; makes ``(t, _KEY_FLOOR)`` an
+    exclusive bound on Vs alone."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: object) -> bool:
+        return True
+
+    def __gt__(self, other: object) -> bool:
+        return False
+
+
+_KEY_FLOOR = _KeyFloor()

@@ -1,0 +1,177 @@
+"""The in3t (index-3-tier) structure for LMerge case R4 (Fig. 1, right).
+
+Same top tier as in2t — a red-black tree keyed on ``(Vs, payload)`` — but
+under R4 many events can share a ``(Vs, payload)`` with different Ve
+values, and exact duplicates may occur.  So each second-tier hash entry
+holds, instead of a single Ve, a small red-black tree mapping ``Ve ->
+count``.  The output's multiset is tracked under the sentinel key
+:data:`~repro.structures.in2t.OUTPUT`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.structures.in2t import OUTPUT, StreamId, _KeyFloor
+from repro.structures.rbtree import RedBlackTree
+from repro.structures.sizing import (
+    HASH_ENTRY_OVERHEAD,
+    TIMESTAMP_BYTES,
+    TREE_NODE_OVERHEAD,
+    PayloadKey,
+    payload_bytes,
+)
+from repro.temporal.event import Event, Payload
+from repro.temporal.time import MINUS_INFINITY, Timestamp
+
+_KEY_FLOOR = _KeyFloor()
+
+
+class In3TNode:
+    """One top-tier node: per-stream multisets of Ve values.
+
+    ``counts[stream]`` is a red-black tree of ``Ve -> count`` describing the
+    multiset of events with this node's ``(Vs, payload)`` currently in that
+    stream's TDB (OUTPUT for the merge output).
+    """
+
+    __slots__ = ("vs", "payload", "counts", "_key")
+
+    def __init__(self, vs: Timestamp, payload: Payload, key: tuple):
+        self.vs = vs
+        self.payload = payload
+        self.counts: Dict[StreamId, RedBlackTree] = {}
+        self._key = key
+
+    # -- multiset maintenance -------------------------------------------
+
+    def increment(self, stream: StreamId, ve: Timestamp, by: int = 1) -> None:
+        """``IncrementCount``: add *by* events ``<payload, vs, ve)``."""
+        tier = self.counts.get(stream)
+        if tier is None:
+            tier = RedBlackTree()
+            self.counts[stream] = tier
+        tier.insert(ve, tier.get(ve, 0) + by)
+
+    def decrement(self, stream: StreamId, ve: Timestamp, by: int = 1) -> None:
+        """``DecrementCount``: remove *by* events ``<payload, vs, ve)``.
+
+        Raises KeyError when the multiset does not contain them — that
+        indicates an input violated mutual consistency.
+        """
+        tier = self.counts.get(stream)
+        current = tier.get(ve, 0) if tier is not None else 0
+        if current < by:
+            raise KeyError(
+                f"stream {stream!r} has {current} events "
+                f"<{self.payload!r},{self.vs},{ve}); cannot remove {by}"
+            )
+        if current == by:
+            tier.delete(ve)
+        else:
+            tier.insert(ve, current - by)
+
+    # -- queries ---------------------------------------------------------
+
+    def total_count(self, stream: StreamId) -> int:
+        """``GetCount``: total events for this ``(Vs, payload)`` on *stream*."""
+        tier = self.counts.get(stream)
+        return sum(tier.values()) if tier is not None else 0
+
+    def count_of(self, stream: StreamId, ve: Timestamp) -> int:
+        """Events with exactly this Ve on *stream*."""
+        tier = self.counts.get(stream)
+        return tier.get(ve, 0) if tier is not None else 0
+
+    def ve_counts(self, stream: StreamId) -> List[Tuple[Timestamp, int]]:
+        """``FindAllVe``: ``(Ve, count)`` pairs for *stream*, Ve-ordered."""
+        tier = self.counts.get(stream)
+        return list(tier.items()) if tier is not None else []
+
+    def max_ve(self, stream: StreamId) -> Timestamp:
+        """``GetMaxVe``: largest Ve on *stream*, ``-inf`` when none."""
+        tier = self.counts.get(stream)
+        if tier is None or not tier:
+            return MINUS_INFINITY
+        ve, _ = tier.max_item()
+        return ve
+
+    def streams(self) -> Iterator[StreamId]:
+        """Stream ids (including OUTPUT) with at least one event here."""
+        for stream, tier in self.counts.items():
+            if tier:
+                yield stream
+
+    def remove_stream(self, stream: StreamId) -> None:
+        """Drop all state for *stream* (input detach)."""
+        self.counts.pop(stream, None)
+
+    def is_empty(self) -> bool:
+        return all(not tier for tier in self.counts.values())
+
+    def memory_bytes(self) -> int:
+        total = TREE_NODE_OVERHEAD + payload_bytes(self.payload) + TIMESTAMP_BYTES
+        for tier in self.counts.values():
+            total += HASH_ENTRY_OVERHEAD
+            total += len(tier) * (TREE_NODE_OVERHEAD + TIMESTAMP_BYTES + 8)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        counts = {
+            str(stream): dict(tier.items()) for stream, tier in self.counts.items()
+        }
+        return f"In3TNode(vs={self.vs}, payload={self.payload!r}, counts={counts})"
+
+
+class In3T:
+    """The three-tier merge index of Algorithm R4."""
+
+    __slots__ = ("_tree",)
+
+    def __init__(self) -> None:
+        self._tree = RedBlackTree()
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __bool__(self) -> bool:
+        return bool(self._tree)
+
+    @staticmethod
+    def _key(vs: Timestamp, payload: Payload) -> tuple:
+        return (vs, PayloadKey(payload))
+
+    def find(self, vs: Timestamp, payload: Payload) -> Optional[In3TNode]:
+        """``SameVsPayload``: the node for ``(vs, payload)``, or None."""
+        return self._tree.get(self._key(vs, payload))
+
+    def add(self, vs: Timestamp, payload: Payload) -> In3TNode:
+        """``AddNode``: create (and return) the node for ``(vs, payload)``."""
+        key = self._key(vs, payload)
+        node = In3TNode(vs, payload, key)
+        created = self._tree.insert(key, node)
+        if not created:
+            raise KeyError(f"in3t node already exists for ({vs}, {payload!r})")
+        return node
+
+    def find_or_add(self, event: Event) -> In3TNode:
+        """The node for *event*'s key, created if absent."""
+        node = self.find(event.vs, event.payload)
+        if node is None:
+            node = self.add(event.vs, event.payload)
+        return node
+
+    def delete(self, node: In3TNode) -> None:
+        """``Delete``: remove *node* from the top tier."""
+        if not self._tree.delete(node._key):
+            raise KeyError(f"in3t node not present: {node!r}")
+
+    def half_frozen(self, t: Timestamp) -> List[In3TNode]:
+        """Nodes with ``Vs < t`` in key order (materialized for deletion)."""
+        return [node for _, node in self._tree.items_below((t, _KEY_FLOOR))]
+
+    def nodes(self) -> Iterator[In3TNode]:
+        return self._tree.values()
+
+    def memory_bytes(self) -> int:
+        return sum(node.memory_bytes() for node in self._tree.values())

@@ -1,0 +1,108 @@
+"""Stream-dialect converters.
+
+Section III presents LMerge "in a way that applies to many DSMSs" and
+Example 3 introduces the open/close dialect (I-/D-streams in STREAM and
+Oracle CEP, positive/negative tuples in Nile).  These converters bridge
+that dialect and the StreamInsight element algebra the algorithms here
+speak, so LMerge can be applied to open/close sources:
+
+* :func:`open_close_to_elements` — ``open(p, Vs)`` becomes
+  ``insert(p, Vs, +inf)``; ``close(p, Ve)`` becomes an adjust of the open
+  (or previously closed) event's end time;
+* :func:`elements_to_open_close` — the reverse, defined for streams whose
+  events never overlap per payload (the dialect's own precondition).
+
+Round-tripping preserves the logical TDB; tests assert this with
+hypothesis over generated histories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.temporal.elements import (
+    Adjust,
+    Close,
+    Element,
+    Insert,
+    OCElement,
+    Open,
+    Stable,
+)
+from repro.temporal.event import Payload
+from repro.temporal.tdb import StreamViolationError
+from repro.temporal.time import INFINITY, Timestamp
+
+
+def open_close_to_elements(elements: Iterable[OCElement]) -> List[Element]:
+    """Translate an Example-3 stream into insert/adjust elements.
+
+    ``open`` starts an event with unknown end (``Ve = +inf``); ``close``
+    adjusts it down to the reported end; a repeated ``close`` for the same
+    payload revises the previous one (stream ``W[6]``'s behaviour).
+    """
+    result: List[Element] = []
+    #: payload -> (Vs, current Ve) of its latest event.
+    state: Dict[Payload, tuple] = {}
+    for element in elements:
+        if isinstance(element, Open):
+            current = state.get(element.payload)
+            if current is not None and current[1] == INFINITY:
+                raise StreamViolationError(
+                    f"open for already-active payload {element.payload!r}"
+                )
+            state[element.payload] = (element.vs, INFINITY)
+            result.append(Insert(element.payload, element.vs, INFINITY))
+        elif isinstance(element, Close):
+            current = state.get(element.payload)
+            if current is None:
+                raise StreamViolationError(
+                    f"close for never-opened payload {element.payload!r}"
+                )
+            vs, old_ve = current
+            result.append(Adjust(element.payload, vs, old_ve, element.ve))
+            state[element.payload] = (vs, element.ve)
+        else:
+            raise TypeError(f"not an open/close element: {element!r}")
+    return result
+
+
+def elements_to_open_close(elements: Iterable[Element]) -> List[OCElement]:
+    """Translate insert/adjust/stable elements into the open/close dialect.
+
+    Requires the dialect's precondition: at most one event active per
+    payload at a time (violations raise).  ``insert`` with a finite end
+    becomes ``open`` + ``close``; an end-time adjust becomes a (revising)
+    ``close``; a cancel cannot be represented and raises.  ``stable``
+    elements carry no dialect counterpart and are dropped (open/close
+    systems use separate heartbeats).
+    """
+    result: List[OCElement] = []
+    active: Dict[Payload, Timestamp] = {}  # payload -> Vs of open event
+    for element in elements:
+        if isinstance(element, Stable):
+            continue
+        if isinstance(element, Insert):
+            if element.payload in active:
+                raise StreamViolationError(
+                    f"second concurrent event for payload {element.payload!r}"
+                )
+            result.append(Open(element.payload, element.vs))
+            if element.ve == INFINITY:
+                active[element.payload] = element.vs
+            else:
+                result.append(Close(element.payload, element.ve))
+                active[element.payload] = element.vs
+        elif isinstance(element, Adjust):
+            if element.payload not in active:
+                raise StreamViolationError(
+                    f"adjust for unknown payload {element.payload!r}"
+                )
+            if element.is_cancel:
+                raise StreamViolationError(
+                    "the open/close dialect cannot express event removal"
+                )
+            result.append(Close(element.payload, element.ve))
+        else:
+            raise TypeError(f"not a stream element: {element!r}")
+    return result

@@ -1,0 +1,177 @@
+"""Physical stream elements.
+
+The primary element algebra is StreamInsight's (Example 5 of the paper):
+
+* ``insert(p, Vs, Ve)`` — add event ``<p, Vs, Ve)`` to the TDB;
+* ``adjust(p, Vs, Vold, Ve)`` — change event ``<p, Vs, Vold)`` to
+  ``<p, Vs, Ve)``; if ``Ve == Vs`` the event is removed;
+* ``stable(Vc)`` — punctuation: the TDB before ``Vc`` is now stable (no
+  future insert with ``Vs < Vc``, no adjust with ``Vold < Vc`` or
+  ``Ve < Vc``).
+
+We also provide the simpler ``open``/``close`` algebra of Example 3 (the
+I-stream/D-stream or positive/negative-tuple model), used by the theory
+module to demonstrate compatibility in a second stream dialect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.temporal.event import Event, Payload
+from repro.temporal.time import (
+    INFINITY,
+    Timestamp,
+    is_finite,
+    validate_timestamp,
+)
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``insert(p, Vs, Ve)``: add an event with lifetime ``[Vs, Ve)``."""
+
+    payload: Payload
+    vs: Timestamp
+    ve: Timestamp = INFINITY
+
+    def __post_init__(self) -> None:
+        validate_timestamp(self.vs, "Vs")
+        validate_timestamp(self.ve, "Ve")
+        if not is_finite(self.vs):
+            raise ValueError(f"insert Vs must be finite, got {self.vs}")
+        if self.ve <= self.vs:
+            raise ValueError(
+                f"insert lifetime must be non-empty: [{self.vs}, {self.ve})"
+            )
+
+    @property
+    def key(self) -> Tuple[Timestamp, Payload]:
+        return (self.vs, self.payload)
+
+    def to_event(self) -> Event:
+        return Event(self.vs, self.payload, self.ve)
+
+    def __str__(self) -> str:  # pragma: no cover
+        end = "inf" if self.ve == INFINITY else self.ve
+        return f"insert({self.payload!r}, {self.vs}, {end})"
+
+
+@dataclass(frozen=True)
+class Adjust:
+    """``adjust(p, Vs, Vold, Ve)``: retime ``<p,Vs,Vold)`` to end at ``Ve``.
+
+    ``Ve == Vs`` removes the event from the TDB entirely (a *cancel*).
+    """
+
+    payload: Payload
+    vs: Timestamp
+    v_old: Timestamp
+    ve: Timestamp
+
+    def __post_init__(self) -> None:
+        validate_timestamp(self.vs, "Vs")
+        validate_timestamp(self.v_old, "Vold")
+        validate_timestamp(self.ve, "Ve")
+        if not is_finite(self.vs):
+            raise ValueError(f"adjust Vs must be finite, got {self.vs}")
+        if self.v_old <= self.vs:
+            raise ValueError(
+                f"adjust Vold must follow Vs: Vs={self.vs}, Vold={self.v_old}"
+            )
+        if self.ve < self.vs:
+            raise ValueError(
+                f"adjust Ve may not precede Vs: Vs={self.vs}, Ve={self.ve}"
+            )
+
+    @property
+    def key(self) -> Tuple[Timestamp, Payload]:
+        return (self.vs, self.payload)
+
+    @property
+    def is_cancel(self) -> bool:
+        """True when this adjust removes the event (``Ve == Vs``)."""
+        return self.ve == self.vs
+
+    def __str__(self) -> str:  # pragma: no cover
+        old = "inf" if self.v_old == INFINITY else self.v_old
+        end = "inf" if self.ve == INFINITY else self.ve
+        return f"adjust({self.payload!r}, {self.vs}, {old}, {end})"
+
+
+@dataclass(frozen=True)
+class Stable:
+    """``stable(Vc)``: the portion of the TDB before ``Vc`` is stable.
+
+    Equivalent to StreamInsight CTIs / heartbeats / punctuation.  ``Vc`` may
+    be ``+inf``, which finalizes the whole stream.
+    """
+
+    vc: Timestamp
+
+    def __post_init__(self) -> None:
+        validate_timestamp(self.vc, "Vc")
+        if self.vc == -INFINITY:
+            raise ValueError("stable(-inf) is meaningless")
+
+    def __str__(self) -> str:  # pragma: no cover
+        at = "inf" if self.vc == INFINITY else self.vc
+        return f"stable({at})"
+
+
+#: A StreamInsight-model physical stream element.
+Element = Union[Insert, Adjust, Stable]
+
+
+@dataclass(frozen=True)
+class Open:
+    """``open(p, Vs)``: an event with payload *p* starts at ``Vs``.
+
+    Example 3's simple dialect: an I-stream / positive tuple.  At most one
+    event per payload may be active at a time.
+    """
+
+    payload: Payload
+    vs: Timestamp
+
+    def __post_init__(self) -> None:
+        validate_timestamp(self.vs, "Vs")
+        if not is_finite(self.vs):
+            raise ValueError(f"open Vs must be finite, got {self.vs}")
+
+
+@dataclass(frozen=True)
+class Close:
+    """``close(p, Ve)``: the active event for payload *p* ends at ``Ve``.
+
+    A later ``close`` for the same payload *revises* the earlier one (see
+    stream ``W`` in Example 3).
+    """
+
+    payload: Payload
+    ve: Timestamp
+
+    def __post_init__(self) -> None:
+        validate_timestamp(self.ve, "Ve")
+
+
+#: An Example-3 dialect element.
+OCElement = Union[Open, Close]
+
+
+def element_sort_key(element: Element) -> Tuple[Timestamp, int]:
+    """A deterministic ordering key for StreamInsight-model elements.
+
+    Orders by primary timestamp, with punctuation after data at the same
+    instant so that a ``stable(t)`` never precedes an ``insert`` at ``t``
+    that it would have frozen.  Used by the Cleanse operator and by tests
+    that canonicalize streams.
+    """
+    if isinstance(element, Insert):
+        return (element.vs, 0)
+    if isinstance(element, Adjust):
+        return (element.vs, 1)
+    if isinstance(element, Stable):
+        return (element.vc, 2)
+    raise TypeError(f"not a stream element: {element!r}")

@@ -1,0 +1,90 @@
+"""TDB events and their freeze status.
+
+An event is a payload with a half-open validity interval ``[Vs, Ve)``
+(Section III-A).  Freeze status (Section III-C) is defined relative to the
+latest ``stable(Vc)`` element seen on a stream:
+
+* *fully frozen* (FF): ``Ve < Vc`` — no future ``adjust`` may alter it, so it
+  is in every future version of the TDB;
+* *half frozen* (HF): ``Vs < Vc <= Ve`` — some event ``<p, Vs, V>`` will be
+  in the TDB henceforth, but its end time may still move (not below ``Vc``);
+* *unfrozen* (UF): ``Vc <= Vs`` — the event may still be altered arbitrarily
+  or removed entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.temporal.time import INFINITY, Timestamp, is_finite, validate_timestamp
+
+#: Payloads are arbitrary hashable values (tuples model relational tuples).
+Payload = Any
+
+
+class FreezeStatus(enum.Enum):
+    """Freeze status of an event relative to a stable point."""
+
+    UNFROZEN = "UF"
+    HALF_FROZEN = "HF"
+    FULLY_FROZEN = "FF"
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A TDB event ``<payload, Vs, Ve)`` with half-open lifetime ``[Vs, Ve)``.
+
+    Events are immutable value objects; "modifying" an event (as an
+    ``adjust`` element does) produces a new :class:`Event`.  The ordering is
+    ``(Vs, payload, Ve)``, matching the key order of the merge indexes.
+    """
+
+    vs: Timestamp
+    payload: Payload
+    ve: Timestamp = INFINITY
+
+    def __post_init__(self) -> None:
+        validate_timestamp(self.vs, "Vs")
+        validate_timestamp(self.ve, "Ve")
+        if not is_finite(self.vs):
+            raise ValueError(f"event Vs must be finite, got {self.vs}")
+        if self.ve <= self.vs:
+            raise ValueError(
+                f"event lifetime must be non-empty: [{self.vs}, {self.ve})"
+            )
+
+    @property
+    def key(self) -> Tuple[Timestamp, Payload]:
+        """The ``(Vs, payload)`` pair; a TDB key under restrictions R2/R3."""
+        return (self.vs, self.payload)
+
+    def with_end(self, ve: Timestamp) -> "Event":
+        """Return a copy of this event with validity end *ve*."""
+        return Event(self.vs, self.payload, ve)
+
+    def active_at(self, t: Timestamp) -> bool:
+        """Return True when *t* falls inside the validity interval."""
+        return self.vs <= t < self.ve
+
+    def overlaps(self, start: Timestamp, end: Timestamp) -> bool:
+        """Return True when the lifetime intersects ``[start, end)``."""
+        return self.vs < end and start < self.ve
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        end = "inf" if self.ve == INFINITY else self.ve
+        return f"<{self.payload!r}, [{self.vs}, {end})>"
+
+
+def freeze_status(event: Event, stable_point: Timestamp) -> FreezeStatus:
+    """Classify *event* as UF / HF / FF relative to *stable_point*.
+
+    *stable_point* is the largest ``Vc`` such that ``stable(Vc)`` has been
+    seen (``-inf`` if none has).
+    """
+    if event.ve < stable_point:
+        return FreezeStatus.FULLY_FROZEN
+    if event.vs < stable_point:
+        return FreezeStatus.HALF_FROZEN
+    return FreezeStatus.UNFROZEN

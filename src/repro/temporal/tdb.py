@@ -1,0 +1,248 @@
+"""Temporal database (TDB) reconstitution.
+
+A TDB instance is a multiset of events.  The reconstitution function
+``tdb(S, i)`` (Section III-A) interprets a physical-stream prefix ``S[i]``
+as a TDB.  Two stream prefixes are *equivalent* when they reconstitute to
+equal TDBs.
+
+:class:`TDB` is the executable reference semantics: every LMerge algorithm
+in this repository is tested against it (feed inputs and output through
+``reconstitute`` and compare).  It favours clarity over speed — the fast
+structures live in :mod:`repro.structures`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.temporal.elements import (
+    Adjust,
+    Close,
+    Element,
+    Insert,
+    OCElement,
+    Open,
+    Stable,
+)
+from repro.temporal.event import Event, FreezeStatus, Payload, freeze_status
+from repro.temporal.time import INFINITY, MINUS_INFINITY, Timestamp
+
+
+class StreamViolationError(ValueError):
+    """A stream element violated the stream contract.
+
+    Examples: an ``adjust`` naming an event absent from the TDB, or an
+    ``insert`` behind the stable point.
+    """
+
+
+class TDB:
+    """A temporal database: a multiset of :class:`Event` values.
+
+    Tracks the stable point (largest ``stable(Vc)`` applied) so freeze
+    status can be queried.  ``strict=True`` (the default) raises
+    :class:`StreamViolationError` on contract violations; ``strict=False``
+    drops violating elements, mirroring how a defensive operator would
+    behave on a buggy input.
+    """
+
+    def __init__(self, events: Optional[Iterable[Event]] = None, strict: bool = True):
+        self._events: Counter = Counter()
+        self.stable_point: Timestamp = MINUS_INFINITY
+        self.strict = strict
+        if events is not None:
+            for event in events:
+                self._events[event] += 1
+
+    # ------------------------------------------------------------------
+    # Multiset container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(self._events.values())
+
+    def __iter__(self) -> Iterator[Event]:
+        for event, count in self._events.items():
+            for _ in range(count):
+                yield event
+
+    def __contains__(self, event: Event) -> bool:
+        return self._events[event] > 0
+
+    def count(self, event: Event) -> int:
+        """Multiplicity of *event* in the multiset."""
+        return self._events[event]
+
+    def distinct_events(self) -> Iterator[Event]:
+        """Iterate distinct events (ignoring multiplicity)."""
+        return iter(+self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TDB):
+            return NotImplemented
+        # Counter equality treats zero-count keys as absent via unary +.
+        return +self._events == +other._events
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("TDB instances are mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        items = ", ".join(str(e) for e in sorted(+self._events))
+        return f"TDB({{{items}}}, stable={self.stable_point})"
+
+    def copy(self) -> "TDB":
+        """Return a deep copy (events are immutable, so counts suffice)."""
+        clone = TDB(strict=self.strict)
+        clone._events = Counter(self._events)
+        clone.stable_point = self.stable_point
+        return clone
+
+    # ------------------------------------------------------------------
+    # Element application
+    # ------------------------------------------------------------------
+
+    def apply(self, element: Element) -> None:
+        """Apply one StreamInsight-model element to this TDB."""
+        if isinstance(element, Insert):
+            self._apply_insert(element)
+        elif isinstance(element, Adjust):
+            self._apply_adjust(element)
+        elif isinstance(element, Stable):
+            self._apply_stable(element)
+        else:
+            raise TypeError(f"not a stream element: {element!r}")
+
+    def apply_all(self, elements: Iterable[Element]) -> "TDB":
+        """Apply a sequence of elements; returns self for chaining."""
+        for element in elements:
+            self.apply(element)
+        return self
+
+    def _violation(self, message: str) -> None:
+        if self.strict:
+            raise StreamViolationError(message)
+
+    def _apply_insert(self, element: Insert) -> None:
+        if element.vs < self.stable_point:
+            self._violation(
+                f"{element} inserts behind stable point {self.stable_point}"
+            )
+            return
+        self._events[element.to_event()] += 1
+
+    def _apply_adjust(self, element: Adjust) -> None:
+        if element.v_old < self.stable_point or element.ve < self.stable_point:
+            self._violation(
+                f"{element} adjusts behind stable point {self.stable_point}"
+            )
+            return
+        old = Event(element.vs, element.payload, element.v_old)
+        if self._events[old] <= 0:
+            self._violation(f"{element} names an event absent from the TDB")
+            return
+        self._events[old] -= 1
+        if self._events[old] == 0:
+            del self._events[old]
+        if not element.is_cancel:
+            self._events[Event(element.vs, element.payload, element.ve)] += 1
+
+    def _apply_stable(self, element: Stable) -> None:
+        # stable() elements are monotone; a regression is a no-op, matching
+        # the "if (t <= MaxStable) return" guard in every paper algorithm.
+        if element.vc > self.stable_point:
+            self.stable_point = element.vc
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def events_for_key(self, vs: Timestamp, payload: Payload) -> List[Event]:
+        """All events with the given ``(Vs, payload)``, with multiplicity."""
+        result: List[Event] = []
+        for event, count in self._events.items():
+            if event.vs == vs and event.payload == payload:
+                result.extend([event] * count)
+        return result
+
+    def status_of(self, event: Event) -> FreezeStatus:
+        """Freeze status of *event* relative to this TDB's stable point."""
+        return freeze_status(event, self.stable_point)
+
+    def events_with_status(self, status: FreezeStatus) -> List[Event]:
+        """Distinct events currently classified as *status*."""
+        return [e for e in self.distinct_events() if self.status_of(e) is status]
+
+    def snapshot(self, t: Timestamp) -> Counter:
+        """The multiset of payloads active at instant *t* (a TDB snapshot)."""
+        active: Counter = Counter()
+        for event, count in self._events.items():
+            if event.active_at(t):
+                active[event.payload] += count
+        return active
+
+    def max_ve(self) -> Timestamp:
+        """Largest finite Ve, or ``-inf`` when empty / all-infinite."""
+        finite = [e.ve for e in self._events if e.ve != INFINITY]
+        return max(finite) if finite else MINUS_INFINITY
+
+    def key_is_unique(self) -> bool:
+        """True when ``(Vs, payload)`` is a key of this instance (R2/R3)."""
+        seen: Set[Tuple[Timestamp, Payload]] = set()
+        for event, count in self._events.items():
+            if count > 1 or event.key in seen:
+                return False
+            seen.add(event.key)
+        return True
+
+
+def reconstitute(elements: Iterable[Element], strict: bool = True) -> TDB:
+    """``tdb(S)``: reconstitute a full element sequence into a TDB."""
+    return TDB(strict=strict).apply_all(elements)
+
+
+def reconstitute_prefix(
+    elements: Sequence[Element], length: int, strict: bool = True
+) -> TDB:
+    """``tdb(S, i)``: reconstitute the length-*length* prefix of *elements*."""
+    if length < 0 or length > len(elements):
+        raise IndexError(f"prefix length {length} out of range")
+    return reconstitute(elements[:length], strict=strict)
+
+
+def reconstitute_open_close(elements: Iterable[OCElement]) -> TDB:
+    """Reconstitute an Example-3 open/close stream into a TDB.
+
+    At most one event per payload is active at a time; a ``close`` for a
+    payload whose event already closed *revises* the previous close (see
+    stream ``W[6]`` in Example 3).
+    """
+    open_times: Dict[Payload, Timestamp] = {}
+    closed: Dict[Payload, Tuple[Timestamp, Timestamp]] = {}
+    for element in elements:
+        if isinstance(element, Open):
+            if element.payload in open_times:
+                raise StreamViolationError(
+                    f"open for already-active payload {element.payload!r}"
+                )
+            open_times[element.payload] = element.vs
+        elif isinstance(element, Close):
+            if element.payload in open_times:
+                vs = open_times.pop(element.payload)
+                closed[element.payload] = (vs, element.ve)
+            elif element.payload in closed:
+                vs, _ = closed[element.payload]
+                closed[element.payload] = (vs, element.ve)
+            else:
+                raise StreamViolationError(
+                    f"close for never-opened payload {element.payload!r}"
+                )
+        else:
+            raise TypeError(f"not an open/close element: {element!r}")
+    events = [Event(vs, p) for p, vs in open_times.items()]
+    events.extend(Event(vs, p, ve) for p, (vs, ve) in closed.items())
+    return TDB(events)

@@ -1,0 +1,59 @@
+"""Application-time timestamps.
+
+The paper's temporal model uses half-open validity intervals ``[Vs, Ve)``
+where ``Ve`` may be ``+infinity``.  We represent timestamps as plain numbers
+(``int`` or ``float``); ``float('inf')`` stands for the open end.  Keeping
+timestamps as numbers (rather than a wrapper class) keeps the hot paths of
+the LMerge algorithms allocation-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+#: A point in application time.  ``int`` for generated workloads (ticks),
+#: ``float`` where infinity or fractional seconds are needed.
+Timestamp = Union[int, float]
+
+#: The open end of an unbounded validity interval (``Ve = +inf``).
+INFINITY: float = math.inf
+
+#: Sentinel smaller than every valid timestamp; initial value of the
+#: ``MaxStable`` / ``MaxVs`` trackers in the LMerge algorithms.
+MINUS_INFINITY: float = -math.inf
+
+
+def is_finite(t: Timestamp) -> bool:
+    """Return True when *t* is a concrete point in time (not +/-infinity)."""
+    return t != INFINITY and t != MINUS_INFINITY
+
+
+def validate_timestamp(t: Timestamp, name: str = "timestamp") -> Timestamp:
+    """Validate that *t* is a usable timestamp and return it.
+
+    Raises :class:`TypeError` for non-numeric values and :class:`ValueError`
+    for NaN, which would silently poison every ordered comparison in the
+    merge indexes.
+    """
+    if isinstance(t, bool) or not isinstance(t, (int, float)):
+        raise TypeError(f"{name} must be int or float, got {type(t).__name__}")
+    if isinstance(t, float) and math.isnan(t):
+        raise ValueError(f"{name} may not be NaN")
+    return t
+
+
+def validate_interval(vs: Timestamp, ve: Timestamp) -> None:
+    """Validate a half-open validity interval ``[vs, ve)``.
+
+    ``vs`` must be finite and ``ve`` must not precede ``vs``.  ``ve == vs``
+    is permitted only transiently (it encodes event removal in ``adjust``
+    elements), so interval validation for *events* is stricter and lives in
+    :class:`repro.temporal.event.Event`.
+    """
+    validate_timestamp(vs, "Vs")
+    validate_timestamp(ve, "Ve")
+    if not is_finite(vs):
+        raise ValueError(f"Vs must be finite, got {vs}")
+    if ve < vs:
+        raise ValueError(f"interval end {ve} precedes start {vs}")

@@ -1,0 +1,136 @@
+"""Incremental stream-contract validation.
+
+:func:`repro.temporal.tdb.reconstitute` with ``strict=True`` validates a
+stream but keeps the full TDB.  :class:`StreamContractChecker` validates
+incrementally with state proportional to the *live* (not yet fully
+frozen) region only — suitable for long-running pipelines and for
+guarding LMerge inputs in production:
+
+* no ``insert`` behind the stable point;
+* no ``adjust`` naming an event absent from the live region, nor one
+  whose ``Vold``/``Ve`` violates the stable point;
+* ``stable`` regressions are flagged (legal but suspicious) via a
+  counter rather than an error.
+
+The checker optionally enforces the ``(Vs, payload)`` key property, so it
+can certify a stream for the R2/R3 algorithms at runtime.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.structures.in2t import _KeyFloor
+from repro.structures.rbtree import RedBlackTree
+from repro.structures.sizing import PayloadKey
+from repro.temporal.elements import Adjust, Element, Insert, Stable
+from repro.temporal.tdb import StreamViolationError
+from repro.temporal.time import MINUS_INFINITY, Timestamp
+
+_KEY_FLOOR = _KeyFloor()
+
+
+class StreamContractChecker:
+    """Validates a physical stream element-by-element.
+
+    ``check(element)`` raises :class:`StreamViolationError` on a contract
+    violation and returns the element otherwise (so it drops into
+    pipelines as a pass-through).
+    """
+
+    def __init__(self, enforce_key: bool = False):
+        self.enforce_key = enforce_key
+        self.stable_point: Timestamp = MINUS_INFINITY
+        #: (Vs, PayloadKey) -> Counter of live Ve values for that key.
+        self._live = RedBlackTree()
+        self.elements_checked = 0
+        self.stable_regressions = 0
+
+    @staticmethod
+    def _key(vs, payload) -> tuple:
+        return (vs, PayloadKey(payload))
+
+    # ------------------------------------------------------------------
+
+    def check(self, element: Element) -> Element:
+        """Validate one element; raises on violation."""
+        self.elements_checked += 1
+        if isinstance(element, Insert):
+            self._check_insert(element)
+        elif isinstance(element, Adjust):
+            self._check_adjust(element)
+        elif isinstance(element, Stable):
+            self._check_stable(element)
+        else:
+            raise TypeError(f"not a stream element: {element!r}")
+        return element
+
+    def check_all(self, elements) -> None:
+        for element in elements:
+            self.check(element)
+
+    # ------------------------------------------------------------------
+
+    def _check_insert(self, element: Insert) -> None:
+        if element.vs < self.stable_point:
+            raise StreamViolationError(
+                f"{element} inserts behind stable point {self.stable_point}"
+            )
+        key = self._key(element.vs, element.payload)
+        versions = self._live.get(key)
+        if versions is None:
+            versions = Counter()
+            self._live.insert(key, versions)
+        elif self.enforce_key:
+            raise StreamViolationError(
+                f"{element} duplicates key ({element.vs}, "
+                f"{element.payload!r}) in a keyed stream"
+            )
+        versions[element.ve] += 1
+
+    def _check_adjust(self, element: Adjust) -> None:
+        if element.v_old < self.stable_point or element.ve < self.stable_point:
+            raise StreamViolationError(
+                f"{element} adjusts behind stable point {self.stable_point}"
+            )
+        key = self._key(element.vs, element.payload)
+        versions = self._live.get(key)
+        if versions is None or versions[element.v_old] == 0:
+            raise StreamViolationError(
+                f"{element} names an event not currently live"
+            )
+        versions[element.v_old] -= 1
+        if not element.is_cancel:
+            versions[element.ve] += 1
+        elif not +versions:
+            self._live.delete(key)
+
+    def _check_stable(self, element: Stable) -> None:
+        if element.vc <= self.stable_point:
+            self.stable_regressions += 1
+            return
+        self.stable_point = element.vc
+        # Retire fully frozen keys: every live version ends before vc.
+        frozen: List[tuple] = []
+        for key, versions in self._live.items_below((element.vc, _KEY_FLOOR)):
+            if all(ve < element.vc for ve in +versions):
+                frozen.append(key)
+        for key in frozen:
+            self._live.delete(key)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def live_keys(self) -> int:
+        return len(self._live)
+
+
+def validate_stream(
+    elements, enforce_key: bool = False
+) -> StreamContractChecker:
+    """Validate a whole element sequence; returns the checker (for its
+    statistics) or raises on the first violation."""
+    checker = StreamContractChecker(enforce_key=enforce_key)
+    checker.check_all(elements)
+    return checker

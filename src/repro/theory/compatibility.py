@@ -1,0 +1,312 @@
+"""Input/output compatibility conditions for cases R3 and R4 (Section III-D).
+
+Compatibility is the paper's central correctness notion: at every instant,
+the emitted output prefix must be extendable to match *any* joint future of
+the inputs.  For the R3 case — ``(Vs, payload)`` a key, all element kinds —
+the paper gives three exact conditions over the reconstituted TDBs:
+
+* **C1** — the output stable point ``L`` may not exceed the maximum input
+  stable point ``max(Lm)`` (else an event could become fully frozen on an
+  input yet be impossible to add to the output).
+* **C2** — *what the output may contain*, per ``(Vs, payload)``: at most
+  one event; an unfrozen event is unconstrained; a half-frozen output event
+  needs support from some input holding that key half-frozen with
+  ``L <= Lm`` (the input settles no lower than the output can follow) or
+  fully frozen with ``L <= Vm``; a fully frozen output event must match a
+  fully frozen input event exactly.
+* **C3** — *what the output must contain*, per ``(Vs, payload)``: keys
+  fully frozen on some input must be present (half-frozen if ``Vs < L <=
+  Ve``, exact if ``Ve < L``); keys only half-frozen on inputs must be
+  present half-frozen once ``L`` passes ``Vs`` (judged against the
+  supporting input with the largest ``Lm``).
+
+Note on C2's half-frozen clause: the conference text prints ``Lm <= L``,
+but the parenthetical justification ("the output event can be adjusted to
+match any changes in TDBm") requires the input to settle no lower than the
+output's floor, i.e. ``L <= Lm``; we implement the justified direction.
+
+The R4 conformance rule (multiset TDBs) is the count-based variant given at
+the end of Section III-D, checked when ``L`` tracks ``max(Lm)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.temporal.event import Event, FreezeStatus, Payload
+from repro.temporal.tdb import TDB
+from repro.temporal.time import Timestamp
+
+Key = Tuple[Timestamp, Payload]
+
+
+@dataclass(frozen=True)
+class CompatibilityViolation:
+    """One violated condition, with a human-readable explanation."""
+
+    condition: str  # "C1", "C2", "C3", "R4"
+    key: object
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"[{self.condition}] {self.message}"
+
+
+def _events_by_key(tdb: TDB) -> Dict[Key, List[Event]]:
+    grouped: Dict[Key, List[Event]] = {}
+    for event in tdb:
+        grouped.setdefault(event.key, []).append(event)
+    return grouped
+
+
+def check_r3_compatibility(
+    inputs: Sequence[TDB], output: TDB
+) -> List[CompatibilityViolation]:
+    """Check conditions C1-C3; returns all violations (empty = compatible).
+
+    Each :class:`~repro.temporal.tdb.TDB` carries its own stable point
+    (``Lm`` for inputs, ``L`` for the output).
+    """
+    violations: List[CompatibilityViolation] = []
+    out_stable = output.stable_point
+    input_stables = [tdb.stable_point for tdb in inputs]
+
+    # --- C1 ---------------------------------------------------------------
+    max_input_stable = max(input_stables) if input_stables else None
+    if max_input_stable is not None and out_stable > max_input_stable:
+        violations.append(
+            CompatibilityViolation(
+                "C1",
+                None,
+                f"output stable {out_stable} exceeds max input stable "
+                f"{max_input_stable}",
+            )
+        )
+
+    input_keyed = [_events_by_key(tdb) for tdb in inputs]
+    output_keyed = _events_by_key(output)
+
+    # --- C2: what the output MAY contain -----------------------------------
+    for key, out_events in output_keyed.items():
+        if len(out_events) > 1:
+            violations.append(
+                CompatibilityViolation(
+                    "C2", key, f"output has {len(out_events)} events for key {key!r}"
+                )
+            )
+            continue
+        event = out_events[0]
+        status = output.status_of(event)
+        if status is FreezeStatus.UNFROZEN:
+            continue
+        if status is FreezeStatus.HALF_FROZEN:
+            if not _half_frozen_supported(event, inputs, input_keyed, out_stable):
+                violations.append(
+                    CompatibilityViolation(
+                        "C2",
+                        key,
+                        f"half-frozen output event {event} has no input support",
+                    )
+                )
+        else:  # FULLY_FROZEN
+            if not _fully_frozen_supported(event, inputs, input_keyed):
+                violations.append(
+                    CompatibilityViolation(
+                        "C2",
+                        key,
+                        f"fully frozen output event {event} not fully frozen "
+                        f"identically on any input",
+                    )
+                )
+
+    # --- C3: what the output MUST contain -----------------------------------
+    all_keys: Set[Key] = set()
+    for keyed in input_keyed:
+        all_keys.update(keyed)
+    for key in all_keys:
+        violation = _check_must_contain(
+            key, inputs, input_keyed, output, output_keyed, out_stable
+        )
+        if violation is not None:
+            violations.append(violation)
+    return violations
+
+
+def _half_frozen_supported(
+    event: Event,
+    inputs: Sequence[TDB],
+    input_keyed: Sequence[Dict[Key, List[Event]]],
+    out_stable: Timestamp,
+) -> bool:
+    for tdb, keyed in zip(inputs, input_keyed):
+        for candidate in keyed.get(event.key, ()):
+            status = tdb.status_of(candidate)
+            if status is FreezeStatus.HALF_FROZEN and out_stable <= tdb.stable_point:
+                return True
+            if status is FreezeStatus.FULLY_FROZEN and out_stable <= candidate.ve:
+                return True
+    return False
+
+
+def _fully_frozen_supported(
+    event: Event,
+    inputs: Sequence[TDB],
+    input_keyed: Sequence[Dict[Key, List[Event]]],
+) -> bool:
+    for tdb, keyed in zip(inputs, input_keyed):
+        for candidate in keyed.get(event.key, ()):
+            if candidate.ve == event.ve and (
+                tdb.status_of(candidate) is FreezeStatus.FULLY_FROZEN
+            ):
+                return True
+    return False
+
+
+def _check_must_contain(
+    key: Key,
+    inputs: Sequence[TDB],
+    input_keyed: Sequence[Dict[Key, List[Event]]],
+    output: TDB,
+    output_keyed: Dict[Key, List[Event]],
+    out_stable: Timestamp,
+):
+    vs = key[0]
+    out_events = output_keyed.get(key, [])
+    out_event = out_events[0] if out_events else None
+
+    # Case 1: some input holds the key fully frozen.
+    ff_event = None
+    for tdb, keyed in zip(inputs, input_keyed):
+        for candidate in keyed.get(key, ()):
+            if tdb.status_of(candidate) is FreezeStatus.FULLY_FROZEN:
+                ff_event = candidate
+                break
+        if ff_event is not None:
+            break
+    if ff_event is not None:
+        if out_stable <= vs:
+            return None  # can still be added later
+        if vs < out_stable <= ff_event.ve:
+            if out_event is not None and (
+                output.status_of(out_event) is FreezeStatus.HALF_FROZEN
+            ):
+                return None
+            return CompatibilityViolation(
+                "C3",
+                key,
+                f"input event {ff_event} is FF but output lacks a "
+                f"half-frozen event for its key",
+            )
+        # ff_event.ve < out_stable: output must contain the exact event.
+        if out_event is not None and out_event.ve == ff_event.ve:
+            return None
+        return CompatibilityViolation(
+            "C3",
+            key,
+            f"input event {ff_event} is FF past the output stable point "
+            f"but the output event is {out_event}",
+        )
+
+    # Case 2: no FF input event; consider half-frozen support.
+    best_stable = None
+    for tdb, keyed in zip(inputs, input_keyed):
+        for candidate in keyed.get(key, ()):
+            if tdb.status_of(candidate) is FreezeStatus.HALF_FROZEN:
+                if best_stable is None or tdb.stable_point > best_stable:
+                    best_stable = tdb.stable_point
+    if best_stable is None:
+        return None  # only unfrozen input events: no constraint (C3 note)
+    if out_stable <= vs:
+        return None
+    if out_stable <= best_stable:
+        if out_event is not None and (
+            output.status_of(out_event) is FreezeStatus.HALF_FROZEN
+        ):
+            return None
+        return CompatibilityViolation(
+            "C3",
+            key,
+            f"key {key!r} is half-frozen on an input (Lm={best_stable}) but "
+            f"the output (L={out_stable}) has no half-frozen event for it",
+        )
+    return CompatibilityViolation(
+        "C3",
+        key,
+        f"output stable {out_stable} passed the best supporting input "
+        f"stable {best_stable} for half-frozen key {key!r}",
+    )
+
+
+def is_r3_compatible(inputs: Sequence[TDB], output: TDB) -> bool:
+    """True when no C1-C3 condition is violated."""
+    return not check_r3_compatibility(inputs, output)
+
+
+def check_r4_conformance(
+    inputs: Sequence[TDB], output: TDB
+) -> List[CompatibilityViolation]:
+    """R4 conformance when the output stable tracks ``max(Lm)``.
+
+    Against the input with the maximal stable point, the output must
+    contain all its fully frozen events (with multiplicity) and an equal
+    *number* of half-frozen events per ``(Vs, payload)``.
+    """
+    violations: List[CompatibilityViolation] = []
+    if not inputs:
+        return violations
+    reference = max(inputs, key=lambda tdb: tdb.stable_point)
+    if output.stable_point > reference.stable_point:
+        violations.append(
+            CompatibilityViolation(
+                "C1",
+                None,
+                f"output stable {output.stable_point} exceeds max input "
+                f"stable {reference.stable_point}",
+            )
+        )
+        return violations
+
+    ref_keyed = _events_by_key(reference)
+    out_keyed = _events_by_key(output)
+    for key in set(ref_keyed) | set(out_keyed):
+        ref_events = ref_keyed.get(key, [])
+        out_events = out_keyed.get(key, [])
+        ref_ff: Dict[Timestamp, int] = {}
+        ref_hf = 0
+        for event in ref_events:
+            status = reference.status_of(event)
+            if status is FreezeStatus.FULLY_FROZEN:
+                ref_ff[event.ve] = ref_ff.get(event.ve, 0) + 1
+            elif status is FreezeStatus.HALF_FROZEN:
+                ref_hf += 1
+        out_ff: Dict[Timestamp, int] = {}
+        out_hf = 0
+        for event in out_events:
+            status = output.status_of(event)
+            if status is FreezeStatus.FULLY_FROZEN:
+                out_ff[event.ve] = out_ff.get(event.ve, 0) + 1
+            elif status is FreezeStatus.HALF_FROZEN:
+                out_hf += 1
+        # FF events must match only once the output stable has also passed
+        # them; until then they count as the output's HF obligations.
+        if output.stable_point == reference.stable_point:
+            if ref_ff != out_ff:
+                violations.append(
+                    CompatibilityViolation(
+                        "R4",
+                        key,
+                        f"FF multiset mismatch for {key!r}: input {ref_ff}, "
+                        f"output {out_ff}",
+                    )
+                )
+            if ref_hf != out_hf:
+                violations.append(
+                    CompatibilityViolation(
+                        "R4",
+                        key,
+                        f"HF count mismatch for {key!r}: input {ref_hf}, "
+                        f"output {out_hf}",
+                    )
+                )
+    return violations

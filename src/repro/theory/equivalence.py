@@ -1,0 +1,48 @@
+"""Prefix equivalence and open/close compatibility (Examples 3 and 4).
+
+Section III-A: prefixes ``S[i]`` and ``U[j]`` are *equivalent* when
+``tdb(S, i) == tdb(U, j)``.  Example 4 derives, for the open/close dialect
+with at-most-one-close, an exact compatibility criterion: the output prefix
+is compatible with an input prefix iff its elements are a sub-multiset of
+the input's.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.temporal.elements import Element, OCElement
+from repro.temporal.tdb import reconstitute, reconstitute_open_close
+
+
+def equivalent_prefixes(
+    s: Sequence[Element], i: int, u: Sequence[Element], j: int
+) -> bool:
+    """``S[i] == U[j]``: the prefixes reconstitute to the same TDB."""
+    return reconstitute(s[:i]) == reconstitute(u[:j])
+
+
+def prefix_equivalent_open_close(
+    s: Sequence[OCElement], u: Sequence[OCElement]
+) -> bool:
+    """Equivalence for Example 3's open/close dialect."""
+    return reconstitute_open_close(s) == reconstitute_open_close(u)
+
+
+def open_close_compatible(
+    output_prefix: Iterable[OCElement], input_prefix: Iterable[OCElement]
+) -> bool:
+    """Example 4: ``O[j]`` compatible with ``I[k]`` iff ``O[j] subset I[k]``.
+
+    Holds for streams of open/close elements where each ``open`` has at
+    most one ``close``.  Sub-multiset containment is both sufficient (any
+    input extension ``E`` gives output extension ``F:E`` with ``O:F == I``)
+    and necessary (an output element absent from the input contradicts
+    ``I[k]`` extended by nothing, or by a different close).
+
+    For a set of mutually consistent inputs, ``O[j]`` is compatible exactly
+    when ``O[j] subset union(I)``: call with the concatenation of the input
+    prefixes.
+    """
+    return not Counter(output_prefix) - Counter(input_prefix)

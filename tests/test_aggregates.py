@@ -1,0 +1,291 @@
+"""Tests for the windowed aggregates and Cleanse."""
+
+import pytest
+
+from repro.engine.operator import CollectorSink
+from repro.operators.aggregate import (
+    AggregateMode,
+    GroupedCount,
+    TopK,
+    WindowedCount,
+)
+from repro.operators.cleanse import Cleanse
+from repro.streams.properties import measure_properties
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Adjust, Insert, Stable
+from repro.temporal.event import Event
+from repro.temporal.tdb import TDB
+from repro.temporal.time import INFINITY
+
+from conftest import small_stream
+
+
+def run_through(operator, elements):
+    sink = CollectorSink()
+    operator.subscribe(sink)
+    for element in elements:
+        operator.receive(element, 0)
+    return sink.stream
+
+
+class TestWindowedCountConservative:
+    def test_counts_per_window(self):
+        out = run_through(
+            WindowedCount(window=10),
+            [
+                Insert("a", 1, 5),
+                Insert("b", 3, 8),
+                Insert("c", 12, 20),
+                Stable(INFINITY),
+            ],
+        )
+        assert out.tdb() == TDB([Event(0, 2, 10), Event(10, 1, 20)])
+
+    def test_nothing_emitted_before_window_closes(self):
+        out = run_through(
+            WindowedCount(window=10), [Insert("a", 1, 5), Stable(9)]
+        )
+        assert out.count_inserts() == 0
+
+    def test_window_closes_when_stable_passes_end(self):
+        out = run_through(
+            WindowedCount(window=10), [Insert("a", 1, 5), Stable(10)]
+        )
+        assert out.count_inserts() == 1
+
+    def test_output_stable_capped_to_window_start(self):
+        out = run_through(WindowedCount(window=10), [Insert("a", 1, 5), Stable(17)])
+        assert out.max_stable() == 10
+
+    def test_input_cancel_decrements(self):
+        out = run_through(
+            WindowedCount(window=10),
+            [
+                Insert("a", 1, 5),
+                Insert("b", 2, 5),
+                Adjust("a", 1, 5, 1),
+                Stable(INFINITY),
+            ],
+        )
+        assert out.tdb() == TDB([Event(0, 1, 10)])
+
+    def test_strictly_increasing_output(self):
+        reference = small_stream(count=500, seed=51, disorder=0.3)
+        out = run_through(WindowedCount(window=100), reference)
+        properties = measure_properties(out)
+        assert properties.strictly_increasing
+        assert properties.insert_only
+
+
+class TestWindowedCountAggressive:
+    def test_running_count_with_revisions(self):
+        out = run_through(
+            WindowedCount(window=10, mode=AggregateMode.AGGRESSIVE),
+            [Insert("a", 1, 5), Insert("b", 3, 8), Stable(INFINITY)],
+        )
+        elements = list(out)
+        # First event: insert(1).  Second: cancel(1), insert(2).
+        assert elements[0] == Insert(1, 0, 10)
+        assert elements[1] == Adjust(1, 0, 10, 0)
+        assert elements[2] == Insert(2, 0, 10)
+        assert out.tdb() == TDB([Event(0, 2, 10)])
+
+    def test_aggressive_equals_conservative_logically(self):
+        reference = small_stream(count=600, seed=52, disorder=0.25)
+        conservative = run_through(WindowedCount(window=100), reference)
+        aggressive = run_through(
+            WindowedCount(window=100, mode=AggregateMode.AGGRESSIVE), reference
+        )
+        assert conservative.tdb() == aggressive.tdb()
+
+    def test_aggressive_output_is_valid_stream(self):
+        reference = small_stream(count=600, seed=53, disorder=0.4)
+        out = run_through(
+            WindowedCount(window=100, mode=AggregateMode.AGGRESSIVE), reference
+        )
+        out.tdb()  # strict
+
+    def test_aggressive_emits_before_stable(self):
+        out = run_through(
+            WindowedCount(window=10, mode=AggregateMode.AGGRESSIVE),
+            [Insert("a", 1, 5)],
+        )
+        assert out.count_inserts() == 1  # no punctuation needed
+
+    def test_memory_tracks_open_windows(self):
+        operator = WindowedCount(window=10)
+        run_through(operator, [Insert("a", 1, 5), Insert("b", 15, 20)])
+        assert operator.memory_bytes() > 0
+        operator.on_stable(INFINITY, 0)
+        assert operator.memory_bytes() == 0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            WindowedCount(window=0)
+
+
+class TestGroupedCount:
+    def test_per_group_counts(self):
+        out = run_through(
+            GroupedCount(window=10, key_fn=lambda p: p[0]),
+            [
+                Insert(("g1", 1), 1, 5),
+                Insert(("g1", 2), 2, 5),
+                Insert(("g2", 3), 3, 5),
+                Stable(INFINITY),
+            ],
+        )
+        assert out.tdb() == TDB([Event(0, ("g1", 2), 10), Event(0, ("g2", 1), 10)])
+
+    def test_same_vs_multiple_groups(self):
+        out = run_through(
+            GroupedCount(window=10, key_fn=lambda p: p[0]),
+            [Insert(("a", 1), 1, 5), Insert(("b", 1), 2, 5), Stable(INFINITY)],
+        )
+        inserts = [e for e in out if isinstance(e, Insert)]
+        assert len({e.vs for e in inserts}) == 1  # both share the window Vs
+
+    def test_aggressive_grouped_equals_conservative(self):
+        reference = small_stream(count=500, seed=54, disorder=0.3)
+        conservative = run_through(
+            GroupedCount(window=100, key_fn=lambda p: p[0] % 5), reference
+        )
+        aggressive = run_through(
+            GroupedCount(
+                window=100,
+                key_fn=lambda p: p[0] % 5,
+                mode=AggregateMode.AGGRESSIVE,
+            ),
+            reference,
+        )
+        assert conservative.tdb() == aggressive.tdb()
+
+    def test_cancel_adjusts_group(self):
+        out = run_through(
+            GroupedCount(window=10, key_fn=lambda p: p[0]),
+            [
+                Insert(("g", 1), 1, 5),
+                Adjust(("g", 1), 1, 5, 1),
+                Stable(INFINITY),
+            ],
+        )
+        assert len(out.tdb()) == 0
+
+
+class TestTopK:
+    def test_rank_order_output(self):
+        out = run_through(
+            TopK(window=10, k=2, score_fn=lambda p: p[1]),
+            [
+                Insert(("a", 10), 1, 5),
+                Insert(("b", 30), 2, 5),
+                Insert(("c", 20), 3, 5),
+                Stable(INFINITY),
+            ],
+        )
+        inserts = [e for e in out if isinstance(e, Insert)]
+        assert [e.payload for e in inserts] == [
+            (1, ("b", 30)),
+            (2, ("c", 20)),
+        ]
+
+    def test_fewer_than_k(self):
+        out = run_through(
+            TopK(window=10, k=5, score_fn=lambda p: p[1]),
+            [Insert(("a", 10), 1, 5), Stable(INFINITY)],
+        )
+        assert out.count_inserts() == 1
+
+    def test_deterministic_under_score_ties(self):
+        elements = [
+            Insert(("x", 10), 1, 5),
+            Insert(("y", 10), 2, 5),
+            Stable(INFINITY),
+        ]
+        first = run_through(TopK(window=10, k=2, score_fn=lambda p: p[1]), elements)
+        second = run_through(
+            TopK(window=10, k=2, score_fn=lambda p: p[1]), list(reversed(elements[:2])) + [Stable(INFINITY)]
+        )
+        assert list(first) == list(second)
+
+    def test_cancel_removes_candidate(self):
+        out = run_through(
+            TopK(window=10, k=1, score_fn=lambda p: p[1]),
+            [
+                Insert(("a", 99), 1, 5),
+                Adjust(("a", 99), 1, 5, 1),
+                Insert(("b", 10), 2, 5),
+                Stable(INFINITY),
+            ],
+        )
+        inserts = [e for e in out if isinstance(e, Insert)]
+        assert [e.payload for e in inserts] == [(1, ("b", 10))]
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            TopK(window=10, k=0, score_fn=lambda p: 0)
+
+
+class TestCleanse:
+    def test_orders_disordered_input(self):
+        reference = small_stream(count=500, seed=55, disorder=0.5)
+        out = run_through(Cleanse(), reference)
+        assert measure_properties(out).ordered
+        assert measure_properties(out).insert_only
+
+    def test_logical_equivalence(self):
+        reference = small_stream(count=500, seed=55, disorder=0.5)
+        out = run_through(Cleanse(), reference)
+        assert out.tdb() == reference.tdb()
+
+    def test_absorbs_revisions(self):
+        out = run_through(
+            Cleanse(),
+            [
+                Insert("a", 1, 10),
+                Adjust("a", 1, 10, 5),
+                Stable(INFINITY),
+            ],
+        )
+        assert list(out.data_elements()) == [Insert("a", 1, 5)]
+
+    def test_cancelled_event_never_released(self):
+        out = run_through(
+            Cleanse(),
+            [Insert("a", 1, 10), Adjust("a", 1, 10, 1), Stable(INFINITY)],
+        )
+        assert out.count_inserts() == 0
+
+    def test_holds_until_fully_frozen(self):
+        operator = Cleanse()
+        out = run_through(operator, [Insert("a", 1, 10), Stable(5)])
+        assert out.count_inserts() == 0  # Ve=10 not yet frozen
+        assert operator.buffered == 1
+        operator.on_stable(11, 0)
+        assert operator.buffered == 0
+
+    def test_long_lived_event_blocks_later_releases(self):
+        """Strict order: a frozen event may not jump an unfrozen
+        smaller-Vs event."""
+        operator = Cleanse()
+        sink = CollectorSink()
+        operator.subscribe(sink)
+        operator.receive(Insert("long", 1, 100), 0)
+        operator.receive(Insert("short", 5, 10), 0)
+        operator.receive(Stable(50), 0)
+        # "short" is frozen but must wait for "long" (Vs=1, unfrozen).
+        assert sink.stream.count_inserts() == 0
+        assert sink.stream.max_stable() <= 1
+        operator.receive(Stable(101), 0)
+        payloads = [e.payload for e in sink.stream.data_elements()]
+        assert payloads == ["long", "short"]
+        sink.stream.tdb()  # output is a valid stream
+
+    def test_memory_grows_with_buffer(self):
+        operator = Cleanse()
+        run_through(
+            operator,
+            [Insert("x" * 100, i, i + 50) for i in range(20)],
+        )
+        assert operator.memory_bytes() > 20 * 100
+        assert operator.peak_buffered == 20

@@ -1,0 +1,141 @@
+"""The trivial counting merge (Section I): correct only for identical
+sequences, and demonstrably broken under failures — the paper's
+motivation for LMerge."""
+
+import pytest
+
+from repro.lmerge.counting import CountingMerge
+from repro.lmerge.r3 import LMergeR3
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Insert, Stable
+from repro.temporal.time import INFINITY
+
+from conftest import small_stream
+
+
+def identical_stream():
+    return small_stream(count=200, seed=81, disorder=0.0)
+
+
+class TestHappyPath:
+    def test_identical_streams_merge_exactly(self):
+        stream = identical_stream()
+        merge = CountingMerge()
+        output = merge.merge([stream, stream, stream], schedule="round_robin")
+        assert list(output) == list(stream)
+
+    def test_random_interleave_still_exact(self):
+        stream = identical_stream()
+        merge = CountingMerge()
+        output = merge.merge([stream, stream], schedule="random", seed=4)
+        assert list(output) == list(stream)
+
+    def test_lead_changes_between_inputs(self):
+        merge = CountingMerge()
+        merge.attach(0)
+        merge.attach(1)
+        merge.process(Insert("a", 1), 0)  # 0 leads
+        merge.process(Insert("a", 1), 1)
+        merge.process(Insert("b", 2), 1)  # 1 takes the lead
+        merge.process(Insert("b", 2), 0)
+        assert [e.payload for e in merge.output.data_elements()] == ["a", "b"]
+
+    def test_constant_memory(self):
+        merge = CountingMerge()
+        merge.attach(0)
+        for index in range(100):
+            merge.process(Insert(("p", index), index, index + 1), 0)
+        assert merge.memory_bytes() <= 16 + 8
+
+
+class TestFailureModes:
+    """Section I-B.4: 'the trivial counting merge outlined earlier for
+    simple streams does not work correctly when failures exist.'"""
+
+    def test_gap_causes_missing_elements(self):
+        """A re-attaching input that skipped elements keeps counting from
+        its old position: the merge silently drops stream content."""
+        stream = identical_stream()
+        merge = CountingMerge()
+        merge.attach(0)
+        merge.attach(1)
+        half = len(stream) // 2
+        # Input 0 delivers the first half, then dies.
+        for element in stream[:half]:
+            merge.process(element, 0)
+        merge.detach(0)
+        # Input 1 restarts *from the gap's end* (it lost its backlog):
+        # its counter starts at zero, so the merge swallows the second
+        # half's first `half` elements as "already seen".
+        skip = 20
+        for element in stream[half + skip :]:
+            merge.process(element, 1)
+        counted_output = merge.output
+        # The elements in the gap are gone AND further elements were
+        # wrongly dropped: the output is NOT the logical stream.
+        assert counted_output.tdb() != stream.tdb()
+        assert counted_output.count_inserts() < stream.count_inserts() - skip
+
+    def test_rewind_causes_duplicates(self):
+        """An input that silently restarts and re-delivers history pushes
+        its counter past the maximum: the merge emits every element a
+        second time."""
+        stream = identical_stream()
+        merge = CountingMerge()
+        merge.attach(0)
+        merge.attach(1)
+        for element in stream:
+            merge.process(element, 0)
+        # Input 0's process crashes and reprocesses its input from the
+        # start — the merge has no way to know (same connection id).
+        for element in stream:
+            merge.process(element, 0)
+        assert merge.output.count_inserts() == 2 * stream.count_inserts()
+        # Worse than duplication: the replay lands *behind* the already-
+        # emitted stable(inf), so the output is not even a valid stream.
+        from repro.temporal.tdb import StreamViolationError
+
+        with pytest.raises(StreamViolationError):
+            merge.output.tdb()
+
+    def test_lmerge_handles_the_same_schedules(self):
+        """The contrast: LMR3+ under the exact same failure schedules
+        stays correct."""
+        stream = identical_stream()
+        # Gap schedule:
+        merge = LMergeR3()
+        merge.attach(0)
+        merge.attach(1)
+        half = len(stream) // 2
+        for element in stream[:half]:
+            merge.process(element, 0)
+        # Input 1 catches up fully before 0 dies (it was merely slower).
+        for element in stream:
+            merge.process(element, 1)
+        merge.detach(0)
+        assert merge.output.tdb() == stream.tdb()
+        # Rewind schedule:
+        merge = LMergeR3()
+        merge.attach(0)
+        for element in stream:
+            merge.process(element, 0)
+        merge.detach(0)
+        merge.attach(0, guarantee_from=merge.max_stable)
+        for element in stream:
+            merge.process(element, 0)
+        assert merge.output.tdb() == stream.tdb()
+
+
+class TestDisorderBreaksCounting:
+    def test_divergent_orders_mismerge(self):
+        """Counting also fails on mere reordering (no failures at all)."""
+        from repro.streams.divergence import diverge
+
+        reference = small_stream(count=200, seed=82, disorder=0.3)
+        inputs = [diverge(reference, seed=i) for i in range(2)]
+        merge = CountingMerge()
+        # A lead-alternating arrival order zips positions from two
+        # different physical orders: the result omits some elements and
+        # duplicates others.
+        output = merge.merge(inputs, schedule="random", seed=1)
+        assert output.tdb(strict=False) != reference.tdb()

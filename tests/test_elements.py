@@ -1,0 +1,102 @@
+"""Tests for repro.temporal.elements."""
+
+import pytest
+
+from repro.temporal.elements import (
+    Adjust,
+    Close,
+    Insert,
+    Open,
+    Stable,
+    element_sort_key,
+)
+from repro.temporal.time import INFINITY
+
+
+class TestInsert:
+    def test_basic(self):
+        element = Insert("A", 5, 10)
+        assert element.key == (5, "A")
+        assert element.to_event().ve == 10
+
+    def test_default_infinite_end(self):
+        assert Insert("A", 5).ve == INFINITY
+
+    def test_rejects_empty_lifetime(self):
+        with pytest.raises(ValueError):
+            Insert("A", 5, 5)
+
+    def test_rejects_infinite_start(self):
+        with pytest.raises(ValueError):
+            Insert("A", INFINITY)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Insert("A", 5, 10).vs = 6
+
+
+class TestAdjust:
+    def test_basic(self):
+        element = Adjust("A", 5, 10, 12)
+        assert element.key == (5, "A")
+        assert not element.is_cancel
+
+    def test_cancel(self):
+        assert Adjust("A", 5, 10, 5).is_cancel
+
+    def test_can_extend_to_infinity(self):
+        assert Adjust("A", 5, 10, INFINITY).ve == INFINITY
+
+    def test_can_shrink_from_infinity(self):
+        assert Adjust("A", 5, INFINITY, 10).v_old == INFINITY
+
+    def test_rejects_vold_at_vs(self):
+        # The adjusted event must have had a non-empty lifetime.
+        with pytest.raises(ValueError):
+            Adjust("A", 5, 5, 10)
+
+    def test_rejects_ve_before_vs(self):
+        with pytest.raises(ValueError):
+            Adjust("A", 5, 10, 4)
+
+
+class TestStable:
+    def test_basic(self):
+        assert Stable(10).vc == 10
+
+    def test_infinity_allowed(self):
+        assert Stable(INFINITY).vc == INFINITY
+
+    def test_minus_infinity_rejected(self):
+        with pytest.raises(ValueError):
+            Stable(-INFINITY)
+
+
+class TestOpenClose:
+    def test_open(self):
+        assert Open("A", 3).vs == 3
+
+    def test_open_rejects_infinite_start(self):
+        with pytest.raises(ValueError):
+            Open("A", INFINITY)
+
+    def test_close(self):
+        assert Close("A", 9).ve == 9
+
+
+class TestSortKey:
+    def test_data_before_punctuation_at_same_instant(self):
+        insert = Insert("A", 5, 10)
+        adjust = Adjust("A", 5, 10, 12)
+        stable = Stable(5)
+        keys = sorted(
+            [stable, adjust, insert], key=element_sort_key
+        )
+        assert keys == [insert, adjust, stable]
+
+    def test_time_order_dominates(self):
+        assert element_sort_key(Stable(4)) < element_sort_key(Insert("A", 5))
+
+    def test_rejects_non_elements(self):
+        with pytest.raises(TypeError):
+            element_sort_key("not an element")

@@ -1,0 +1,102 @@
+"""Tests for repro.temporal.event."""
+
+import pytest
+
+from repro.temporal.event import Event, FreezeStatus, freeze_status
+from repro.temporal.time import INFINITY, MINUS_INFINITY
+
+
+class TestEventConstruction:
+    def test_basic(self):
+        event = Event(5, "A", 10)
+        assert event.vs == 5
+        assert event.payload == "A"
+        assert event.ve == 10
+
+    def test_default_end_is_infinity(self):
+        assert Event(5, "A").ve == INFINITY
+
+    def test_key(self):
+        assert Event(5, "A", 10).key == (5, "A")
+
+    def test_rejects_empty_lifetime(self):
+        with pytest.raises(ValueError):
+            Event(5, "A", 5)
+
+    def test_rejects_reversed_lifetime(self):
+        with pytest.raises(ValueError):
+            Event(5, "A", 3)
+
+    def test_rejects_infinite_start(self):
+        with pytest.raises(ValueError):
+            Event(INFINITY, "A")
+
+    def test_rejects_non_numeric_times(self):
+        with pytest.raises(TypeError):
+            Event("5", "A", 10)
+
+    def test_immutable(self):
+        event = Event(5, "A", 10)
+        with pytest.raises(AttributeError):
+            event.ve = 12
+
+    def test_equality_and_hash(self):
+        assert Event(5, "A", 10) == Event(5, "A", 10)
+        assert Event(5, "A", 10) != Event(5, "A", 11)
+        assert hash(Event(5, "A", 10)) == hash(Event(5, "A", 10))
+
+    def test_ordering_by_vs_then_payload(self):
+        assert Event(1, "B") < Event(2, "A")
+        assert Event(1, "A") < Event(1, "B")
+
+
+class TestEventQueries:
+    def test_with_end(self):
+        assert Event(5, "A", 10).with_end(12) == Event(5, "A", 12)
+
+    def test_active_at_inside(self):
+        assert Event(5, "A", 10).active_at(5)
+        assert Event(5, "A", 10).active_at(9)
+
+    def test_active_at_boundary_exclusive(self):
+        assert not Event(5, "A", 10).active_at(10)
+
+    def test_active_before_start(self):
+        assert not Event(5, "A", 10).active_at(4)
+
+    def test_infinite_event_always_active_after_start(self):
+        assert Event(5, "A").active_at(10**12)
+
+    def test_overlaps(self):
+        event = Event(5, "A", 10)
+        assert event.overlaps(0, 6)
+        assert event.overlaps(9, 20)
+        assert not event.overlaps(10, 20)  # half-open: no touch at Ve
+        assert not event.overlaps(0, 5)  # half-open: no touch at Vs
+
+
+class TestFreezeStatus:
+    """Section III-C definitions relative to a stable point Vc."""
+
+    def test_unfrozen_when_no_stable(self):
+        assert freeze_status(Event(5, "A", 10), MINUS_INFINITY) is FreezeStatus.UNFROZEN
+
+    def test_unfrozen_when_stable_at_vs(self):
+        # Vc <= Vs: the event may still be removed entirely.
+        assert freeze_status(Event(5, "A", 10), 5) is FreezeStatus.UNFROZEN
+
+    def test_half_frozen_inside_lifetime(self):
+        assert freeze_status(Event(5, "A", 10), 7) is FreezeStatus.HALF_FROZEN
+
+    def test_half_frozen_at_ve(self):
+        # Vs < Vc <= Ve is HF (the end can still move up, not below Vc).
+        assert freeze_status(Event(5, "A", 10), 10) is FreezeStatus.HALF_FROZEN
+
+    def test_fully_frozen_past_ve(self):
+        assert freeze_status(Event(5, "A", 10), 11) is FreezeStatus.FULLY_FROZEN
+
+    def test_infinite_event_never_fully_frozen(self):
+        assert freeze_status(Event(5, "A"), 10**15) is FreezeStatus.HALF_FROZEN
+
+    def test_stable_infinity_freezes_finite_events(self):
+        assert freeze_status(Event(5, "A", 10), INFINITY) is FreezeStatus.FULLY_FROZEN

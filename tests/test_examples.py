@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example asserts its own correctness internally (logical equivalence
+checks); these tests keep them green and their printed claims honest.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate what they show"
+
+
+def test_all_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "datacenter_monitoring",
+        "congestion_masking",
+        "plan_switching_feedback",
+        "stock_ticker",
+        "query_jumpstart",
+    } <= names

@@ -1,0 +1,128 @@
+"""Randomized failure sequences.
+
+The strongest HA property tests: random interleaves of three divergent
+replicas with random detach / re-attach events.
+
+* With PAUSE recovery (the replica resumes where it stopped), every
+  input prefix remains a true prefix of the reference stream, so the
+  full C1-C3 oracle applies at every stable — including the detached
+  replica's final prefix, which remains a valid witness (its frozen
+  content still constrains every consistent future).
+* With GAP recovery (the replica loses its backlog) the gapped prefix is
+  no longer a reference prefix, so only the end-to-end guarantee is
+  checked: as long as replica 0 survives throughout, the merged output
+  is the logical stream.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lmerge.r3 import LMergeR3
+from repro.lmerge.r4 import LMergeR4
+from repro.temporal.elements import Stable
+from repro.temporal.tdb import TDB
+from repro.theory.compatibility import check_r3_compatibility
+
+from conftest import divergent_inputs, small_stream
+
+
+def run_with_failures(merge_cls, seed, n_failures, gap, oracle):
+    rng = random.Random(seed)
+    reference = small_stream(count=180, seed=seed % 19, stable_freq=0.08)
+    # Gap recovery loses arbitrary elements; with speculation the gapped
+    # replica could freeze a transient value, so the gap variant runs on
+    # revision-free inputs (the paper's Section V-C regime).
+    speculate = 0.0 if gap else 0.3
+    inputs = divergent_inputs(reference, n=3, speculate_fraction=speculate)
+    merge = merge_cls()
+    cursors = [0, 0, 0]
+    attached = [True, True, True]
+    for stream_id in range(3):
+        merge.attach(stream_id)
+    input_tdbs = [TDB() for _ in inputs]
+    output_tdb = TDB()
+    out_cursor = 0
+    # Failure plan: replica 0 never fails, guaranteeing coverage.
+    failures = [
+        (rng.choice([1, 2]), rng.randint(20, 400), rng.randint(10, 80))
+        for _ in range(n_failures)
+    ]
+    down_until = {}
+    step = 0
+    while any(cursors[i] < len(inputs[i]) for i in range(3) if attached[i]):
+        step += 1
+        for victim, at_step, down in failures:
+            if step == at_step and attached[victim]:
+                merge.detach(victim)
+                attached[victim] = False
+                down_until[victim] = step + down
+        for victim, recover_at in list(down_until.items()):
+            if step >= recover_at and not attached[victim]:
+                if gap:
+                    # The replica lost its backlog: it cannot vouch for
+                    # any fixed horizon, so it joins with an infinite
+                    # guarantee point (it may drive progress but never
+                    # overrules content it might have missed).
+                    from repro.temporal.time import INFINITY
+
+                    merge.attach(victim, guarantee_from=INFINITY)
+                    cursors[victim] = min(
+                        len(inputs[victim]), cursors[victim] + recover_at // 4
+                    )
+                else:
+                    # Pause-resume: nothing was lost; state retained.
+                    merge.attach(victim, guarantee_from=merge.max_stable)
+                attached[victim] = True
+                del down_until[victim]
+        live = [
+            i for i in range(3) if attached[i] and cursors[i] < len(inputs[i])
+        ]
+        if not live:
+            break
+        stream_id = rng.choice(live)
+        element = inputs[stream_id][cursors[stream_id]]
+        cursors[stream_id] += 1
+        merge.process(element, stream_id)
+        # Gapped replicas deliver orphan adjusts (their inserts were
+        # skipped); track their TDBs leniently.
+        if gap:
+            input_tdbs[stream_id].strict = False
+        input_tdbs[stream_id].apply(element)
+        while out_cursor < len(merge.output):
+            output_tdb.apply(merge.output[out_cursor])
+            out_cursor += 1
+        if oracle and isinstance(element, Stable):
+            # All prefixes — including detached replicas' final ones —
+            # are valid witnesses under PAUSE semantics.
+            violations = check_r3_compatibility(input_tdbs, output_tdb)
+            assert not violations, "; ".join(str(v) for v in violations)
+    return merge, reference.tdb()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6), n_failures=st.integers(0, 2))
+def test_r3_pause_failures_with_oracle(seed, n_failures):
+    merge, reference_tdb = run_with_failures(
+        LMergeR3, seed, n_failures, gap=False, oracle=True
+    )
+    assert merge.output.tdb() == reference_tdb
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6), n_failures=st.integers(1, 3))
+def test_r3_gap_failures_final_equivalence(seed, n_failures):
+    merge, reference_tdb = run_with_failures(
+        LMergeR3, seed, n_failures, gap=True, oracle=False
+    )
+    assert merge.output.tdb() == reference_tdb
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6), n_failures=st.integers(0, 2))
+def test_r4_pause_failures(seed, n_failures):
+    merge, reference_tdb = run_with_failures(
+        LMergeR4, seed, n_failures, gap=False, oracle=False
+    )
+    assert merge.output.tdb() == reference_tdb

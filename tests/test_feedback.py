@@ -1,0 +1,144 @@
+"""Tests for feedback signalling and fast-forward (Section V-D)."""
+
+import pytest
+
+from repro.engine.operator import CollectorSink
+from repro.engine.query import Query, play_together
+from repro.lmerge.feedback import FeedbackPolicy, FeedbackSignal
+from repro.lmerge.r3 import LMergeR3
+from repro.operators.select import Filter
+from repro.operators.source import StreamSource
+from repro.operators.udf import UdfFilter, ValueBandCost
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Insert, Stable
+from repro.temporal.time import INFINITY
+
+from conftest import divergent_inputs, small_stream
+
+
+class TestFeedbackSignal:
+    def test_covers(self):
+        signal = FeedbackSignal(horizon=50)
+        assert signal.covers(49)
+        assert not signal.covers(50)
+
+    def test_policy_threshold(self):
+        policy = FeedbackPolicy(min_lag=10)
+        assert policy.should_signal(output_stable=100, input_stable=85)
+        assert not policy.should_signal(output_stable=100, input_stable=95)
+
+    def test_default_policy_signals_any_lag(self):
+        policy = FeedbackPolicy()
+        assert policy.should_signal(100, 99)
+        assert not policy.should_signal(100, 100)
+
+
+class TestMergeRaisesFeedback:
+    def test_lagging_inputs_receive_signal(self):
+        merge = LMergeR3()
+        merge.attach(0)
+        merge.attach(1)
+        signals = []
+        merge.add_feedback_listener(
+            lambda stream_id, t: signals.append((stream_id, t))
+        )
+        merge.process(Stable(50), 0)
+        # Stream 1 trails: it should be told to fast-forward to 50.
+        assert (1, 50) in signals
+        assert (0, 50) not in signals
+
+    def test_no_listener_no_cost(self):
+        merge = LMergeR3()
+        merge.attach(0)
+        merge.process(Stable(50), 0)  # must not raise
+
+
+class TestSourceFastForward:
+    def test_source_skips_covered_elements(self):
+        stream = PhysicalStream(
+            [Insert("old", 1, 5), Insert("live", 60, 70), Stable(INFINITY)]
+        )
+        source = StreamSource(stream)
+        sink = CollectorSink()
+        source.subscribe(sink)
+        source.on_feedback(FeedbackSignal(50))
+        source.play()
+        payloads = [e.payload for e in sink.stream.data_elements()]
+        assert payloads == ["live"]
+        assert source.skipped == 1
+
+    def test_stables_never_skipped(self):
+        stream = PhysicalStream([Stable(10), Stable(INFINITY)])
+        source = StreamSource(stream)
+        sink = CollectorSink()
+        source.subscribe(sink)
+        source.on_feedback(FeedbackSignal(50))
+        source.play()
+        assert sink.stream.count_stables() == 2
+
+
+class TestUdfFastForward:
+    def test_udf_skips_covered_work(self):
+        udf = UdfFilter(lambda p: True)
+        sink = CollectorSink()
+        udf.subscribe(sink)
+        udf.on_feedback(FeedbackSignal(50))
+        udf.receive(Insert("old", 1, 5), 0)
+        udf.receive(Insert("live", 60, 70), 0)
+        assert udf.skipped == 1
+        assert udf.evaluated == 1
+
+    def test_cost_model_respects_horizon(self):
+        cost = ValueBandCost(threshold=200, below_cost=5.0, above_cost=0.1)
+        udf = UdfFilter(lambda p: True, cost_model=cost)
+        assert udf.cost(Insert((100, 0, ""), 1, 5)) == 5.0
+        assert udf.cost(Insert((300, 0, ""), 1, 5)) == 0.1
+        udf.on_feedback(FeedbackSignal(50))
+        assert udf.cost(Insert((100, 0, ""), 1, 5)) == 0.0
+
+    def test_feedback_propagates_upstream(self):
+        stream = PhysicalStream([Insert("old", 1, 5), Stable(INFINITY)])
+        source = StreamSource(stream)
+        udf = UdfFilter(lambda p: True)
+        source.subscribe(udf)
+        udf.on_feedback(FeedbackSignal(50))
+        sink = CollectorSink()
+        udf.subscribe(sink)
+        source.play()
+        assert source.skipped == 1  # the signal reached the source
+
+    def test_filter_default_propagation(self):
+        """Operators without fast-forward state still forward the signal."""
+        stream = PhysicalStream([Insert("old", 1, 5), Stable(INFINITY)])
+        source = StreamSource(stream)
+        middle = Filter(lambda p: True)
+        source.subscribe(middle)
+        middle.on_feedback(FeedbackSignal(50))
+        source.play()
+        assert source.skipped == 1
+
+
+class TestEndToEndFastForward:
+    def test_merged_plans_with_feedback_skip_work_and_stay_correct(self):
+        reference = small_stream(count=400, seed=71, stable_freq=0.1)
+        inputs = divergent_inputs(reference, n=3)
+        replicas = [Query.from_stream(s) for s in inputs]
+        merge = Query.merge_with(replicas, feedback=True)
+        # Sequential play: replica 0 finishes first, so 1 and 2 get
+        # fast-forwarded over everything replica 0 already froze.
+        for replica in replicas:
+            replica.play()
+        assert merge.output.tdb() == reference.tdb()
+        skipped = sum(r._sources()[0].skipped for r in replicas)
+        assert skipped > 0
+
+    def test_without_feedback_nothing_skipped(self):
+        reference = small_stream(count=400, seed=71, stable_freq=0.1)
+        inputs = divergent_inputs(reference, n=3)
+        replicas = [Query.from_stream(s) for s in inputs]
+        merge = Query.merge_with(replicas, feedback=False)
+        for replica in replicas:
+            replica.play()
+        assert merge.output.tdb() == reference.tdb()
+        skipped = sum(r._sources()[0].skipped for r in replicas)
+        assert skipped == 0

@@ -1,0 +1,141 @@
+"""Tests for the synthetic stream generator (Section VI-B knobs)."""
+
+import pytest
+
+from repro.streams.generator import GeneratorConfig, StreamGenerator
+from repro.streams.properties import Restriction, classify, measure_properties
+from repro.temporal.elements import Insert, Stable
+from repro.temporal.time import INFINITY
+
+
+def generate(**kwargs):
+    defaults = dict(count=1000, payload_blob_bytes=4, seed=1)
+    defaults.update(kwargs)
+    generator = StreamGenerator(GeneratorConfig(**defaults))
+    return generator, generator.generate()
+
+
+class TestConfigValidation:
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(count=0)
+
+    def test_rejects_bad_stable_freq(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(stable_freq=1.5)
+
+    def test_rejects_bad_disorder(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(disorder=-0.1)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(event_duration=0)
+
+    def test_rejects_min_gap_above_max_gap(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_gap=30, max_gap=20)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        _, first = generate(seed=9)
+        _, second = generate(seed=9)
+        assert first == second
+
+    def test_different_seed_different_stream(self):
+        _, first = generate(seed=9)
+        _, second = generate(seed=10)
+        assert first != second
+
+
+class TestShape:
+    def test_element_count(self):
+        _, stream = generate(count=500)
+        # final stable(inf) is appended on top of the requested count
+        assert len(stream) == 501
+
+    def test_final_stable_is_infinity(self):
+        _, stream = generate()
+        assert stream[-1] == Stable(INFINITY)
+
+    def test_no_final_stable_when_disabled(self):
+        _, stream = generate(final_stable=False)
+        assert not (isinstance(stream[-1], Stable) and stream[-1].vc == INFINITY)
+
+    def test_stream_is_valid(self):
+        """Reconstitution in strict mode validates the element contract."""
+        _, stream = generate(disorder=0.5, stable_freq=0.1)
+        stream.tdb()  # raises on violation
+
+    def test_event_duration(self):
+        _, stream = generate(event_duration=77)
+        inserts = [e for e in stream if isinstance(e, Insert)]
+        assert all(e.ve - e.vs == 77 for e in inserts)
+
+    def test_payload_fields(self):
+        _, stream = generate(payload_blob_bytes=16, value_range=(0, 10))
+        inserts = [e for e in stream if isinstance(e, Insert)]
+        values = {e.payload[0] for e in inserts}
+        assert values <= set(range(11))
+        sequences = [e.payload[1] for e in inserts]
+        assert sequences == list(range(len(inserts)))  # unique key component
+        assert all(len(e.payload[2]) == 16 for e in inserts)
+
+    def test_key_property_holds(self):
+        _, stream = generate(disorder=0.4)
+        assert stream.tdb().key_is_unique()
+
+
+class TestStableFreq:
+    def test_zero_freq_no_midstream_stables(self):
+        _, stream = generate(stable_freq=0.0)
+        assert stream.count_stables() == 1  # only the final stable(inf)
+
+    def test_higher_freq_more_stables(self):
+        _, sparse = generate(stable_freq=0.01, seed=3)
+        _, dense = generate(stable_freq=0.2, seed=3)
+        assert dense.count_stables() > sparse.count_stables()
+
+    def test_at_least_one_insert_between_stables(self):
+        _, stream = generate(stable_freq=0.5)
+        previous_was_stable = False
+        # The final stable(inf) terminator is exempt: it may follow a
+        # generated stable directly.
+        for element in stream[: len(stream) - 1]:
+            if isinstance(element, Stable):
+                assert not previous_was_stable
+                previous_was_stable = True
+            else:
+                previous_was_stable = False
+
+
+class TestDisorder:
+    def test_zero_disorder_is_ordered(self):
+        _, stream = generate(disorder=0.0)
+        assert measure_properties(stream).ordered
+
+    def test_requested_disorder_roughly_achieved(self):
+        generator, stream = generate(disorder=0.3, count=4000)
+        achieved = generator.stats.achieved_disorder
+        assert 0.2 <= achieved <= 0.35
+        assert not measure_properties(stream).ordered
+
+    def test_disorder_best_effort_under_heavy_stables(self):
+        """The paper's caveat: stables cap achievable disorder."""
+        generator, _ = generate(disorder=0.9, stable_freq=0.45, count=4000)
+        assert generator.stats.achieved_disorder < 0.9
+
+    def test_min_gap_forces_strictly_increasing(self):
+        _, stream = generate(disorder=0.0, min_gap=1)
+        assert classify(measure_properties(stream)) is Restriction.R0
+
+
+class TestGenerateOrdered:
+    def test_ordered_helper_overrides_disorder(self):
+        generator = StreamGenerator(
+            GeneratorConfig(count=500, disorder=0.5, payload_blob_bytes=4)
+        )
+        stream = generator.generate_ordered()
+        assert measure_properties(stream).ordered
+        assert generator.config.disorder == 0.5  # restored

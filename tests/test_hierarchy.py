@@ -1,0 +1,113 @@
+"""Hierarchical LMerge: fragment-level resiliency (Section II)."""
+
+import pytest
+
+from repro.ha.hierarchy import FragmentChain, ReplicatedFragment
+from repro.lmerge.r0 import LMergeR0
+from repro.operators.aggregate import AggregateMode, WindowedCount
+from repro.operators.select import Filter
+
+from conftest import small_stream
+
+
+def filter_fragment(index: int):
+    """Fragment 1: keep even-valued payloads."""
+    return Filter(lambda payload: payload[0] % 2 == 0, name=f"filter[{index}]")
+
+
+def count_fragment(index: int):
+    """Fragment 2: windowed count (conservative)."""
+    return WindowedCount(window=100, name=f"count[{index}]")
+
+
+def reference_output(stream):
+    """The unreplicated pipeline, for comparison."""
+    from repro.engine.query import Query
+
+    return (
+        Query.from_stream(stream)
+        .then(Filter(lambda payload: payload[0] % 2 == 0))
+        .then(WindowedCount(window=100))
+        .run()
+    )
+
+
+class TestReplicatedFragment:
+    def test_merge_algorithm_from_fragment_properties(self):
+        fragment = ReplicatedFragment(count_fragment, replicas=2)
+        # Conservative WindowedCount output is R0: the cheapest merge.
+        assert isinstance(fragment.merge, LMergeR0)
+
+    def test_single_fragment_end_to_end(self):
+        from repro.engine.operator import CollectorSink
+
+        stream = small_stream(count=300, seed=91, disorder=0.0)
+        fragment = ReplicatedFragment(count_fragment, replicas=3)
+        sink = CollectorSink()
+        fragment.output.subscribe(sink)
+        for element in stream:
+            fragment.broadcast(element)
+        expected = reference_output_count_only(stream)
+        assert sink.stream.tdb() == expected.tdb()
+
+    def test_replica_failure_masked(self):
+        from repro.engine.operator import CollectorSink
+
+        stream = small_stream(count=300, seed=92, disorder=0.0)
+        fragment = ReplicatedFragment(count_fragment, replicas=3)
+        sink = CollectorSink()
+        fragment.output.subscribe(sink)
+        half = len(stream) // 2
+        for element in stream[:half]:
+            fragment.broadcast(element)
+        fragment.fail_replica(1)
+        for element in stream[half:]:
+            fragment.broadcast(element)
+        expected = reference_output_count_only(stream)
+        assert sink.stream.tdb() == expected.tdb()
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedFragment(count_fragment, replicas=0)
+
+
+def reference_output_count_only(stream):
+    from repro.engine.query import Query
+
+    return Query.from_stream(stream).then(WindowedCount(window=100)).run()
+
+
+class TestFragmentChain:
+    def test_two_fragment_chain(self):
+        stream = small_stream(count=400, seed=93, disorder=0.0)
+        chain = FragmentChain([filter_fragment, count_fragment], replicas=2)
+        chain.feed(stream)
+        assert chain.output.tdb() == reference_output(stream).tdb()
+
+    def test_one_failure_per_fragment_tolerated(self):
+        """The hierarchy claim: failing one replica of *every* fragment
+        simultaneously still yields the correct end-to-end stream."""
+        stream = small_stream(count=400, seed=94, disorder=0.0)
+        chain = FragmentChain([filter_fragment, count_fragment], replicas=2)
+        third = len(stream) // 3
+        chain.feed(stream[:third])
+        chain.fail(0, 0)  # one filter replica dies
+        chain.fail(1, 1)  # one count replica dies
+        chain.feed(stream[third:])
+        assert chain.output.tdb() == reference_output(stream).tdb()
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            FragmentChain([], replicas=2)
+
+    def test_three_fragments(self):
+        stream = small_stream(count=300, seed=95, disorder=0.0)
+
+        def passthrough(index):
+            return Filter(lambda payload: True, name=f"pass[{index}]")
+
+        chain = FragmentChain(
+            [passthrough, filter_fragment, count_fragment], replicas=3
+        )
+        chain.feed(stream)
+        assert chain.output.tdb() == reference_output(stream).tdb()

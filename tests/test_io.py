@@ -1,0 +1,135 @@
+"""Stream serialization (JSON lines) and the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.streams.io import (
+    dump_stream,
+    element_from_dict,
+    element_to_dict,
+    load_stream,
+    read_stream,
+    save_stream,
+)
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Adjust, Insert, Stable
+from repro.temporal.time import INFINITY
+
+from conftest import small_stream
+
+
+class TestElementCodec:
+    def test_insert_round_trip(self):
+        element = Insert(("a", 1), 5, 10)
+        assert element_from_dict(element_to_dict(element)) == element
+
+    def test_adjust_round_trip(self):
+        element = Adjust("a", 5, 10, 12)
+        assert element_from_dict(element_to_dict(element)) == element
+
+    def test_stable_round_trip(self):
+        assert element_from_dict(element_to_dict(Stable(7))) == Stable(7)
+
+    def test_infinity_round_trip(self):
+        element = Insert("a", 5, INFINITY)
+        encoded = element_to_dict(element)
+        assert encoded["ve"] == "inf"
+        assert element_from_dict(encoded) == element
+
+    def test_nested_tuple_payload(self):
+        element = Insert((("x", 1), 2.5, None), 5, 10)
+        assert element_from_dict(element_to_dict(element)) == element
+
+    def test_unserializable_payload_rejected(self):
+        with pytest.raises(TypeError):
+            element_to_dict(Insert(object(), 1, 2))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            element_from_dict({"t": "mystery"})
+
+
+class TestStreamFiles:
+    def test_round_trip_in_memory(self):
+        stream = small_stream(count=200, seed=130, blob=8)
+        buffer = io.StringIO()
+        written = dump_stream(stream, buffer)
+        assert written == len(stream)
+        buffer.seek(0)
+        loaded = load_stream(buffer)
+        assert list(loaded) == list(stream)
+
+    def test_round_trip_on_disk(self, tmp_path):
+        stream = small_stream(count=100, seed=131, blob=8)
+        path = tmp_path / "stream.jsonl"
+        save_stream(stream, path)
+        loaded = read_stream(path)
+        assert loaded.tdb() == stream.tdb()
+
+    def test_blank_lines_skipped(self):
+        loaded = load_stream(io.StringIO('\n{"t":"stable","vc":5}\n\n'))
+        assert list(loaded) == [Stable(5)]
+
+    def test_bad_line_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            load_stream(io.StringIO('{"t":"stable","vc":5}\n{"nope":1}\n'))
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        from repro.__main__ import main
+
+        return main(list(argv))
+
+    def test_generate_and_inspect(self, tmp_path, capsys):
+        path = tmp_path / "w.jsonl"
+        assert self.run_cli(
+            "generate", str(path), "--count", "500", "--payload-bytes", "4"
+        ) == 0
+        assert self.run_cli("inspect", str(path)) == 0
+        out = capsys.readouterr().out
+        assert "restriction class" in out
+
+    def test_full_pipeline(self, tmp_path, capsys):
+        base = tmp_path / "a.jsonl"
+        variant = tmp_path / "b.jsonl"
+        merged = tmp_path / "m.jsonl"
+        self.run_cli("generate", str(base), "--count", "400",
+                     "--payload-bytes", "4", "--seed", "7")
+        self.run_cli("diverge", str(base), str(variant), "--seed", "1")
+        assert self.run_cli(
+            "merge", str(base), str(variant), "-o", str(merged)
+        ) == 0
+        assert self.run_cli("validate", str(merged)) == 0
+        # The merged file reconstitutes to the base file's TDB.
+        assert read_stream(merged).tdb() == read_stream(base).tdb()
+
+    def test_merge_with_forced_algorithm(self, tmp_path):
+        base = tmp_path / "a.jsonl"
+        merged = tmp_path / "m.jsonl"
+        self.run_cli("generate", str(base), "--count", "300",
+                     "--payload-bytes", "4", "--disorder", "0.3")
+        assert self.run_cli(
+            "merge", str(base), str(base), "-o", str(merged),
+            "--algorithm", "r3",
+        ) == 0
+        assert read_stream(merged).tdb() == read_stream(base).tdb()
+
+    def test_validate_rejects_corrupt_stream(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        bad = PhysicalStream(
+            [Insert("a", 1, 5), Stable(10), Insert("b", 2, 20)]
+        )
+        save_stream(bad, path)
+        assert self.run_cli("validate", str(path)) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_inspect_flags_invalid_stream(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        save_stream(
+            PhysicalStream([Insert("a", 1, 5), Stable(10), Insert("b", 2, 20)]),
+            path,
+        )
+        assert self.run_cli("inspect", str(path)) == 1

@@ -1,0 +1,133 @@
+"""Tests for the symmetric temporal join."""
+
+import pytest
+
+from repro.engine.operator import CollectorSink
+from repro.operators.join import TemporalJoin
+from repro.streams.properties import StreamProperties
+from repro.temporal.elements import Adjust, Insert, Stable
+from repro.temporal.event import Event
+from repro.temporal.tdb import TDB
+from repro.temporal.time import INFINITY
+
+
+def make_join(**kwargs):
+    join = TemporalJoin(**kwargs)
+    sink = CollectorSink()
+    join.subscribe(sink)
+    return join, sink
+
+
+class TestMatching:
+    def test_overlap_produces_intersection(self):
+        join, sink = make_join()
+        join.receive(Insert("L", 0, 10), TemporalJoin.LEFT)
+        join.receive(Insert("R", 5, 15), TemporalJoin.RIGHT)
+        assert list(sink.stream)[-1] == Insert(("L", "R"), 5, 10)
+
+    def test_no_overlap_no_match(self):
+        join, sink = make_join()
+        join.receive(Insert("L", 0, 5), TemporalJoin.LEFT)
+        join.receive(Insert("R", 5, 15), TemporalJoin.RIGHT)
+        assert len(sink.stream) == 0
+
+    def test_containment(self):
+        join, sink = make_join()
+        join.receive(Insert("L", 0, 100), TemporalJoin.LEFT)
+        join.receive(Insert("R", 10, 20), TemporalJoin.RIGHT)
+        assert list(sink.stream)[-1] == Insert(("L", "R"), 10, 20)
+
+    def test_many_to_many(self):
+        join, sink = make_join()
+        join.receive(Insert("L1", 0, 10), TemporalJoin.LEFT)
+        join.receive(Insert("L2", 2, 12), TemporalJoin.LEFT)
+        join.receive(Insert("R", 5, 15), TemporalJoin.RIGHT)
+        assert sink.stream.count_inserts() == 2
+
+    def test_predicate_filters_pairs(self):
+        join, sink = make_join(predicate=lambda l, r: l == r)
+        join.receive(Insert("x", 0, 10), TemporalJoin.LEFT)
+        join.receive(Insert("y", 0, 10), TemporalJoin.RIGHT)
+        assert len(sink.stream) == 0
+        join.receive(Insert("x", 0, 10), TemporalJoin.RIGHT)
+        assert sink.stream.count_inserts() == 1
+
+    def test_custom_combine(self):
+        join, sink = make_join(combine=lambda l, r: l + r)
+        join.receive(Insert(1, 0, 10), TemporalJoin.LEFT)
+        join.receive(Insert(2, 0, 10), TemporalJoin.RIGHT)
+        assert list(sink.stream)[0].payload == 3
+
+
+class TestRevisions:
+    def test_shrinking_input_shrinks_match(self):
+        join, sink = make_join()
+        join.receive(Insert("L", 0, 10), TemporalJoin.LEFT)
+        join.receive(Insert("R", 0, 20), TemporalJoin.RIGHT)
+        join.receive(Adjust("L", 0, 10, 6), TemporalJoin.LEFT)
+        assert sink.stream.tdb() == TDB([Event(0, ("L", "R"), 6)])
+
+    def test_shrinking_to_empty_cancels_match(self):
+        join, sink = make_join()
+        join.receive(Insert("L", 5, 10), TemporalJoin.LEFT)
+        join.receive(Insert("R", 0, 20), TemporalJoin.RIGHT)
+        join.receive(Adjust("R", 0, 20, 5), TemporalJoin.RIGHT)
+        assert len(sink.stream.tdb()) == 0
+
+    def test_growing_input_creates_new_match(self):
+        join, sink = make_join()
+        join.receive(Insert("L", 0, 5), TemporalJoin.LEFT)
+        join.receive(Insert("R", 5, 15), TemporalJoin.RIGHT)
+        assert len(sink.stream) == 0
+        join.receive(Adjust("L", 0, 5, 8), TemporalJoin.LEFT)
+        assert sink.stream.tdb() == TDB([Event(5, ("L", "R"), 8)])
+
+    def test_growing_input_extends_match(self):
+        join, sink = make_join()
+        join.receive(Insert("L", 0, 10), TemporalJoin.LEFT)
+        join.receive(Insert("R", 0, 20), TemporalJoin.RIGHT)
+        join.receive(Adjust("L", 0, 10, 15), TemporalJoin.LEFT)
+        assert sink.stream.tdb() == TDB([Event(0, ("L", "R"), 15)])
+
+    def test_cancel_input_cancels_matches(self):
+        join, sink = make_join()
+        join.receive(Insert("L", 0, 10), TemporalJoin.LEFT)
+        join.receive(Insert("R", 0, 20), TemporalJoin.RIGHT)
+        join.receive(Adjust("L", 0, 10, 0), TemporalJoin.LEFT)
+        assert len(sink.stream.tdb()) == 0
+
+    def test_output_stream_always_valid(self):
+        join, sink = make_join()
+        join.receive(Insert("L", 0, 10), TemporalJoin.LEFT)
+        join.receive(Insert("R", 0, 20), TemporalJoin.RIGHT)
+        join.receive(Adjust("L", 0, 10, 6), TemporalJoin.LEFT)
+        join.receive(Adjust("L", 0, 6, 12), TemporalJoin.LEFT)
+        join.receive(Stable(INFINITY), TemporalJoin.LEFT)
+        join.receive(Stable(INFINITY), TemporalJoin.RIGHT)
+        sink.stream.tdb()  # strict reconstitution
+
+
+class TestPunctuationAndState:
+    def test_stable_is_min_of_sides(self):
+        join, sink = make_join()
+        join.receive(Stable(10), TemporalJoin.LEFT)
+        assert sink.stream.count_stables() == 0
+        join.receive(Stable(6), TemporalJoin.RIGHT)
+        assert list(sink.stream)[-1] == Stable(6)
+
+    def test_state_purged_after_freeze(self):
+        join, sink = make_join()
+        join.receive(Insert("L", 0, 10), TemporalJoin.LEFT)
+        join.receive(Insert("R", 0, 10), TemporalJoin.RIGHT)
+        assert join.memory_bytes() > 0
+        join.receive(Stable(20), TemporalJoin.LEFT)
+        join.receive(Stable(20), TemporalJoin.RIGHT)
+        assert join.memory_bytes() == 0
+
+    def test_properties_keyed_when_inputs_keyed(self):
+        keyed = StreamProperties(key_vs_payload=True)
+        join = TemporalJoin()
+        assert join.derive_properties([keyed, keyed]).key_vs_payload
+        assert not join.derive_properties(
+            [keyed, StreamProperties.unknown()]
+        ).key_vs_payload

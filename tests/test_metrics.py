@@ -1,0 +1,120 @@
+"""Tests for metric probes."""
+
+import pytest
+
+from repro.metrics.collector import (
+    AppTimeLatencyProbe,
+    MemoryProbe,
+    ThroughputTimeline,
+    wall_clock_throughput,
+)
+from repro.temporal.elements import Insert, Stable
+
+
+class TestThroughputTimeline:
+    def test_bucketing(self):
+        timeline = ThroughputTimeline(bucket=1.0)
+        timeline.record(0.2)
+        timeline.record(0.8)
+        timeline.record(2.5)
+        assert timeline.series() == [(0.0, 2), (1.0, 0), (2.0, 1)]
+        assert timeline.total == 3
+
+    def test_rates(self):
+        timeline = ThroughputTimeline(bucket=0.5)
+        timeline.record(0.1, count=5)
+        assert timeline.rates() == [10.0]
+
+    def test_empty_series(self):
+        assert ThroughputTimeline().series() == []
+        assert ThroughputTimeline().coefficient_of_variation() == 0.0
+
+    def test_cv_zero_for_steady_rate(self):
+        timeline = ThroughputTimeline(bucket=1.0)
+        for second in range(10):
+            timeline.record(second + 0.5, count=100)
+        assert timeline.coefficient_of_variation() == pytest.approx(0.0)
+
+    def test_cv_positive_for_bursty_rate(self):
+        timeline = ThroughputTimeline(bucket=1.0)
+        for second in range(10):
+            timeline.record(second + 0.5, count=200 if second % 2 else 1)
+        assert timeline.coefficient_of_variation() > 0.5
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputTimeline(bucket=0)
+
+
+class TestMemoryProbe:
+    def test_sampling_interval(self):
+        values = iter(range(100))
+        probe = MemoryProbe(lambda: next(values), interval=10)
+        for _ in range(35):
+            probe.tick()
+        assert len(probe.samples) == 3
+
+    def test_peak_and_mean(self):
+        values = iter([10, 50, 30])
+        probe = MemoryProbe(lambda: next(values), interval=1)
+        for _ in range(3):
+            probe.tick()
+        assert probe.peak == 50
+        assert probe.mean == pytest.approx(30.0)
+
+    def test_explicit_sample(self):
+        probe = MemoryProbe(lambda: 7, interval=1000)
+        assert probe.sample() == 7
+        assert probe.samples == [7]
+
+    def test_empty_probe(self):
+        probe = MemoryProbe(lambda: 7)
+        assert probe.peak == 0
+        assert probe.mean == 0.0
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            MemoryProbe(lambda: 0, interval=0)
+
+
+class TestAppTimeLatencyProbe:
+    def test_latency_measured_against_frontier(self):
+        probe = AppTimeLatencyProbe()
+        probe.observe_input(Insert("a", 100, 200))
+        probe.observe_output(Insert("a", 90, 200))
+        assert probe.latencies == [10]
+
+    def test_frontier_monotone(self):
+        probe = AppTimeLatencyProbe()
+        probe.observe_input(Insert("a", 100, 200))
+        probe.observe_input(Insert("b", 50, 200))  # disordered: no regression
+        probe.observe_output(Insert("b", 50, 200))
+        assert probe.latencies == [50]
+
+    def test_stables_ignored(self):
+        probe = AppTimeLatencyProbe()
+        probe.observe_input(Stable(500))
+        probe.observe_input(Insert("a", 100, 200))
+        probe.observe_output(Stable(500))
+        assert probe.latencies == []
+
+    def test_percentile_and_mean(self):
+        probe = AppTimeLatencyProbe()
+        probe.observe_input(Insert("x", 100, 200))
+        for vs in (90, 80, 70, 60):
+            probe.observe_output(Insert("y", vs, 200))
+        assert probe.mean == pytest.approx(25.0)
+        assert probe.percentile(0.99) == 40
+        assert probe.percentile(0.0) == 10
+
+    def test_empty_probe(self):
+        probe = AppTimeLatencyProbe()
+        assert probe.mean == 0.0
+        assert probe.percentile(0.5) == 0.0
+
+
+class TestWallClock:
+    def test_returns_rate_and_count(self):
+        rate, count = wall_clock_throughput(lambda: sum(range(10000)) and 10000)
+        assert count == 10000
+        assert rate > 0

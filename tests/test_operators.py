@@ -1,0 +1,219 @@
+"""Tests for the stateless operators, Union, and AlterLifetime."""
+
+import pytest
+
+from repro.engine.operator import CollectorSink, Operator
+from repro.operators.alter_lifetime import AlterLifetime
+from repro.operators.select import Filter, MapPayload
+from repro.operators.source import StreamSource
+from repro.operators.union import Union
+from repro.streams.properties import StreamProperties, measure_properties
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Adjust, Insert, Stable
+from repro.temporal.event import Event
+from repro.temporal.tdb import TDB
+from repro.temporal.time import INFINITY
+
+from conftest import small_stream
+
+
+def run_through(operator, elements, port=0):
+    sink = CollectorSink()
+    operator.subscribe(sink)
+    for element in elements:
+        operator.receive(element, port)
+    return sink.stream
+
+
+class TestFilter:
+    def test_predicate_applied_to_inserts(self):
+        out = run_through(
+            Filter(lambda p: p > 5),
+            [Insert(3, 1, 10), Insert(7, 2, 10)],
+        )
+        assert [e.payload for e in out.data_elements()] == [7]
+
+    def test_adjusts_follow_predicate(self):
+        out = run_through(
+            Filter(lambda p: p > 5),
+            [Insert(7, 2, 10), Adjust(7, 2, 10, 12), Adjust(3, 1, 10, 12)],
+        )
+        assert out.count_adjusts() == 1
+
+    def test_stables_always_pass(self):
+        out = run_through(Filter(lambda p: False), [Insert(1, 1), Stable(5)])
+        assert out.count_stables() == 1
+        assert out.count_inserts() == 0
+
+    def test_properties_preserved(self):
+        props = StreamProperties.strongest()
+        assert Filter(lambda p: True).derive_properties([props]) == props
+
+    def test_filtered_stream_valid(self):
+        reference = small_stream(count=300, seed=41)
+        out = run_through(Filter(lambda p: p[0] % 2 == 0), reference)
+        out.tdb()  # strict reconstitution
+
+
+class TestMapPayload:
+    def test_maps_payloads(self):
+        out = run_through(MapPayload(lambda p: p * 2), [Insert(3, 1, 10)])
+        assert list(out)[0].payload == 6
+
+    def test_adjust_payload_mapped(self):
+        out = run_through(
+            MapPayload(lambda p: p * 2),
+            [Insert(3, 1, 10), Adjust(3, 1, 10, 12)],
+        )
+        assert list(out)[1].payload == 6
+
+    def test_injective_keeps_key_property(self):
+        props = StreamProperties(key_vs_payload=True)
+        injective = MapPayload(lambda p: p, injective=True)
+        assert injective.derive_properties([props]).key_vs_payload
+
+    def test_non_injective_loses_key_property(self):
+        props = StreamProperties(key_vs_payload=True)
+        lossy = MapPayload(lambda p: 0)
+        assert not lossy.derive_properties([props]).key_vs_payload
+
+
+class TestUnion:
+    def test_forwards_data_from_all_ports(self):
+        union = Union(num_inputs=2)
+        sink = CollectorSink()
+        union.subscribe(sink)
+        union.receive(Insert("a", 1), 0)
+        union.receive(Insert("b", 2), 1)
+        assert sink.stream.count_inserts() == 2
+
+    def test_stable_is_min_across_inputs(self):
+        union = Union(num_inputs=2)
+        sink = CollectorSink()
+        union.subscribe(sink)
+        union.receive(Stable(10), 0)
+        assert sink.stream.count_stables() == 0  # input 1 silent
+        union.receive(Stable(7), 1)
+        assert list(sink.stream)[-1] == Stable(7)
+        union.receive(Stable(12), 1)
+        assert list(sink.stream)[-1] == Stable(10)
+
+    def test_stable_never_regresses(self):
+        union = Union(num_inputs=2)
+        sink = CollectorSink()
+        union.subscribe(sink)
+        union.receive(Stable(10), 0)
+        union.receive(Stable(10), 1)
+        union.receive(Stable(11), 0)  # min still 10: nothing new
+        assert sink.stream.count_stables() == 1
+
+    def test_bad_port_rejected(self):
+        union = Union(num_inputs=2)
+        with pytest.raises(ValueError):
+            union.receive(Stable(1), 5)
+
+    def test_zero_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Union(num_inputs=0)
+
+    def test_union_output_valid_and_complete(self):
+        left = small_stream(count=200, seed=42, disorder=0.0)
+        right = small_stream(count=200, seed=43, disorder=0.0)
+        union = Union(num_inputs=2)
+        sink = CollectorSink()
+        union.subscribe(sink)
+        for i in range(max(len(left), len(right))):
+            if i < len(left):
+                union.receive(left[i], 0)
+            if i < len(right):
+                union.receive(right[i], 1)
+        merged_tdb = sink.stream.tdb()
+        expected = TDB(list(left.tdb()) + list(right.tdb()))
+        expected.stable_point = merged_tdb.stable_point
+        assert merged_tdb == expected
+
+
+class TestAlterLifetime:
+    def test_fixed_duration(self):
+        out = run_through(AlterLifetime(duration=7), [Insert("a", 3, 100)])
+        assert list(out)[0] == Insert("a", 3, 10)
+
+    def test_duration_fn(self):
+        operator = AlterLifetime(duration_fn=lambda payload, vs: payload)
+        out = run_through(operator, [Insert(5, 3, 100)])
+        assert list(out)[0] == Insert(5, 3, 8)
+
+    def test_end_adjusts_absorbed(self):
+        out = run_through(
+            AlterLifetime(duration=7),
+            [Insert("a", 3, 100), Adjust("a", 3, 100, 200)],
+        )
+        assert out.count_adjusts() == 0
+
+    def test_cancels_propagate(self):
+        out = run_through(
+            AlterLifetime(duration=7),
+            [Insert("a", 3, 100), Adjust("a", 3, 100, 3)],
+        )
+        assert out.count_adjusts() == 1
+        assert len(out.tdb()) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AlterLifetime()
+        with pytest.raises(ValueError):
+            AlterLifetime(duration=7, duration_fn=lambda p, v: 1)
+        with pytest.raises(ValueError):
+            AlterLifetime(duration=0)
+
+    def test_properties_preserved(self):
+        props = StreamProperties.strongest()
+        assert AlterLifetime(duration=5).derive_properties([props]) == props
+
+
+class TestStreamSource:
+    def test_play_emits_all(self):
+        stream = small_stream(count=100, seed=44)
+        source = StreamSource(stream)
+        sink = CollectorSink()
+        source.subscribe(sink)
+        source.play()
+        assert list(sink.stream) == list(stream)
+        assert source.exhausted
+
+    def test_play_with_limit(self):
+        stream = small_stream(count=100, seed=44)
+        source = StreamSource(stream)
+        sink = CollectorSink()
+        source.subscribe(sink)
+        source.play(limit=10)
+        assert len(sink.stream) == 10
+        assert not source.exhausted
+
+    def test_measured_properties_default(self):
+        stream = small_stream(count=100, seed=44, disorder=0.0)
+        source = StreamSource(stream)
+        assert source.derive_properties([]).ordered
+
+    def test_stipulated_properties_override(self):
+        stream = small_stream(count=100, seed=44, disorder=0.0)
+        source = StreamSource(stream, properties=StreamProperties.unknown())
+        assert not source.derive_properties([]).ordered
+
+
+class TestOperatorProtocol:
+    def test_unimplemented_handlers_raise(self):
+        class Bare(Operator):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Bare().receive(Insert("a", 1), 0)
+
+    def test_non_element_rejected(self):
+        with pytest.raises(TypeError):
+            CollectorSink().receive("junk") or Operator().receive("junk", 0)
+
+    def test_subscribe_chains(self):
+        first, second = Filter(lambda p: True), Filter(lambda p: True)
+        assert first.subscribe(second) is second
+        assert second.upstreams == (first,)

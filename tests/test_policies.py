@@ -1,0 +1,181 @@
+"""Tests for LMerge output policies (Section V-A) — including the
+Table II chattiness/latency spectrum."""
+
+import pytest
+
+from repro.lmerge.policies import (
+    CONSERVATIVE_POLICY,
+    DEFAULT_POLICY,
+    EAGER_POLICY,
+    AdjustPropagation,
+    InsertPropagation,
+    OutputPolicy,
+)
+from repro.lmerge.r3 import LMergeR3
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Adjust, Insert, Stable
+from repro.temporal.event import Event
+from repro.temporal.tdb import TDB
+from repro.temporal.time import INFINITY
+
+from conftest import divergent_inputs, small_stream
+
+
+# Table II inputs: In1 and In2 (a/m/f translated to insert/adjust/stable).
+IN1 = PhysicalStream(
+    [
+        Insert("A", 6, 10),
+        Adjust("A", 6, 10, 12),
+        Insert("B", 7, 14),
+        Adjust("A", 6, 12, 15),
+        Stable(16),
+    ],
+    name="In1",
+)
+IN2 = PhysicalStream(
+    [
+        Insert("A", 6, 12),
+        Insert("B", 7, 14),
+        Adjust("A", 6, 12, 15),
+        Stable(16),
+    ],
+    name="In2",
+)
+FINAL = TDB([Event(6, "A", 15), Event(7, "B", 14)])
+
+
+def merge_table2(policy):
+    merge = LMergeR3(policy=policy)
+    output = merge.merge([IN1, IN2], schedule="round_robin")
+    assert output.tdb() == FINAL
+    return merge
+
+
+class TestTable2PolicySpectrum:
+    """Out1 (aggressive/eager), Out2 (conservative), Out3 (hybrid) all
+    reach the same TDB with different chattiness/latency trade-offs."""
+
+    def test_all_policies_reach_final_tdb(self):
+        for policy in (DEFAULT_POLICY, EAGER_POLICY, CONSERVATIVE_POLICY):
+            merge_table2(policy)
+
+    def test_eager_is_chattier_than_lazy(self):
+        eager = merge_table2(EAGER_POLICY)
+        lazy = merge_table2(DEFAULT_POLICY)
+        assert eager.stats.adjusts_out >= lazy.stats.adjusts_out
+        assert eager.stats.adjusts_out > 0
+
+    def test_conservative_emits_fewest_elements(self):
+        conservative = merge_table2(CONSERVATIVE_POLICY)
+        eager = merge_table2(EAGER_POLICY)
+        assert conservative.stats.elements_out <= eager.stats.elements_out
+
+    def test_conservative_emits_later(self):
+        """Out2's latency cost: nothing before the first punctuation."""
+        merge = LMergeR3(policy=CONSERVATIVE_POLICY)
+        merge.attach(0)
+        merge.attach(1)
+        merge.process(Insert("A", 6, 10), 0)
+        merge.process(Insert("A", 6, 12), 1)
+        assert merge.stats.inserts_out == 0  # withheld until half frozen
+        merge.process(Stable(16), 0)
+        assert merge.stats.inserts_out == 1
+
+    def test_default_emits_immediately(self):
+        merge = LMergeR3()
+        merge.attach(0)
+        merge.process(Insert("A", 6, 10), 0)
+        assert merge.stats.inserts_out == 1
+
+
+class TestQuorumPolicy:
+    def test_quorum_waits_for_fraction(self):
+        policy = OutputPolicy(
+            insert=InsertPropagation.QUORUM, quorum_fraction=0.5
+        )
+        merge = LMergeR3(policy=policy)
+        for stream_id in range(4):
+            merge.attach(stream_id)
+        merge.process(Insert("A", 6, 10), 0)
+        assert merge.stats.inserts_out == 0  # 1 of 4 < quorum (2)
+        merge.process(Insert("A", 6, 10), 1)
+        assert merge.stats.inserts_out == 1  # quorum reached
+
+    def test_quorum_of_one_behaves_like_first(self):
+        policy = OutputPolicy(
+            insert=InsertPropagation.QUORUM, quorum_fraction=0.01
+        )
+        merge = LMergeR3(policy=policy)
+        merge.attach(0)
+        merge.attach(1)
+        merge.process(Insert("A", 6, 10), 0)
+        assert merge.stats.inserts_out == 1
+
+    def test_quorum_needed_computation(self):
+        policy = OutputPolicy(
+            insert=InsertPropagation.QUORUM, quorum_fraction=0.5
+        )
+        assert policy.quorum_needed(4) == 2
+        assert policy.quorum_needed(5) == 3
+        assert policy.quorum_needed(1) == 1
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            OutputPolicy(quorum_fraction=0.0)
+        with pytest.raises(ValueError):
+            OutputPolicy(quorum_fraction=1.5)
+
+    def test_quorum_equivalence_end_to_end(self):
+        reference = small_stream(count=300, seed=31)
+        inputs = divergent_inputs(reference, n=4, speculate_fraction=0.3)
+        policy = OutputPolicy(
+            insert=InsertPropagation.QUORUM, quorum_fraction=0.75
+        )
+        merge = LMergeR3(policy=policy)
+        output = merge.merge(inputs, schedule="round_robin")
+        assert output.tdb() == reference.tdb()
+
+
+class TestLeadingPolicy:
+    def test_only_leader_inserts_propagate_eagerly(self):
+        policy = OutputPolicy(insert=InsertPropagation.LEADING)
+        merge = LMergeR3(policy=policy)
+        merge.attach(0)
+        merge.attach(1)
+        merge.process(Stable(1), 0)  # stream 0 leads
+        merge.process(Insert("A", 6, 10), 1)
+        assert merge.stats.inserts_out == 0
+        merge.process(Insert("B", 7, 10), 0)
+        assert merge.stats.inserts_out == 1
+
+    def test_leading_equivalence_end_to_end(self):
+        reference = small_stream(count=300, seed=32, stable_freq=0.1)
+        inputs = divergent_inputs(reference, n=3, speculate_fraction=0.2)
+        merge = LMergeR3(policy=OutputPolicy(insert=InsertPropagation.LEADING))
+        output = merge.merge(inputs, schedule="round_robin")
+        assert output.tdb() == reference.tdb()
+
+
+class TestConservativeNeverFullyDeletes:
+    def test_no_cancels_on_output(self):
+        """Half-frozen-support policy never removes an emitted event."""
+        reference = small_stream(count=400, seed=33, stable_freq=0.08)
+        inputs = divergent_inputs(reference, n=3, speculate_fraction=0.4)
+        merge = LMergeR3(policy=CONSERVATIVE_POLICY)
+        output = merge.merge(inputs, schedule="random", seed=3)
+        assert output.tdb() == reference.tdb()
+        cancels = [
+            e
+            for e in output
+            if isinstance(e, Adjust) and e.is_cancel
+        ]
+        assert not cancels
+
+
+class TestEagerPolicyEquivalence:
+    def test_end_to_end(self):
+        reference = small_stream(count=400, seed=34)
+        inputs = divergent_inputs(reference, n=3, speculate_fraction=0.5)
+        merge = LMergeR3(policy=EAGER_POLICY)
+        output = merge.merge(inputs, schedule="random", seed=4)
+        assert output.tdb() == reference.tdb()

@@ -1,0 +1,123 @@
+"""Tests for the stream-property lattice and R0-R4 classification."""
+
+import pytest
+
+from repro.streams.properties import (
+    Restriction,
+    StreamProperties,
+    classify,
+    measure_properties,
+)
+from repro.temporal.elements import Adjust, Insert, Stable
+
+
+class TestClassification:
+    """The Section III-C spectrum, case by case."""
+
+    def test_unknown_is_r4(self):
+        assert classify(StreamProperties.unknown()) is Restriction.R4
+
+    def test_strongest_is_r0(self):
+        assert classify(StreamProperties.strongest()) is Restriction.R0
+
+    def test_r0_requires_strictly_increasing_insert_only(self):
+        properties = StreamProperties(strictly_increasing=True, insert_only=True)
+        assert classify(properties) is Restriction.R0
+
+    def test_ordered_alone_is_not_r0(self):
+        properties = StreamProperties(
+            ordered=True, insert_only=True, deterministic_same_vs_order=True
+        )
+        assert classify(properties) is Restriction.R1
+
+    def test_r2_requires_key(self):
+        properties = StreamProperties(
+            ordered=True, insert_only=True, key_vs_payload=True
+        )
+        assert classify(properties) is Restriction.R2
+
+    def test_ordered_insert_only_without_key_or_determinism_is_r4(self):
+        properties = StreamProperties(ordered=True, insert_only=True)
+        assert classify(properties) is Restriction.R4
+
+    def test_key_alone_is_r3(self):
+        assert classify(StreamProperties(key_vs_payload=True)) is Restriction.R3
+
+    def test_adjusts_with_key_is_r3(self):
+        properties = StreamProperties(ordered=True, key_vs_payload=True)
+        assert classify(properties) is Restriction.R3
+
+    def test_strictly_increasing_with_adjusts_is_r3_when_keyed(self):
+        properties = StreamProperties(
+            strictly_increasing=True, key_vs_payload=True
+        )
+        assert classify(properties) is Restriction.R3
+
+
+class TestNormalization:
+    def test_strictly_increasing_implies_ordered(self):
+        properties = StreamProperties(strictly_increasing=True)
+        assert properties.ordered
+
+    def test_weaken(self):
+        strong = StreamProperties.strongest()
+        weakened = strong.weaken(insert_only=False)
+        assert not weakened.insert_only
+        assert weakened.ordered  # untouched guarantees survive
+
+
+class TestMeet:
+    def test_meet_is_conjunction(self):
+        left = StreamProperties(ordered=True, insert_only=True)
+        right = StreamProperties(ordered=True, key_vs_payload=True)
+        met = left.meet(right)
+        assert met.ordered
+        assert not met.insert_only
+        assert not met.key_vs_payload
+
+    def test_meet_with_unknown_is_unknown(self):
+        met = StreamProperties.strongest().meet(StreamProperties.unknown())
+        assert met == StreamProperties.unknown()
+
+    def test_meet_idempotent(self):
+        properties = StreamProperties(ordered=True, key_vs_payload=True)
+        assert properties.meet(properties) == properties
+
+    def test_meet_commutative(self):
+        a = StreamProperties(ordered=True, insert_only=True)
+        b = StreamProperties(strictly_increasing=True)
+        assert a.meet(b) == b.meet(a)
+
+
+class TestMeasure:
+    def test_strictly_increasing_stream(self):
+        elements = [Insert("A", 1), Insert("B", 2), Stable(3), Insert("C", 4)]
+        properties = measure_properties(elements)
+        assert properties.strictly_increasing
+        assert properties.insert_only
+        assert classify(properties) is Restriction.R0
+
+    def test_duplicate_vs_detected(self):
+        elements = [Insert("A", 1), Insert("B", 1)]
+        properties = measure_properties(elements)
+        assert properties.ordered
+        assert not properties.strictly_increasing
+        assert not properties.deterministic_same_vs_order
+
+    def test_disorder_detected(self):
+        elements = [Insert("A", 5), Insert("B", 3)]
+        properties = measure_properties(elements)
+        assert not properties.ordered
+
+    def test_adjusts_detected(self):
+        elements = [Insert("A", 1, 5), Adjust("A", 1, 5, 9)]
+        properties = measure_properties(elements)
+        assert not properties.insert_only
+
+    def test_duplicate_key_breaks_key_property(self):
+        elements = [Insert("A", 1, 5), Insert("A", 1, 9)]
+        assert not measure_properties(elements).key_vs_payload
+
+    def test_empty_stream_measures_strong(self):
+        properties = measure_properties([])
+        assert properties.ordered and properties.insert_only

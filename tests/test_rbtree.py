@@ -1,0 +1,182 @@
+"""Tests for the red-black tree, including model-based property tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.rbtree import RedBlackTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = RedBlackTree()
+        assert len(tree) == 0
+        assert not tree
+        assert 1 not in tree
+        assert tree.get(1) is None
+        assert tree.get(1, "d") == "d"
+
+    def test_insert_and_get(self):
+        tree = RedBlackTree()
+        assert tree.insert(1, "one")
+        assert tree.get(1) == "one"
+        assert 1 in tree
+        assert len(tree) == 1
+
+    def test_insert_replaces_value(self):
+        tree = RedBlackTree()
+        tree.insert(1, "one")
+        assert not tree.insert(1, "uno")
+        assert tree.get(1) == "uno"
+        assert len(tree) == 1
+
+    def test_delete(self):
+        tree = RedBlackTree()
+        tree.insert(1, "one")
+        assert tree.delete(1)
+        assert 1 not in tree
+        assert not tree.delete(1)
+
+    def test_pop(self):
+        tree = RedBlackTree()
+        tree.insert(1, "one")
+        assert tree.pop(1) == "one"
+        with pytest.raises(KeyError):
+            tree.pop(1)
+        assert tree.pop(1, "d") == "d"
+
+    def test_min_max(self):
+        tree = RedBlackTree()
+        for key in [5, 2, 8, 1, 9]:
+            tree.insert(key, key * 10)
+        assert tree.min_item() == (1, 10)
+        assert tree.max_item() == (9, 90)
+
+    def test_min_max_empty_raise(self):
+        with pytest.raises(KeyError):
+            RedBlackTree().min_item()
+        with pytest.raises(KeyError):
+            RedBlackTree().max_item()
+
+    def test_items_sorted(self):
+        tree = RedBlackTree()
+        keys = [5, 2, 8, 1, 9, 3]
+        for key in keys:
+            tree.insert(key, None)
+        assert list(tree.keys()) == sorted(keys)
+
+    def test_values_follow_keys(self):
+        tree = RedBlackTree()
+        for key in [3, 1, 2]:
+            tree.insert(key, key * 2)
+        assert list(tree.values()) == [2, 4, 6]
+
+
+class TestItemsBelow:
+    def setup_method(self):
+        self.tree = RedBlackTree()
+        for key in range(0, 20, 2):  # 0, 2, ..., 18
+            self.tree.insert(key, key)
+
+    def test_exclusive_bound(self):
+        assert [k for k, _ in self.tree.items_below(6)] == [0, 2, 4]
+
+    def test_bound_on_present_key_excluded(self):
+        assert [k for k, _ in self.tree.items_below(4)] == [0, 2]
+
+    def test_inclusive_bound(self):
+        assert [k for k, _ in self.tree.items_below(4, inclusive=True)] == [0, 2, 4]
+
+    def test_bound_below_min(self):
+        assert list(self.tree.items_below(-1)) == []
+
+    def test_bound_above_max(self):
+        assert [k for k, _ in self.tree.items_below(100)] == list(range(0, 20, 2))
+
+    def test_empty_tree(self):
+        assert list(RedBlackTree().items_below(10)) == []
+
+
+class TestInvariantsUnderChurn:
+    def test_random_churn_keeps_invariants(self):
+        rng = random.Random(42)
+        tree = RedBlackTree()
+        model = {}
+        for step in range(3000):
+            key = rng.randrange(300)
+            if rng.random() < 0.55:
+                tree.insert(key, step)
+                model[key] = step
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+            if step % 250 == 0:
+                tree.check_invariants()
+                assert list(tree.items()) == sorted(model.items())
+        tree.check_invariants()
+        assert list(tree.items()) == sorted(model.items())
+
+    def test_ascending_insert_then_full_delete(self):
+        tree = RedBlackTree()
+        for key in range(500):
+            tree.insert(key, key)
+        tree.check_invariants()
+        for key in range(500):
+            assert tree.delete(key)
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_descending_insert(self):
+        tree = RedBlackTree()
+        for key in range(500, 0, -1):
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(1, 501))
+
+    def test_black_height_logarithmic(self):
+        tree = RedBlackTree()
+        for key in range(2048):
+            tree.insert(key, None)
+        black_height = tree.check_invariants()
+        # A red-black tree with n nodes has black height <= log2(n+1).
+        assert black_height <= 12
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["ins", "del"]), st.integers(0, 50)),
+        max_size=120,
+    )
+)
+def test_model_equivalence(ops):
+    """Property: the tree behaves exactly like a sorted dict."""
+    tree = RedBlackTree()
+    model = {}
+    for op, key in ops:
+        if op == "ins":
+            tree.insert(key, key)
+            model[key] = key
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    tree.check_invariants()
+    assert list(tree.items()) == sorted(model.items())
+    assert len(tree) == len(model)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    keys=st.sets(st.integers(-1000, 1000), max_size=80),
+    bound=st.integers(-1000, 1000),
+)
+def test_items_below_matches_filter(keys, bound):
+    tree = RedBlackTree()
+    for key in keys:
+        tree.insert(key, None)
+    expected = sorted(k for k in keys if k < bound)
+    assert [k for k, _ in tree.items_below(bound)] == expected
+    expected_inc = sorted(k for k in keys if k <= bound)
+    assert [k for k, _ in tree.items_below(bound, inclusive=True)] == expected_inc

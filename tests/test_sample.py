@@ -1,0 +1,91 @@
+"""Deterministic sampling operator."""
+
+import pytest
+
+from repro.engine.operator import CollectorSink
+from repro.lmerge.r3 import LMergeR3
+from repro.operators.sample import Sample
+from repro.streams.divergence import diverge
+from repro.streams.properties import StreamProperties
+from repro.temporal.elements import Adjust, Insert, Stable
+from repro.temporal.time import INFINITY
+
+from conftest import small_stream
+
+
+def run_through(operator, elements):
+    sink = CollectorSink()
+    operator.subscribe(sink)
+    for element in elements:
+        operator.receive(element, 0)
+    return sink.stream
+
+
+class TestSampling:
+    def test_fraction_zero_drops_all(self):
+        out = run_through(Sample(0.0), [Insert(i, i, i + 1) for i in range(50)])
+        assert out.count_inserts() == 0
+
+    def test_fraction_one_keeps_all(self):
+        out = run_through(Sample(1.0), [Insert(i, i, i + 1) for i in range(50)])
+        assert out.count_inserts() == 50
+
+    def test_fraction_roughly_honoured(self):
+        operator = Sample(0.25, seed=3)
+        run_through(
+            operator, [Insert(i, i, i + 1) for i in range(2000)]
+        )
+        assert 0.18 < operator.kept / 2000 < 0.32
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Sample(1.5)
+
+    def test_stables_always_pass(self):
+        out = run_through(Sample(0.0), [Stable(5)])
+        assert out.count_stables() == 1
+
+    def test_adjust_follows_event_decision(self):
+        operator = Sample(0.5, seed=1)
+        elements = []
+        for i in range(100):
+            elements.append(Insert(i, i, i + 10))
+            elements.append(Adjust(i, i, i + 10, i + 20))
+        out = run_through(operator, elements)
+        inserted = {e.payload for e in out if isinstance(e, Insert)}
+        adjusted = {e.payload for e in out if isinstance(e, Adjust)}
+        assert inserted == adjusted  # never an orphan revision
+
+    def test_output_stream_valid(self):
+        stream = small_stream(count=400, seed=97)
+        out = run_through(Sample(0.4, seed=2), stream)
+        out.tdb()  # strict
+
+
+class TestReplicaConsistency:
+    def test_same_decision_across_replicas(self):
+        """The design requirement: replicas sampling divergent
+        presentations of one logical stream stay logically consistent."""
+        reference = small_stream(count=500, seed=98, disorder=0.3)
+        inputs = [diverge(reference, seed=i, speculate_fraction=0.3) for i in range(3)]
+        sampled = [run_through(Sample(0.5, seed=9), stream) for stream in inputs]
+        tdbs = [stream.tdb() for stream in sampled]
+        assert tdbs[0] == tdbs[1] == tdbs[2]
+
+    def test_sampled_replicas_merge_correctly(self):
+        reference = small_stream(count=500, seed=99, disorder=0.3)
+        inputs = [diverge(reference, seed=i) for i in range(3)]
+        sampled = [run_through(Sample(0.5, seed=9), stream) for stream in inputs]
+        merge = LMergeR3()
+        output = merge.merge(sampled, schedule="random", seed=5)
+        assert output.tdb() == sampled[0].tdb()
+
+    def test_different_seed_different_sample(self):
+        stream = small_stream(count=300, seed=100)
+        first = run_through(Sample(0.5, seed=1), stream)
+        second = run_through(Sample(0.5, seed=2), stream)
+        assert first.tdb() != second.tdb()
+
+    def test_properties_preserved(self):
+        strong = StreamProperties.strongest()
+        assert Sample(0.5).derive_properties([strong]) == strong

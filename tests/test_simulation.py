@@ -1,0 +1,207 @@
+"""Tests for the discrete-event simulation substrate."""
+
+import random
+
+import pytest
+
+from repro.engine.simulation import (
+    BurstyDelay,
+    CongestionWindows,
+    FixedLag,
+    NoDelay,
+    SimulatedChannel,
+    SimulatedPlan,
+    Simulation,
+    timed_schedule,
+)
+from repro.lmerge.feedback import FeedbackSignal
+from repro.temporal.elements import Insert, Stable
+
+
+class TestSimulation:
+    def test_events_run_in_time_order(self):
+        sim = Simulation()
+        log = []
+        sim.schedule_at(5.0, lambda: log.append("b"))
+        sim.schedule_at(1.0, lambda: log.append("a"))
+        sim.schedule_at(9.0, lambda: log.append("c"))
+        assert sim.run() == 3
+        assert log == ["a", "b", "c"]
+        assert sim.now == 9.0
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulation()
+        log = []
+        sim.schedule_at(1.0, lambda: log.append("first"))
+        sim.schedule_at(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_run_until(self):
+        sim = Simulation()
+        log = []
+        sim.schedule_at(1.0, lambda: log.append(1))
+        sim.schedule_at(5.0, lambda: log.append(5))
+        sim.run(until=3.0)
+        assert log == [1]
+        assert sim.now == 3.0
+        sim.run()
+        assert log == [1, 5]
+
+    def test_relative_schedule(self):
+        sim = Simulation()
+        sim.schedule_at(2.0, lambda: sim.schedule(3.0, lambda: None))
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulation()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_actions_can_schedule_more(self):
+        sim = Simulation()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10:
+                sim.schedule(1.0, tick)
+
+        sim.schedule_at(0.0, tick)
+        sim.run()
+        assert count[0] == 10
+
+
+class TestDelayModels:
+    def test_no_delay(self):
+        assert NoDelay().delay(Insert("a", 1), 0.0, random.Random(0)) == 0.0
+
+    def test_fixed_lag(self):
+        assert FixedLag(3.5).delay(Insert("a", 1), 0.0, random.Random(0)) == 3.5
+
+    def test_bursty_mostly_zero(self):
+        model = BurstyDelay(probability=0.01, mean=20, std=5)
+        rng = random.Random(1)
+        delays = [model.delay(Insert("a", 1), 0.0, rng) for _ in range(2000)]
+        stalls = [d for d in delays if d > 0]
+        assert 2 <= len(stalls) <= 60
+        assert all(5 < d < 40 for d in stalls)
+
+    def test_congestion_windows(self):
+        model = CongestionWindows(windows=[(10.0, 20.0)], mean=5, std=0.1)
+        rng = random.Random(2)
+        assert model.delay(Insert("a", 1), 5.0, rng) == 0.0
+        assert model.delay(Insert("a", 1), 15.0, rng) > 1.0
+        assert model.delay(Insert("a", 1), 20.0, rng) == 0.0
+
+
+class TestChannel:
+    def test_fifo_preserved_under_delay(self):
+        """A stalled element holds everything behind it (queue build-up)."""
+        sim = Simulation()
+        received = []
+
+        class StallSecond(NoDelay):
+            def __init__(self):
+                self.count = 0
+
+            def delay(self, element, now, rng):
+                self.count += 1
+                return 10.0 if self.count == 2 else 0.0
+
+        channel = SimulatedChannel(
+            sim, lambda e: received.append((sim.now, e.payload)), StallSecond()
+        )
+        channel.feed([(0.0, Insert("a", 1)), (1.0, Insert("b", 2)), (2.0, Insert("c", 3))])
+        sim.run()
+        times = [t for t, _ in received]
+        payloads = [p for _, p in received]
+        assert payloads == ["a", "b", "c"]
+        assert times == [0.0, 11.0, 11.0]  # c queued behind b
+
+    def test_delivery_counts(self):
+        sim = Simulation()
+        channel = SimulatedChannel(sim, lambda e: None)
+        channel.feed(timed_schedule([Insert("a", 1), Stable(2)], rate=10.0))
+        sim.run()
+        assert channel.delivered == 2
+
+
+class TestTimedSchedule:
+    def test_constant_rate(self):
+        schedule = timed_schedule([Insert("a", 1), Insert("b", 2)], rate=2.0)
+        assert [t for t, _ in schedule] == [0.0, 0.5]
+
+    def test_start_offset(self):
+        schedule = timed_schedule([Insert("a", 1)], rate=1.0, start=9.0)
+        assert schedule[0][0] == 9.0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            timed_schedule([], rate=0)
+
+
+class TestSimulatedPlan:
+    def test_serial_queueing(self):
+        sim = Simulation()
+        done = []
+        plan = SimulatedPlan(
+            sim, lambda e: done.append(sim.now), service_cost=lambda e: 2.0
+        )
+        sim.schedule_at(0.0, lambda: plan.submit(Insert("a", 1)))
+        sim.schedule_at(0.0, lambda: plan.submit(Insert("b", 2)))
+        sim.run()
+        assert done == [2.0, 4.0]  # second waits for the server
+
+    def test_idle_server_starts_immediately(self):
+        sim = Simulation()
+        done = []
+        plan = SimulatedPlan(
+            sim, lambda e: done.append(sim.now), service_cost=lambda e: 1.0
+        )
+        sim.schedule_at(0.0, lambda: plan.submit(Insert("a", 1)))
+        sim.schedule_at(10.0, lambda: plan.submit(Insert("b", 2)))
+        sim.run()
+        assert done == [1.0, 11.0]
+
+    def test_fast_forward_skips_covered_elements(self):
+        sim = Simulation()
+        plan = SimulatedPlan(
+            sim, lambda e: None, service_cost=lambda e: 5.0
+        )
+        plan.on_feedback(FeedbackSignal(100))
+        sim.schedule_at(0.0, lambda: plan.submit(Insert("a", 1, 50)))
+        sim.run()
+        assert plan.skipped == 1
+        assert plan.completion_time == 0.0
+
+    def test_stables_never_skipped_but_free(self):
+        sim = Simulation()
+        delivered = []
+        plan = SimulatedPlan(
+            sim, lambda e: delivered.append(e), service_cost=lambda e: 5.0
+        )
+        plan.on_feedback(FeedbackSignal(100))
+        sim.schedule_at(0.0, lambda: plan.submit(Stable(50)))
+        sim.run()
+        assert delivered == [Stable(50)]
+        assert plan.skipped == 0
+
+    def test_horizon_monotone(self):
+        sim = Simulation()
+        plan = SimulatedPlan(sim, lambda e: None, service_cost=lambda e: 1.0)
+        plan.on_feedback(FeedbackSignal(50))
+        plan.on_feedback(FeedbackSignal(20))  # regression ignored
+        assert plan.horizon == 50
+
+    def test_busy_time_accumulates(self):
+        sim = Simulation()
+        plan = SimulatedPlan(sim, lambda e: None, service_cost=lambda e: 2.5)
+        sim.schedule_at(0.0, lambda: plan.submit(Insert("a", 1)))
+        sim.schedule_at(0.0, lambda: plan.submit(Insert("b", 2)))
+        sim.run()
+        assert plan.busy_time == 5.0
+        assert plan.completed == 2

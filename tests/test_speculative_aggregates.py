@@ -1,0 +1,197 @@
+"""The SPECULATIVE aggregate mode: revisions driven by disorder only."""
+
+import pytest
+
+from repro.engine.operator import CollectorSink
+from repro.operators.aggregate import (
+    AggregateMode,
+    GroupedCount,
+    WindowedCount,
+)
+from repro.temporal.elements import Adjust, Insert, Stable
+from repro.temporal.event import Event
+from repro.temporal.tdb import TDB
+from repro.temporal.time import INFINITY
+
+from conftest import small_stream
+
+
+def run_through(operator, elements):
+    sink = CollectorSink()
+    operator.subscribe(sink)
+    for element in elements:
+        operator.receive(element, 0)
+    return sink.stream
+
+
+class TestSpeculativeWindowedCount:
+    def test_window_emitted_when_surpassed(self):
+        out = run_through(
+            WindowedCount(10, AggregateMode.SPECULATIVE),
+            [Insert("a", 1, 5), Insert("b", 12, 15)],
+        )
+        # Window [0,10) was finalized the moment window [10,20) opened.
+        assert list(out) == [Insert(1, 0, 10)]
+
+    def test_in_order_stream_never_revises(self):
+        stream = small_stream(count=500, seed=170, disorder=0.0)
+        out = run_through(WindowedCount(100, AggregateMode.SPECULATIVE), stream)
+        assert out.count_adjusts() == 0
+
+    def test_straggler_costs_one_revision(self):
+        out = run_through(
+            WindowedCount(10, AggregateMode.SPECULATIVE),
+            [
+                Insert("a", 1, 5),
+                Insert("b", 12, 15),  # finalizes window 0 at count 1
+                Insert("late", 3, 8),  # straggler into window 0
+                Stable(INFINITY),
+            ],
+        )
+        elements = list(out)
+        assert Adjust(1, 0, 10, 0) in elements  # cancel the stale count
+        assert out.tdb().count(Event(0, 2, 10)) == 1
+
+    def test_straggler_into_never_emitted_window(self):
+        """A straggler landing in an empty window behind the frontier
+        emits that window immediately."""
+        out = run_through(
+            WindowedCount(10, AggregateMode.SPECULATIVE),
+            [Insert("a", 25, 28), Insert("late", 3, 8), Stable(INFINITY)],
+        )
+        tdb = out.tdb()
+        assert Event(0, 1, 10) in tdb
+        assert Event(20, 1, 30) in tdb
+
+    def test_input_cancel_revises_emitted_window(self):
+        out = run_through(
+            WindowedCount(10, AggregateMode.SPECULATIVE),
+            [
+                Insert("a", 1, 5),
+                Insert("b", 3, 8),
+                Insert("c", 15, 18),  # emits window 0 at count 2
+                Adjust("a", 1, 5, 1),  # source cancels event a
+                Stable(INFINITY),
+            ],
+        )
+        assert out.tdb().count(Event(0, 1, 10)) == 1
+        assert out.tdb().count(Event(0, 2, 10)) == 0
+
+    def test_cancel_to_zero_removes_window_event(self):
+        out = run_through(
+            WindowedCount(10, AggregateMode.SPECULATIVE),
+            [
+                Insert("a", 1, 5),
+                Insert("b", 15, 18),  # emits window 0 at count 1
+                Adjust("a", 1, 5, 1),  # cancel the only member
+                Stable(INFINITY),
+            ],
+        )
+        assert not [e for e in out.tdb() if e.vs == 0]
+
+    def test_stable_emits_trailing_window(self):
+        out = run_through(
+            WindowedCount(10, AggregateMode.SPECULATIVE),
+            [Insert("a", 1, 5), Stable(INFINITY)],
+        )
+        assert out.tdb() == TDB([Event(0, 1, 10)])
+
+    @pytest.mark.parametrize("disorder", [0.0, 0.2, 0.5])
+    def test_equivalent_to_conservative(self, disorder):
+        stream = small_stream(count=600, seed=171, disorder=disorder)
+        conservative = run_through(WindowedCount(100), stream)
+        speculative = run_through(
+            WindowedCount(100, AggregateMode.SPECULATIVE), stream
+        )
+        speculative.tdb()  # valid stream
+        assert conservative.tdb() == speculative.tdb()
+
+
+class TestSpeculativeGroupedCount:
+    def make(self):
+        return GroupedCount(
+            10, key_fn=lambda p: p[0], mode=AggregateMode.SPECULATIVE
+        )
+
+    def test_straggler_new_group(self):
+        """A straggler creating a *new* group in an emitted window emits
+        an insert, not a revision."""
+        out = run_through(
+            self.make(),
+            [
+                Insert(("g1", 0), 1, 5),
+                Insert(("g1", 1), 15, 18),  # finalizes window 0
+                Insert(("g2", 2), 3, 8),  # straggler: new group in window 0
+                Stable(INFINITY),
+            ],
+        )
+        tdb = out.tdb()
+        assert Event(0, ("g1", 1), 10) in tdb
+        assert Event(0, ("g2", 1), 10) in tdb
+
+    def test_straggler_existing_group_revises(self):
+        out = run_through(
+            self.make(),
+            [
+                Insert(("g1", 0), 1, 5),
+                Insert(("g1", 1), 15, 18),
+                Insert(("g1", 2), 3, 8),  # straggler into g1
+                Stable(INFINITY),
+            ],
+        )
+        assert out.tdb().count(Event(0, ("g1", 2), 10)) == 1
+
+    def test_cancel_in_emitted_window(self):
+        out = run_through(
+            self.make(),
+            [
+                Insert(("g1", 0), 1, 5),
+                Insert(("g1", 1), 15, 18),
+                Adjust(("g1", 0), 1, 5, 1),  # cancel g1's only window-0 member
+                Stable(INFINITY),
+            ],
+        )
+        assert not [e for e in out.tdb() if e.vs == 0]
+
+    @pytest.mark.parametrize("disorder", [0.0, 0.3])
+    def test_equivalent_to_conservative(self, disorder):
+        stream = small_stream(count=500, seed=172, disorder=disorder)
+        conservative = run_through(
+            GroupedCount(100, key_fn=lambda p: p[0] % 6), stream
+        )
+        speculative = run_through(
+            GroupedCount(
+                100, key_fn=lambda p: p[0] % 6, mode=AggregateMode.SPECULATIVE
+            ),
+            stream,
+        )
+        assert conservative.tdb() == speculative.tdb()
+
+    def test_memory_accounts_emitted_state(self):
+        operator = self.make()
+        run_through(
+            operator,
+            [Insert(("g1", 0), 1, 5), Insert(("g1", 1), 15, 18)],
+        )
+        assert operator.memory_bytes() > 0
+        operator.on_stable(INFINITY, 0)
+        assert operator.memory_bytes() == 0
+
+
+class TestSpeculativeMergesAcrossReplicas:
+    def test_divergent_speculative_replicas_merge(self):
+        from repro.lmerge.r3 import LMergeR3
+        from repro.streams.divergence import diverge
+
+        reference = small_stream(count=500, seed=173, disorder=0.3)
+        outputs = []
+        for seed in range(3):
+            operator = GroupedCount(
+                100, key_fn=lambda p: p[0] % 5, mode=AggregateMode.SPECULATIVE
+            )
+            outputs.append(
+                run_through(operator, diverge(reference, seed=seed))
+            )
+        merge = LMergeR3()
+        merged = merge.merge(outputs, schedule="random", seed=2)
+        assert merged.tdb() == outputs[0].tdb()

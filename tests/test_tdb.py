@@ -1,0 +1,206 @@
+"""Tests for TDB reconstitution — including the paper's Table I and
+Example 3 worked examples."""
+
+import pytest
+
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Adjust, Close, Insert, Open, Stable
+from repro.temporal.event import Event, FreezeStatus
+from repro.temporal.tdb import (
+    TDB,
+    StreamViolationError,
+    reconstitute,
+    reconstitute_open_close,
+    reconstitute_prefix,
+)
+from repro.temporal.time import INFINITY, MINUS_INFINITY
+
+
+class TestApplyInsert:
+    def test_insert_adds_event(self):
+        tdb = reconstitute([Insert("A", 1, 5)])
+        assert Event(1, "A", 5) in tdb
+        assert len(tdb) == 1
+
+    def test_duplicate_inserts_accumulate(self):
+        tdb = reconstitute([Insert("A", 1, 5), Insert("A", 1, 5)])
+        assert tdb.count(Event(1, "A", 5)) == 2
+
+    def test_insert_behind_stable_raises(self):
+        with pytest.raises(StreamViolationError):
+            reconstitute([Stable(10), Insert("A", 5, 20)])
+
+    def test_insert_at_stable_point_allowed(self):
+        tdb = reconstitute([Stable(10), Insert("A", 10, 20)])
+        assert Event(10, "A", 20) in tdb
+
+    def test_lenient_mode_drops_violations(self):
+        tdb = reconstitute([Stable(10), Insert("A", 5, 20)], strict=False)
+        assert len(tdb) == 0
+
+
+class TestApplyAdjust:
+    def test_adjust_changes_end(self):
+        tdb = reconstitute([Insert("A", 1, 5), Adjust("A", 1, 5, 9)])
+        assert Event(1, "A", 9) in tdb
+        assert Event(1, "A", 5) not in tdb
+
+    def test_adjust_chain_example5(self):
+        """The paper's Example 5: insert(A,6,20), adjust(A,6,20,30),
+        adjust(A,6,30,25) == insert(A,6,25)."""
+        chained = reconstitute(
+            [Insert("A", 6, 20), Adjust("A", 6, 20, 30), Adjust("A", 6, 30, 25)]
+        )
+        assert chained == reconstitute([Insert("A", 6, 25)])
+
+    def test_cancel_removes_event(self):
+        tdb = reconstitute([Insert("A", 1, 5), Adjust("A", 1, 5, 1)])
+        assert len(tdb) == 0
+
+    def test_adjust_missing_event_raises(self):
+        with pytest.raises(StreamViolationError):
+            reconstitute([Adjust("A", 1, 5, 9)])
+
+    def test_adjust_wrong_vold_raises(self):
+        with pytest.raises(StreamViolationError):
+            reconstitute([Insert("A", 1, 5), Adjust("A", 1, 6, 9)])
+
+    def test_adjust_behind_stable_raises(self):
+        with pytest.raises(StreamViolationError):
+            reconstitute([Insert("A", 1, 5), Stable(10), Adjust("A", 1, 5, 9)])
+
+    def test_adjust_only_one_of_duplicates(self):
+        tdb = reconstitute(
+            [Insert("A", 1, 5), Insert("A", 1, 5), Adjust("A", 1, 5, 9)]
+        )
+        assert tdb.count(Event(1, "A", 5)) == 1
+        assert tdb.count(Event(1, "A", 9)) == 1
+
+
+class TestApplyStable:
+    def test_stable_sets_point(self):
+        tdb = reconstitute([Stable(10)])
+        assert tdb.stable_point == 10
+
+    def test_stable_regression_is_noop(self):
+        tdb = reconstitute([Stable(10), Stable(5)])
+        assert tdb.stable_point == 10
+
+    def test_freeze_statuses(self):
+        tdb = reconstitute(
+            [Insert("FF", 1, 5), Insert("HF", 1, 20), Insert("UF", 15, 20), Stable(10)]
+        )
+        assert tdb.status_of(Event(1, "FF", 5)) is FreezeStatus.FULLY_FROZEN
+        assert tdb.status_of(Event(1, "HF", 20)) is FreezeStatus.HALF_FROZEN
+        assert tdb.status_of(Event(15, "UF", 20)) is FreezeStatus.UNFROZEN
+        assert tdb.events_with_status(FreezeStatus.FULLY_FROZEN) == [Event(1, "FF", 5)]
+
+
+class TestTableI:
+    """The paper's Table I: Phy1 and Phy2 reconstitute identically."""
+
+    PHY1 = [
+        Insert("B", 8, INFINITY),
+        Insert("A", 6, 12),
+        Adjust("B", 8, INFINITY, 10),
+        Stable(11),
+        Stable(INFINITY),
+    ]
+    PHY2 = [
+        Insert("A", 6, 7),
+        Insert("B", 8, 15),
+        Adjust("A", 6, 7, 12),
+        Adjust("B", 8, 15, 10),
+        Stable(INFINITY),
+    ]
+    LOGICAL = TDB([Event(6, "A", 12), Event(8, "B", 10)])
+
+    def test_phy1_reconstitutes_to_logical(self):
+        assert reconstitute(self.PHY1) == self.LOGICAL
+
+    def test_phy2_reconstitutes_to_logical(self):
+        assert reconstitute(self.PHY2) == self.LOGICAL
+
+    def test_streams_equivalent(self):
+        assert PhysicalStream(self.PHY1).equivalent(PhysicalStream(self.PHY2))
+
+    def test_prefixes_not_equivalent_but_streams_are(self):
+        """Prefixes of the two physical streams differ (they are merely
+        compatible); the full streams coincide."""
+        assert reconstitute_prefix(self.PHY1, 2) != reconstitute_prefix(self.PHY2, 2)
+
+
+class TestExample3OpenClose:
+    """The paper's Example 3: three equivalent open/close prefixes."""
+
+    S5 = [Open("A", 1), Open("B", 2), Open("C", 3), Close("A", 4), Close("B", 5)]
+    U5 = [Open("A", 1), Close("A", 4), Open("B", 2), Close("B", 5), Open("C", 3)]
+    W6 = [
+        Open("B", 2),
+        Close("B", 6),
+        Open("A", 1),
+        Open("C", 3),
+        Close("A", 4),
+        Close("B", 5),
+    ]
+    LOGICAL = TDB([Event(1, "A", 4), Event(2, "B", 5), Event(3, "C")])
+
+    def test_s5(self):
+        assert reconstitute_open_close(self.S5) == self.LOGICAL
+
+    def test_u5(self):
+        assert reconstitute_open_close(self.U5) == self.LOGICAL
+
+    def test_w6_close_revision(self):
+        """close(B,5) in W[6] revises the earlier close(B,6)."""
+        assert reconstitute_open_close(self.W6) == self.LOGICAL
+
+    def test_double_open_raises(self):
+        with pytest.raises(StreamViolationError):
+            reconstitute_open_close([Open("A", 1), Open("A", 2)])
+
+    def test_close_without_open_raises(self):
+        with pytest.raises(StreamViolationError):
+            reconstitute_open_close([Close("A", 2)])
+
+
+class TestQueries:
+    def test_snapshot(self):
+        tdb = reconstitute([Insert("A", 1, 5), Insert("B", 3, 8), Insert("A", 6, 9)])
+        assert tdb.snapshot(4) == {"A": 1, "B": 1}
+        assert tdb.snapshot(7) == {"A": 1, "B": 1}
+        assert tdb.snapshot(8) == {"A": 1}
+
+    def test_events_for_key(self):
+        tdb = reconstitute([Insert("A", 1, 5), Insert("A", 1, 9)])
+        assert sorted(tdb.events_for_key(1, "A")) == [
+            Event(1, "A", 5),
+            Event(1, "A", 9),
+        ]
+
+    def test_key_is_unique(self):
+        assert reconstitute([Insert("A", 1, 5), Insert("A", 2, 5)]).key_is_unique()
+        assert not reconstitute([Insert("A", 1, 5), Insert("A", 1, 9)]).key_is_unique()
+
+    def test_max_ve(self):
+        assert reconstitute([Insert("A", 1, 5), Insert("B", 1)]).max_ve() == 5
+        assert reconstitute([]).max_ve() == MINUS_INFINITY
+
+    def test_copy_is_independent(self):
+        tdb = reconstitute([Insert("A", 1, 5)])
+        clone = tdb.copy()
+        clone.apply(Insert("B", 2, 6))
+        assert len(tdb) == 1 and len(clone) == 2
+
+    def test_equality_ignores_zero_counts(self):
+        left = reconstitute([Insert("A", 1, 5), Adjust("A", 1, 5, 9)])
+        right = reconstitute([Insert("A", 1, 9)])
+        assert left == right
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(TDB())
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(IndexError):
+            reconstitute_prefix([Insert("A", 1)], 2)

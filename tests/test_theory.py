@@ -1,0 +1,204 @@
+"""Tests for the theory module: Example 4 and the Section III-D worked
+example (inputs I1, I2; candidate outputs O1, O2, O3)."""
+
+from repro.temporal.elements import Close, Open
+from repro.temporal.event import Event
+from repro.temporal.tdb import TDB
+from repro.theory.compatibility import (
+    check_r3_compatibility,
+    check_r4_conformance,
+    is_r3_compatible,
+)
+from repro.theory.equivalence import (
+    equivalent_prefixes,
+    open_close_compatible,
+    prefix_equivalent_open_close,
+)
+from repro.temporal.elements import Adjust, Insert, Stable
+from repro.temporal.time import INFINITY
+
+
+def tdb_with_stable(events, stable):
+    tdb = TDB(events)
+    tdb.stable_point = stable
+    return tdb
+
+
+class TestOpenCloseCompatibility:
+    """Example 4: O[j] compatible with I[k] iff O[j] is a sub-multiset."""
+
+    INPUT = [Open("A", 1), Open("B", 2), Close("A", 4)]
+
+    def test_subset_is_compatible(self):
+        assert open_close_compatible([Open("A", 1)], self.INPUT)
+
+    def test_full_prefix_is_compatible(self):
+        assert open_close_compatible(self.INPUT, self.INPUT)
+
+    def test_empty_output_is_compatible(self):
+        assert open_close_compatible([], self.INPUT)
+
+    def test_extra_open_incompatible(self):
+        assert not open_close_compatible([Open("C", 3)], self.INPUT)
+
+    def test_divergent_close_incompatible(self):
+        """An output close(p,Ve) not in the input can never be revised."""
+        assert not open_close_compatible(
+            [Open("A", 1), Close("A", 5)], self.INPUT
+        )
+
+    def test_union_of_inputs(self):
+        """Against mutually consistent inputs, compatibility is containment
+        in their union."""
+        other_input = [Open("A", 1), Open("C", 3)]
+        union = self.INPUT + other_input
+        assert open_close_compatible([Open("C", 3), Open("B", 2)], union)
+
+    def test_order_irrelevant(self):
+        assert open_close_compatible(
+            [Close("A", 4), Open("A", 1)], self.INPUT
+        )
+
+
+class TestPrefixEquivalence:
+    def test_different_orders_equivalent(self):
+        s = [Insert("A", 1, 4), Insert("B", 2, 5)]
+        u = [Insert("B", 2, 5), Insert("A", 1, 4)]
+        assert equivalent_prefixes(s, 2, u, 2)
+
+    def test_different_lengths_equivalent(self):
+        s = [Insert("A", 1, 4)]
+        u = [Insert("A", 1, 9), Adjust("A", 1, 9, 4)]
+        assert equivalent_prefixes(s, 1, u, 2)
+
+    def test_not_equivalent(self):
+        assert not equivalent_prefixes([Insert("A", 1, 4)], 1, [], 0)
+
+    def test_open_close_variant(self):
+        s = [Open("A", 1), Close("A", 4)]
+        u = [Open("A", 1), Close("A", 9), Close("A", 4)]
+        assert prefix_equivalent_open_close(s, u)
+
+
+class TestSectionIIIDExample:
+    """The worked example: O1 and O2 compatible with {I1, I2}; O3 not."""
+
+    def setup_method(self):
+        self.i1 = tdb_with_stable(
+            [Event(2, "A", 16), Event(3, "B", 10), Event(4, "C", 18), Event(15, "D", 20)],
+            stable=14,
+        )
+        self.i2 = tdb_with_stable(
+            [Event(2, "A", 12), Event(3, "B", 10), Event(4, "C", 18), Event(17, "E", 21)],
+            stable=11,
+        )
+        self.inputs = [self.i1, self.i2]
+
+    def test_inputs_have_expected_statuses(self):
+        from repro.temporal.event import FreezeStatus
+
+        assert self.i1.status_of(Event(2, "A", 16)) is FreezeStatus.HALF_FROZEN
+        assert self.i1.status_of(Event(3, "B", 10)) is FreezeStatus.FULLY_FROZEN
+        assert self.i1.status_of(Event(15, "D", 20)) is FreezeStatus.UNFROZEN
+
+    def test_o1_conservative_output_compatible(self):
+        o1 = tdb_with_stable(
+            [Event(2, "A", INFINITY), Event(3, "B", 10), Event(4, "C", INFINITY)],
+            stable=11,
+        )
+        assert is_r3_compatible(self.inputs, o1)
+
+    def test_o2_aggressive_output_compatible(self):
+        o2 = tdb_with_stable(
+            [
+                Event(2, "A", 16),
+                Event(3, "B", 10),
+                Event(4, "C", 18),
+                Event(15, "D", 20),
+                Event(17, "E", 21),
+            ],
+            stable=14,
+        )
+        assert is_r3_compatible(self.inputs, o2)
+
+    def test_o3_incompatible_for_both_reasons(self):
+        o3 = tdb_with_stable(
+            [Event(2, "A", 12), Event(4, "C", 18), Event(15, "D", 20)],
+            stable=13,
+        )
+        violations = check_r3_compatibility(self.inputs, o3)
+        conditions = {violation.condition for violation in violations}
+        # Reason 1: <A,2,12> is FF in O3 but contradicts I1 (C2).
+        assert "C2" in conditions
+        # Reason 2: <B,3,10> is FF in the inputs but absent from O3 (C3).
+        assert "C3" in conditions
+
+    def test_c1_output_stable_beyond_inputs(self):
+        output = tdb_with_stable([Event(3, "B", 10)], stable=15)
+        violations = check_r3_compatibility(self.inputs, output)
+        assert any(v.condition == "C1" for v in violations)
+
+    def test_duplicate_key_in_output_rejected(self):
+        output = tdb_with_stable(
+            [Event(3, "B", 10), Event(3, "B", 12)], stable=11
+        )
+        violations = check_r3_compatibility(self.inputs, output)
+        assert any(v.condition == "C2" for v in violations)
+
+    def test_unfrozen_output_event_unconstrained(self):
+        """C2: a UF output event is allowed even with no input support."""
+        output = tdb_with_stable(
+            [Event(3, "B", 10), Event(99, "Z", 120)], stable=11
+        )
+        # Z at Vs=99 is unfrozen (stable 11): no violation from it.
+        violations = check_r3_compatibility(self.inputs, output)
+        assert not [v for v in violations if v.key == (99, "Z")]
+
+    def test_missing_ff_event_with_room_to_add_is_fine(self):
+        """C3: output may lack an input-FF event while L <= its Vs."""
+        output = tdb_with_stable([], stable=3)
+        violations = check_r3_compatibility(self.inputs, output)
+        assert not [v for v in violations if v.key == (3, "B")]
+        # But B is FF in I1 with Ve=10 < L is false here (L=3 <= Vs=3): ok.
+
+    def test_missing_ff_event_past_stable_violates(self):
+        output = tdb_with_stable([], stable=11)
+        violations = check_r3_compatibility(self.inputs, output)
+        assert any(v.key == (3, "B") and v.condition == "C3" for v in violations)
+
+
+class TestR4Conformance:
+    def test_matching_multisets_conform(self):
+        reference = tdb_with_stable(
+            [Event(1, "A", 5), Event(1, "A", 5), Event(2, "B", 20)], stable=10
+        )
+        output = tdb_with_stable(
+            [Event(1, "A", 5), Event(1, "A", 5), Event(2, "B", 30)], stable=10
+        )
+        # B is HF on both sides (count 1 each): Ve may differ.
+        assert not check_r4_conformance([reference], output)
+
+    def test_ff_count_mismatch_detected(self):
+        reference = tdb_with_stable([Event(1, "A", 5), Event(1, "A", 5)], stable=10)
+        output = tdb_with_stable([Event(1, "A", 5)], stable=10)
+        assert check_r4_conformance([reference], output)
+
+    def test_hf_count_mismatch_detected(self):
+        reference = tdb_with_stable([Event(1, "A", 20), Event(1, "A", 30)], stable=10)
+        output = tdb_with_stable([Event(1, "A", 20)], stable=10)
+        assert check_r4_conformance([reference], output)
+
+    def test_output_ahead_is_c1(self):
+        reference = tdb_with_stable([], stable=5)
+        output = tdb_with_stable([], stable=10)
+        violations = check_r4_conformance([reference], output)
+        assert violations and violations[0].condition == "C1"
+
+    def test_lagging_output_not_checked(self):
+        """Counts are only compared when L tracks max(Lm)."""
+        reference = tdb_with_stable([Event(1, "A", 5)], stable=10)
+        output = tdb_with_stable([], stable=0)
+        assert not check_r4_conformance([reference], output)
+
+    def test_no_inputs_is_trivially_fine(self):
+        assert not check_r4_conformance([], TDB())

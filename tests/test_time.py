@@ -1,0 +1,94 @@
+"""Tests for repro.temporal.time."""
+
+import math
+
+import pytest
+
+from repro.temporal.time import (
+    INFINITY,
+    MINUS_INFINITY,
+    is_finite,
+    validate_interval,
+    validate_timestamp,
+)
+
+
+class TestConstants:
+    def test_infinity_is_float_inf(self):
+        assert INFINITY == math.inf
+
+    def test_minus_infinity_below_everything(self):
+        assert MINUS_INFINITY < -(10**18)
+
+    def test_infinity_above_everything(self):
+        assert INFINITY > 10**18
+
+
+class TestIsFinite:
+    def test_int_is_finite(self):
+        assert is_finite(42)
+
+    def test_zero_is_finite(self):
+        assert is_finite(0)
+
+    def test_negative_is_finite(self):
+        assert is_finite(-5)
+
+    def test_float_is_finite(self):
+        assert is_finite(3.5)
+
+    def test_infinity_is_not_finite(self):
+        assert not is_finite(INFINITY)
+
+    def test_minus_infinity_is_not_finite(self):
+        assert not is_finite(MINUS_INFINITY)
+
+
+class TestValidateTimestamp:
+    def test_accepts_int(self):
+        assert validate_timestamp(7) == 7
+
+    def test_accepts_float(self):
+        assert validate_timestamp(7.5) == 7.5
+
+    def test_accepts_infinity(self):
+        assert validate_timestamp(INFINITY) == INFINITY
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            validate_timestamp("7")
+
+    def test_rejects_none(self):
+        with pytest.raises(TypeError):
+            validate_timestamp(None)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            validate_timestamp(True)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            validate_timestamp(float("nan"))
+
+    def test_error_names_the_field(self):
+        with pytest.raises(TypeError, match="Vs"):
+            validate_timestamp("x", name="Vs")
+
+
+class TestValidateInterval:
+    def test_accepts_normal_interval(self):
+        validate_interval(1, 5)
+
+    def test_accepts_empty_interval(self):
+        validate_interval(5, 5)  # transient (cancel encoding)
+
+    def test_accepts_infinite_end(self):
+        validate_interval(1, INFINITY)
+
+    def test_rejects_infinite_start(self):
+        with pytest.raises(ValueError):
+            validate_interval(INFINITY, INFINITY)
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            validate_interval(5, 1)

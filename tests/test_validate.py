@@ -1,0 +1,134 @@
+"""Incremental stream-contract checker."""
+
+import pytest
+
+from repro.temporal.elements import Adjust, Insert, Stable
+from repro.temporal.tdb import StreamViolationError
+from repro.temporal.validate import StreamContractChecker, validate_stream
+from repro.temporal.time import INFINITY
+
+from conftest import divergent_inputs, small_stream
+
+
+class TestInsertRules:
+    def test_valid_insert(self):
+        checker = StreamContractChecker()
+        checker.check(Insert("a", 1, 5))
+        assert checker.elements_checked == 1
+
+    def test_insert_behind_stable_rejected(self):
+        checker = StreamContractChecker()
+        checker.check(Stable(10))
+        with pytest.raises(StreamViolationError):
+            checker.check(Insert("a", 5, 20))
+
+    def test_insert_at_stable_point_ok(self):
+        checker = StreamContractChecker()
+        checker.check(Stable(10))
+        checker.check(Insert("a", 10, 20))
+
+    def test_duplicate_key_allowed_by_default(self):
+        checker = StreamContractChecker()
+        checker.check(Insert("a", 1, 5))
+        checker.check(Insert("a", 1, 9))
+
+    def test_duplicate_key_rejected_when_enforced(self):
+        checker = StreamContractChecker(enforce_key=True)
+        checker.check(Insert("a", 1, 5))
+        with pytest.raises(StreamViolationError):
+            checker.check(Insert("a", 1, 9))
+
+
+class TestAdjustRules:
+    def test_valid_adjust_chain(self):
+        checker = StreamContractChecker()
+        checker.check(Insert("a", 1, 5))
+        checker.check(Adjust("a", 1, 5, 9))
+        checker.check(Adjust("a", 1, 9, 7))
+
+    def test_adjust_unknown_event_rejected(self):
+        checker = StreamContractChecker()
+        with pytest.raises(StreamViolationError):
+            checker.check(Adjust("a", 1, 5, 9))
+
+    def test_adjust_wrong_version_rejected(self):
+        checker = StreamContractChecker()
+        checker.check(Insert("a", 1, 5))
+        with pytest.raises(StreamViolationError):
+            checker.check(Adjust("a", 1, 6, 9))
+
+    def test_adjust_behind_stable_rejected(self):
+        checker = StreamContractChecker()
+        checker.check(Insert("a", 1, 5))
+        checker.check(Stable(10))
+        with pytest.raises(StreamViolationError):
+            checker.check(Adjust("a", 1, 5, 9))
+
+    def test_cancel_retires_key(self):
+        checker = StreamContractChecker()
+        checker.check(Insert("a", 1, 5))
+        checker.check(Adjust("a", 1, 5, 1))
+        assert checker.live_keys == 0
+        with pytest.raises(StreamViolationError):
+            checker.check(Adjust("a", 1, 5, 9))
+
+
+class TestStableRules:
+    def test_stable_retires_frozen_keys(self):
+        checker = StreamContractChecker()
+        checker.check(Insert("short", 1, 5))
+        checker.check(Insert("long", 2, 100))
+        checker.check(Stable(50))
+        assert checker.live_keys == 1  # "long" survives
+
+    def test_regressions_counted_not_raised(self):
+        checker = StreamContractChecker()
+        checker.check(Stable(10))
+        checker.check(Stable(5))
+        assert checker.stable_regressions == 1
+        assert checker.stable_point == 10
+
+    def test_state_bounded_by_live_region(self):
+        """State does not grow with stream length when punctuation flows."""
+        checker = StreamContractChecker()
+        for index in range(2000):
+            checker.check(Insert(("p", index), index, index + 5))
+            if index % 50 == 0 and index:
+                checker.check(Stable(index - 10))
+        assert checker.live_keys < 100
+
+
+class TestWholeStreams:
+    def test_generated_streams_validate(self):
+        stream = small_stream(count=500, seed=120, disorder=0.4)
+        checker = validate_stream(stream, enforce_key=True)
+        assert checker.elements_checked == len(stream)
+        assert checker.stable_point == INFINITY
+
+    def test_divergent_streams_validate(self):
+        reference = small_stream(count=300, seed=121)
+        for stream in divergent_inputs(reference, speculate_fraction=0.5):
+            validate_stream(stream)
+
+    def test_merge_outputs_validate(self):
+        from repro.lmerge.r3 import LMergeR3
+
+        reference = small_stream(count=300, seed=122)
+        inputs = divergent_inputs(reference, speculate_fraction=0.4)
+        merge = LMergeR3()
+        output = merge.merge(inputs, schedule="random", seed=6)
+        validate_stream(output, enforce_key=True)
+
+    def test_agrees_with_strict_reconstitution(self):
+        """Checker and strict TDB accept/reject the same streams."""
+        from repro.temporal.tdb import reconstitute
+
+        bad = [Insert("a", 1, 5), Stable(10), Insert("b", 2, 20)]
+        with pytest.raises(StreamViolationError):
+            reconstitute(bad)
+        with pytest.raises(StreamViolationError):
+            validate_stream(bad)
+
+    def test_non_element_rejected(self):
+        with pytest.raises(TypeError):
+            StreamContractChecker().check("junk")
