@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import pytest
 
 from repro.engine.operator import CollectorSink
-from repro.lmerge.base import LMergeBase, interleave
+from repro.lmerge.base import LMergeBase, interleave, interleave_batches
 from repro.lmerge.r0 import LMergeR0
 from repro.lmerge.r1 import LMergeR1
 from repro.lmerge.r2 import LMergeR2
@@ -202,6 +202,43 @@ def run_merge(
         "seconds": elapsed,
         "throughput": processed / elapsed if elapsed > 0 else float("inf"),
         "peak_memory": peak_memory,
+        "adjusts_out": merge.stats.adjusts_out,
+        "elements_out": merge.stats.elements_out,
+    }
+
+
+def run_merge_batched(
+    merge: LMergeBase,
+    inputs: Sequence[PhysicalStream],
+    schedule: str = "round_robin",
+    batch_size: int = 64,
+    coalesce_stables: bool = True,
+) -> Dict[str, float]:
+    """Batched counterpart of :func:`run_merge` (the bench_hotpath driver).
+
+    Same total elements, same schedules, but delivered in *batch_size*
+    slices through ``process_batch`` with stable-coalescing on — the
+    throughput configuration of the batched hot path.
+    """
+    import time
+
+    streams = list(inputs)
+    for stream_id in range(len(streams)):
+        if not merge.is_attached(stream_id):
+            merge.attach(stream_id)
+    chunks = list(interleave_batches(streams, schedule, 0, batch_size))
+    processed = 0
+    start = time.perf_counter()
+    for chunk, stream_id in chunks:
+        merge.process_batch(
+            chunk, stream_id, coalesce_stables=coalesce_stables
+        )
+        processed += len(chunk)
+    elapsed = time.perf_counter() - start
+    return {
+        "elements": processed,
+        "seconds": elapsed,
+        "throughput": processed / elapsed if elapsed > 0 else float("inf"),
         "adjusts_out": merge.stats.adjusts_out,
         "elements_out": merge.stats.elements_out,
     }

@@ -12,7 +12,7 @@ LMerge-algorithm selection of Section IV-G walks.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.lmerge.feedback import FeedbackSignal
 from repro.streams.properties import StreamProperties
@@ -52,9 +52,57 @@ class Operator:
         downstream._upstreams.append(self)
         return downstream
 
+    def unsubscribe(self, downstream: "Operator") -> None:
+        """Remove every subscription to *downstream* (inverse of
+        :meth:`subscribe`)."""
+        self._subscribers = [
+            (op, port) for op, port in self._subscribers if op is not downstream
+        ]
+        downstream._upstreams = [
+            op for op in downstream._upstreams if op is not self
+        ]
+
     @property
     def upstreams(self) -> Tuple["Operator", ...]:
         return tuple(self._upstreams)
+
+    @property
+    def subscribers(self) -> Tuple[Tuple["Operator", int], ...]:
+        """The ``(downstream, port)`` subscriptions, as a snapshot.
+
+        The public face of the wiring — schedulers and diagnostics should
+        read this rather than the private list.
+        """
+        return tuple(self._subscribers)
+
+    # ------------------------------------------------------------------
+    # Capacity (the scheduler's backpressure probe)
+    # ------------------------------------------------------------------
+
+    def input_room(self) -> Optional[int]:
+        """How many more elements this operator can accept right now.
+
+        ``None`` means unbounded (the default); bounded operators —
+        notably queued edges — override.
+        """
+        return None
+
+    def output_room(self) -> Optional[int]:
+        """The tightest :meth:`input_room` across all subscribers.
+
+        ``None`` when every subscriber is unbounded.
+        """
+        room: Optional[int] = None
+        for downstream, _ in self._subscribers:
+            r = downstream.input_room()
+            if r is not None and (room is None or r < room):
+                room = r
+        return room
+
+    def has_output_room(self) -> bool:
+        """True when every subscriber can accept at least one element."""
+        room = self.output_room()
+        return room is None or room > 0
 
     # ------------------------------------------------------------------
     # Element flow
@@ -71,6 +119,18 @@ class Operator:
             self.on_stable(element.vc, port)
         else:
             raise TypeError(f"not a stream element: {element!r}")
+
+    def receive_batch(self, elements: Sequence[Element], port: int = 0) -> None:
+        """Deliver a slice of consecutive elements to one port.
+
+        Default: element-by-element :meth:`receive`, so every operator
+        accepts batches.  Operators with a cheaper bulk path override
+        (queued edges enqueue in one extend; the HA fragment adapter
+        forwards to ``LMergeBase.process_batch``).
+        """
+        receive = self.receive
+        for element in elements:
+            receive(element, port)
 
     def emit(self, element: Element) -> None:
         """Push one element to every subscriber."""
@@ -140,6 +200,10 @@ class CollectorSink(Operator):
     def receive(self, element: Element, port: int = 0) -> None:
         self.elements_in += 1
         self.stream.append(element)
+
+    def receive_batch(self, elements: Sequence[Element], port: int = 0) -> None:
+        self.elements_in += len(elements)
+        self.stream.extend(elements)
 
     def derive_properties(self, input_properties):
         return input_properties[0] if input_properties else StreamProperties.unknown()

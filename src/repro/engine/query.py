@@ -109,11 +109,7 @@ class Query:
             self.play(interleave=interleave, chunk=chunk)
         finally:
             # Leave the graph reusable: drop the temporary sink.
-            self.tail._subscribers = [
-                (op, port)
-                for op, port in self.tail._subscribers
-                if op is not sink
-            ]
+            self.tail.unsubscribe(sink)
         return sink.stream
 
     def play(self, interleave: bool = True, chunk: int = 64) -> None:
@@ -184,6 +180,10 @@ class _LMergeAdapter(Operator):
     def receive(self, element, port: int = 0) -> None:
         self.elements_in += 1
         self.lmerge.process(element, self.stream_id)
+
+    def receive_batch(self, elements, port: int = 0) -> None:
+        self.elements_in += len(elements)
+        self.lmerge.process_batch(elements, self.stream_id)
 
     def _on_merge_feedback(self, stream_id, horizon) -> None:
         if stream_id == self.stream_id:

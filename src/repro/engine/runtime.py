@@ -19,7 +19,7 @@ Operators are unmodified: the runtime wraps their subscriptions.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.operator import Operator
 from repro.temporal.elements import Element
@@ -64,17 +64,44 @@ class QueuedEdge(Operator):
         if len(self._queue) > self.peak_depth:
             self.peak_depth = len(self._queue)
 
+    def receive_batch(self, elements: Sequence[Element], port: int = 0) -> None:
+        count = len(elements)
+        self.elements_in += count
+        if (
+            self.capacity is not None
+            and len(self._queue) + count > self.capacity
+        ):
+            raise QueueFullError(
+                f"{self.name}: capacity {self.capacity} exceeded"
+            )
+        self._queue.extend(elements)
+        self.enqueued += count
+        if len(self._queue) > self.peak_depth:
+            self.peak_depth = len(self._queue)
+
     # -- scheduler side ------------------------------------------------------
 
     def drain(self, budget: int) -> int:
-        """Deliver up to *budget* queued elements; returns how many."""
-        delivered = 0
-        while self._queue and delivered < budget:
-            element = self._queue.popleft()
-            self.consumer.receive(element, self.port)
-            delivered += 1
-            self.drained += 1
-        return delivered
+        """Deliver up to *budget* queued elements; returns how many.
+
+        Elements leave in one slice through the consumer's
+        ``receive_batch`` (whose default is a per-element loop, so the
+        observable order is unchanged; consumers with a batched fast path
+        get the whole slice at once).
+        """
+        queue = self._queue
+        count = len(queue)
+        if budget < count:
+            count = budget
+        if count <= 0:
+            return 0
+        if count == 1:
+            self.consumer.receive(queue.popleft(), self.port)
+        else:
+            batch = [queue.popleft() for _ in range(count)]
+            self.consumer.receive_batch(batch, self.port)
+        self.drained += count
+        return count
 
     @property
     def depth(self) -> int:
@@ -83,6 +110,13 @@ class QueuedEdge(Operator):
     @property
     def has_room(self) -> bool:
         return self.capacity is None or len(self._queue) < self.capacity
+
+    def input_room(self) -> Optional[int]:
+        """Free slots in the queue; ``None`` when unbounded."""
+        if self.capacity is None:
+            return None
+        room = self.capacity - len(self._queue)
+        return room if room > 0 else 0
 
     def derive_properties(self, input_properties):
         # A FIFO queue reorders nothing.
@@ -96,10 +130,17 @@ class QueuedEdge(Operator):
 class Runtime:
     """Round-robin cooperative scheduler over queued edges."""
 
-    def __init__(self, batch: int = 32):
+    def __init__(self, batch: int = 32, reserve: int = 1):
         if batch < 1:
             raise ValueError("batch must be positive")
+        if reserve < 0:
+            raise ValueError("reserve must be non-negative")
         self.batch = batch
+        #: Slots left free in a bounded downstream queue when sizing a
+        #: drain slice — headroom for operators that emit more than one
+        #: element per input (a slice is never sized to land exactly on
+        #: the capacity line unless only one slot is free).
+        self.reserve = reserve
         self._edges: List[QueuedEdge] = []
         self.rounds = 0
 
@@ -122,19 +163,32 @@ class Runtime:
         Downstream-first order so one round moves elements at most one
         hop (modelling per-operator scheduling quanta); returns elements
         moved.
+
+        Backpressure is applied per *slice* rather than per element: the
+        consumer's free downstream room (its :meth:`Operator.output_room`)
+        bounds the slice size, less :attr:`reserve` slots of headroom,
+        and is re-probed between slices.  An unbounded consumer drains
+        its whole budget in one slice.
         """
         moved = 0
         self.rounds += 1
+        reserve = self.reserve
         for edge in reversed(self._edges):
-            for _ in range(self.batch):
-                # Backpressure: stop draining the moment the consumer's
-                # own output queues run out of room (one delivered
-                # element can produce output, so re-check per element).
-                if edge.depth == 0 or not self._downstream_has_room(
-                    edge.consumer
-                ):
+            budget = self.batch
+            consumer = edge.consumer
+            while budget > 0:
+                depth = edge.depth
+                if depth == 0:
                     break
-                moved += edge.drain(1)
+                room = consumer.output_room()
+                if room is None:
+                    size = budget if budget < depth else depth
+                elif room <= 0:
+                    break
+                else:
+                    size = min(budget, depth, max(1, room - reserve))
+                moved += edge.drain(size)
+                budget -= size
         return moved
 
     def run(self, max_rounds: Optional[int] = None) -> int:
@@ -153,12 +207,6 @@ class Runtime:
             if max_rounds is not None and rounds >= max_rounds:
                 break
         return total
-
-    def _downstream_has_room(self, operator: Operator) -> bool:
-        for downstream, _ in operator._subscribers:
-            if isinstance(downstream, QueuedEdge) and not downstream.has_room:
-                return False
-        return True
 
     # -- statistics ----------------------------------------------------------
 

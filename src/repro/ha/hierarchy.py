@@ -102,13 +102,20 @@ class _FragmentAdapter(Operator):
             self.merge.process(element, self.stream_id)
         # A failed replica's residual output is dropped on the floor.
 
+    def receive_batch(self, elements, port: int = 0) -> None:
+        # Batched delivery (e.g. from a QueuedEdge drain slice) rides the
+        # merge's batched hot path.
+        self.elements_in += len(elements)
+        if self.merge.is_attached(self.stream_id):
+            self.merge.process_batch(elements, self.stream_id)
+
 
 def _pipeline_tail(head: Operator) -> Operator:
     tail = head
-    while tail._subscribers:
-        if len(tail._subscribers) != 1:
+    while tail.subscribers:
+        if len(tail.subscribers) != 1:
             raise ValueError("fragment pipelines must be linear")
-        tail = tail._subscribers[0][0]
+        tail = tail.subscribers[0][0]
     return tail
 
 

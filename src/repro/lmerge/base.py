@@ -14,8 +14,18 @@ Responsibilities shared across R0-R4:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.streams.stream import PhysicalStream
 from repro.temporal.elements import Adjust, Element, Insert, Stable
@@ -96,6 +106,21 @@ class LMergeBase:
         self._feedback_listeners: List[FeedbackListener] = []
         #: Largest stable() emitted on the output.
         self.max_stable: Timestamp = MINUS_INFINITY
+        # Incrementally maintained leading-stream cache (Section V-A).
+        # Updated whenever an input's stable point advances; rescanned only
+        # when the current leader detaches.  Replaces the O(inputs) scan
+        # that the LEADING insert policy used to pay per insert.
+        self._leader: Optional[StreamId] = None
+        self._leader_stable: Timestamp = MINUS_INFINITY
+        # Batched dispatch: element class -> handler for a run of
+        # consecutive same-class elements.  No isinstance chain on the
+        # batched hot path; subclasses override the handlers to install
+        # fast paths (see process_batch).
+        self._batch_dispatch: Dict[type, Callable] = {
+            Insert: self._insert_batch,
+            Adjust: self._adjust_batch,
+            Stable: self._stable_batch,
+        }
 
     # ------------------------------------------------------------------
     # Input lifecycle (Section V-B)
@@ -126,6 +151,8 @@ class LMergeBase:
         state = self._inputs.pop(stream_id, None)
         if state is None:
             raise InputStateError(f"stream {stream_id!r} is not attached")
+        if stream_id == self._leader:
+            self._rescan_leader()
         self._on_detach(stream_id)
 
     def is_attached(self, stream_id: StreamId) -> bool:
@@ -164,14 +191,33 @@ class LMergeBase:
         return self._inputs[stream_id].guarantee_from
 
     def leading_stream(self) -> Optional[StreamId]:
-        """The input with the largest stable point (Section V-A), if any."""
+        """The input with the largest stable point (Section V-A), if any.
+
+        O(1): served from a cache maintained as punctuation arrives.  On a
+        tie the first input to *reach* the leading stable point keeps the
+        lead (equally valid under Section V-A — any maximal input may
+        lead).
+        """
+        return self._leader
+
+    def _note_stable(self, state: _InputState, stream_id: StreamId, vc: Timestamp) -> None:
+        """Record punctuation from *stream_id*, maintaining the leader cache."""
+        if vc > state.last_stable:
+            state.last_stable = vc
+            if vc > self._leader_stable:
+                self._leader_stable = vc
+                self._leader = stream_id
+
+    def _rescan_leader(self) -> None:
+        """Recompute the leader cache (only needed when the leader detaches)."""
         best: Optional[StreamId] = None
         best_stable = MINUS_INFINITY
         for stream_id, state in self._inputs.items():
             if state.last_stable > best_stable:
                 best_stable = state.last_stable
                 best = stream_id
-        return best
+        self._leader = best
+        self._leader_stable = best_stable
 
     def _on_attach(self, stream_id: StreamId) -> None:
         """Subclass hook: initialize per-input state."""
@@ -202,8 +248,7 @@ class LMergeBase:
             self._adjust(element, stream_id)
         elif isinstance(element, Stable):
             self.stats.stables_in += 1
-            if element.vc > state.last_stable:
-                state.last_stable = element.vc
+            self._note_stable(state, stream_id, element.vc)
             if self.is_joined(stream_id):
                 self._stable(element.vc, stream_id)
             # A still-joining stream (Section V-B) may deliver data but
@@ -224,6 +269,122 @@ class LMergeBase:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Batched element processing
+    # ------------------------------------------------------------------
+
+    def process_batch(
+        self,
+        elements: Sequence[Element],
+        stream_id: StreamId,
+        *,
+        coalesce_stables: bool = False,
+    ) -> None:
+        """Feed a slice of consecutive elements from one input.
+
+        Semantically equivalent to calling :meth:`process` element by
+        element, but amortizes the per-element overhead: elements are
+        grouped into runs of the same class and dispatched through a
+        type-keyed table (no ``isinstance`` chain), statistics are updated
+        once per run, and subclasses install run-level fast paths
+        (:meth:`_insert_batch` overrides in R0-R4).
+
+        With ``coalesce_stables=True``, a run of consecutive ``stable()``
+        elements triggers a *single* frontier advance to the run's maximum
+        ``Vc`` (one reconciliation scan instead of one per stable).  The
+        output is then logically equivalent to — but no longer
+        element-for-element identical with — the per-element path: the
+        intermediate punctuation is absorbed.  Leave it off where exact
+        physical equality matters (it is asserted by the batch-equivalence
+        property tests); turn it on for throughput.
+        """
+        state = self._inputs.get(stream_id)
+        if state is None:
+            raise InputStateError(
+                f"batch from unattached stream {stream_id!r}"
+            )
+        dispatch = self._batch_dispatch
+        i = 0
+        n = len(elements)
+        while i < n:
+            cls = elements[i].__class__
+            j = i + 1
+            while j < n and elements[j].__class__ is cls:
+                j += 1
+            handler = dispatch.get(cls)
+            if handler is None:
+                raise TypeError(f"not a stream element: {elements[i]!r}")
+            handler(elements[i:j], stream_id, state, coalesce_stables)
+            i = j
+
+    def _insert_batch(
+        self,
+        run: Sequence[Insert],
+        stream_id: StreamId,
+        state: _InputState,
+        coalesce_stables: bool,
+    ) -> None:
+        """Process a run of consecutive inserts; subclasses override with
+        loop-hoisted fast paths."""
+        self.stats.inserts_in += len(run)
+        _insert = self._insert
+        for element in run:
+            _insert(element, stream_id)
+
+    def _adjust_batch(
+        self,
+        run: Sequence[Adjust],
+        stream_id: StreamId,
+        state: _InputState,
+        coalesce_stables: bool,
+    ) -> None:
+        """Process a run of consecutive adjusts."""
+        if not self.supports_adjust:
+            # Mirror the per-element path: the offending element is
+            # counted, then rejected.
+            self.stats.adjusts_in += 1
+            raise UnsupportedElementError(
+                f"{self.algorithm} does not support adjust(): {run[0]}"
+            )
+        self.stats.adjusts_in += len(run)
+        _adjust = self._adjust
+        for element in run:
+            _adjust(element, stream_id)
+
+    def _stable_batch(
+        self,
+        run: Sequence[Stable],
+        stream_id: StreamId,
+        state: _InputState,
+        coalesce_stables: bool,
+    ) -> None:
+        """Process a run of consecutive stables, optionally coalesced.
+
+        Coalescing is safe because no data element separates the run: the
+        merge state reconciled at the run's maximum ``Vc`` is exactly the
+        state every intermediate stable would have seen, so a single
+        ``_stable`` call at the maximum freezes the same events to the
+        same end times (see docs/ALGORITHMS.md, "Batched execution").
+        """
+        self.stats.stables_in += len(run)
+        if coalesce_stables:
+            vc = run[0].vc
+            for element in run:
+                if element.vc > vc:
+                    vc = element.vc
+            self._note_stable(state, stream_id, vc)
+            if self.max_stable >= state.guarantee_from:
+                self._stable(vc, stream_id)
+            # A still-joining stream's punctuation is tracked but not
+            # forwarded (same rule as the per-element path).
+            return
+        guarantee = state.guarantee_from
+        _stable = self._stable
+        for element in run:
+            self._note_stable(state, stream_id, element.vc)
+            if self.max_stable >= guarantee:
+                _stable(element.vc, stream_id)
+
+    # ------------------------------------------------------------------
     # Output emission
     # ------------------------------------------------------------------
 
@@ -231,6 +392,20 @@ class LMergeBase:
         self.output.append(element)
         if self._sink is not None:
             self._sink(element)
+
+    def _emit_batch(self, elements: Sequence[Element]) -> None:
+        """Emit several elements at once (one list extend, not n appends).
+
+        Used by the batched fast paths; callers update the output
+        statistics themselves.
+        """
+        if not elements:
+            return
+        self.output.extend(elements)
+        sink = self._sink
+        if sink is not None:
+            for element in elements:
+                sink(element)
 
     def _output_insert(self, payload: Payload, vs: Timestamp, ve: Timestamp) -> None:
         self.stats.inserts_out += 1
@@ -306,32 +481,56 @@ class LMergeBase:
             self.process(element, stream_id)
         return self.output
 
+    def merge_batched(
+        self,
+        streams: Iterable[PhysicalStream],
+        schedule: str = "round_robin",
+        seed: int = 0,
+        batch_size: int = 64,
+        coalesce_stables: bool = False,
+    ) -> PhysicalStream:
+        """Batched counterpart of :meth:`merge`.
+
+        Feeds the same interleaving as :meth:`merge` (chunked into runs of
+        up to *batch_size* consecutive elements per stream) through
+        :meth:`process_batch`.  With ``coalesce_stables=False`` the output
+        is element-for-element identical to :meth:`merge`.
+        """
+        streams = list(streams)
+        for index in range(len(streams)):
+            if not self.is_attached(index):
+                self.attach(index)
+        for chunk, stream_id in interleave_batches(
+            streams, schedule, seed, batch_size
+        ):
+            self.process_batch(
+                chunk, stream_id, coalesce_stables=coalesce_stables
+            )
+        return self.output
+
 
 def interleave(
     streams: List[PhysicalStream], schedule: str = "round_robin", seed: int = 0
 ) -> Iterable[Tuple[Element, int]]:
     """Yield ``(element, stream_id)`` pairs per the named schedule."""
-    import random as _random
-
     if schedule == "sequential":
         for stream_id, stream in enumerate(streams):
             for element in stream:
                 yield element, stream_id
         return
+    lengths = [len(s) for s in streams]
     positions = [0] * len(streams)
-    remaining = sum(len(s) for s in streams)
-    rng = _random.Random(seed)
+    remaining = sum(lengths)
+    rng = random.Random(seed)
     turn = 0
     while remaining:
         if schedule == "round_robin":
             stream_id = turn % len(streams)
             turn += 1
-            if positions[stream_id] >= len(streams[stream_id]):
+            if positions[stream_id] >= lengths[stream_id]:
                 continue
         elif schedule == "random":
-            live = [
-                i for i in range(len(streams)) if positions[i] < len(streams[i])
-            ]
+            live = [i for i in range(len(streams)) if positions[i] < lengths[i]]
             stream_id = rng.choice(live)
         else:
             raise ValueError(f"unknown schedule {schedule!r}")
@@ -339,3 +538,52 @@ def interleave(
         positions[stream_id] += 1
         remaining -= 1
         yield element, stream_id
+
+
+def interleave_batches(
+    streams: List[PhysicalStream],
+    schedule: str = "round_robin",
+    seed: int = 0,
+    batch_size: int = 64,
+) -> Iterable[Tuple[List[Element], int]]:
+    """Yield ``(elements, stream_id)`` chunks per the named schedule.
+
+    Flattening the chunks reproduces exactly the per-element order of
+    :func:`interleave` with the same schedule and seed *for the
+    "sequential" schedule*; for "round_robin" and "random" the chunks are
+    a coarser-grained interleaving (each turn hands over up to
+    *batch_size* consecutive elements instead of one), which is itself a
+    valid interleaving of the same inputs — the order within each stream
+    is preserved.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    materialized = [list(s) for s in streams]
+    if schedule == "sequential":
+        for stream_id, elements in enumerate(materialized):
+            for start in range(0, len(elements), batch_size):
+                yield elements[start : start + batch_size], stream_id
+        return
+    lengths = [len(elements) for elements in materialized]
+    positions = [0] * len(materialized)
+    remaining = sum(lengths)
+    rng = random.Random(seed)
+    turn = 0
+    while remaining:
+        if schedule == "round_robin":
+            stream_id = turn % len(materialized)
+            turn += 1
+            if positions[stream_id] >= lengths[stream_id]:
+                continue
+        elif schedule == "random":
+            live = [
+                i for i in range(len(materialized)) if positions[i] < lengths[i]
+            ]
+            stream_id = rng.choice(live)
+        else:
+            raise ValueError(f"unknown schedule {schedule!r}")
+        start = positions[stream_id]
+        chunk = materialized[stream_id][start : start + batch_size]
+        positions[stream_id] = start + len(chunk)
+        remaining -= len(chunk)
+        yield chunk, stream_id

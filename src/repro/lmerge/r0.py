@@ -9,7 +9,9 @@ inputs.  O(1) time per element, O(1) space.
 
 from __future__ import annotations
 
-from repro.lmerge.base import LMergeBase, StreamId
+from typing import List, Sequence
+
+from repro.lmerge.base import LMergeBase, StreamId, _InputState
 from repro.temporal.elements import Adjust, Insert
 from repro.temporal.time import MINUS_INFINITY, Timestamp
 
@@ -29,6 +31,29 @@ class LMergeR0(LMergeBase):
         if element.vs > self._max_vs:
             self._max_vs = element.vs
             self._output_insert(element.payload, element.vs, element.ve)
+
+    def _insert_batch(
+        self,
+        run: Sequence[Insert],
+        stream_id: StreamId,
+        state: _InputState,
+        coalesce_stables: bool,
+    ) -> None:
+        # Fast path: one MaxVs register in a local, survivors collected
+        # and emitted in one extend.  Input elements are re-emitted as-is
+        # (an insert the filter passes is value-equal to what
+        # _output_insert would construct).
+        self.stats.inserts_in += len(run)
+        max_vs = self._max_vs
+        out: List[Insert] = []
+        for element in run:
+            if element.vs > max_vs:
+                max_vs = element.vs
+                out.append(element)
+        if out:
+            self._max_vs = max_vs
+            self.stats.inserts_out += len(out)
+            self._emit_batch(out)
 
     def _adjust(self, element: Adjust, stream_id: StreamId) -> None:
         raise AssertionError("unreachable: supports_adjust is False")

@@ -11,9 +11,9 @@ O(s) time per insert (s = number of inputs), O(s) space.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Sequence
 
-from repro.lmerge.base import LMergeBase, StreamId
+from repro.lmerge.base import LMergeBase, StreamId, _InputState
 from repro.structures.sizing import HASH_ENTRY_OVERHEAD
 from repro.temporal.elements import Adjust, Insert
 from repro.temporal.time import MINUS_INFINITY, Timestamp
@@ -49,6 +49,49 @@ class LMergeR1(LMergeBase):
         if count == max(self._same_vs_count.values()):
             self._output_insert(element.payload, element.vs, element.ve)
         self._same_vs_count[stream_id] = count + 1
+
+    def _insert_batch(
+        self,
+        run: Sequence[Insert],
+        stream_id: StreamId,
+        state: _InputState,
+        coalesce_stables: bool,
+    ) -> None:
+        # Fast path: within a sub-run sharing one Vs only *this* stream's
+        # counter moves, so the other streams' maximum is computed once
+        # per Vs instead of max(values()) per insert.  An element is new
+        # iff our counter has caught the others (count == overall max).
+        self.stats.inserts_in += len(run)
+        counts = self._same_vs_count
+        max_vs = self._max_vs
+        out: List[Insert] = []
+        i = 0
+        n = len(run)
+        while i < n:
+            element = run[i]
+            vs = element.vs
+            if vs < max_vs:
+                i += 1
+                continue
+            if vs > max_vs:
+                for key in counts:
+                    counts[key] = 0
+                max_vs = vs
+            own = counts[stream_id]
+            others_max = max(
+                (c for key, c in counts.items() if key != stream_id),
+                default=0,
+            )
+            while i < n and run[i].vs == vs:
+                if own >= others_max:
+                    out.append(run[i])
+                own += 1
+                i += 1
+            counts[stream_id] = own
+        self._max_vs = max_vs
+        if out:
+            self.stats.inserts_out += len(out)
+            self._emit_batch(out)
 
     def _adjust(self, element: Adjust, stream_id: StreamId) -> None:
         raise AssertionError("unreachable: supports_adjust is False")

@@ -12,9 +12,9 @@ payload size).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Sequence
 
-from repro.lmerge.base import LMergeBase, StreamId
+from repro.lmerge.base import LMergeBase, StreamId, _InputState
 from repro.structures.sizing import HASH_ENTRY_OVERHEAD, payload_bytes
 from repro.temporal.elements import Adjust, Insert
 from repro.temporal.event import Payload
@@ -48,6 +48,39 @@ class LMergeR2(LMergeBase):
             self._hash[element.payload] = size
             self._hash_bytes += size
             self._output_insert(element.payload, element.vs, element.ve)
+
+    def _insert_batch(
+        self,
+        run: Sequence[Insert],
+        stream_id: StreamId,
+        state: _InputState,
+        coalesce_stables: bool,
+    ) -> None:
+        # Fast path: hash/bytes/MaxVs in locals, one bulk emit.
+        self.stats.inserts_in += len(run)
+        seen = self._hash
+        max_vs = self._max_vs
+        hash_bytes = self._hash_bytes
+        out: List[Insert] = []
+        for element in run:
+            vs = element.vs
+            if vs < max_vs:
+                continue
+            if vs > max_vs:
+                seen.clear()
+                hash_bytes = 0
+                max_vs = vs
+            payload = element.payload
+            if payload not in seen:
+                size = payload_bytes(payload)
+                seen[payload] = size
+                hash_bytes += size
+                out.append(element)
+        self._max_vs = max_vs
+        self._hash_bytes = hash_bytes
+        if out:
+            self.stats.inserts_out += len(out)
+            self._emit_batch(out)
 
     def _adjust(self, element: Adjust, stream_id: StreamId) -> None:
         raise AssertionError("unreachable: supports_adjust is False")

@@ -19,9 +19,9 @@ space O(w (p + s)).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from repro.lmerge.base import LMergeBase, StreamId
+from repro.lmerge.base import LMergeBase, StreamId, _InputState
 from repro.lmerge.policies import (
     DEFAULT_POLICY,
     AdjustPropagation,
@@ -87,6 +87,54 @@ class LMergeR3(LMergeBase):
     def _place_on_output(self, node: In2TNode, ve: Timestamp) -> None:
         self._output_insert(node.payload, node.vs, ve)
         node.add_entry(OUTPUT, ve)
+
+    def _insert_batch(
+        self,
+        run: Sequence[Insert],
+        stream_id: StreamId,
+        state: _InputState,
+        coalesce_stables: bool,
+    ) -> None:
+        # Fast path over the per-element _insert: a single tree descent
+        # per element (find_or_add) instead of find + add, the default
+        # FIRST policy short-circuited out of the loop, hash entries
+        # written directly, and survivors emitted in one extend.  Frozen
+        # keys (Vs < MaxStable) must not be materialized, so they take
+        # the find-only branch.  An emitted input element is value-equal
+        # to the Insert _place_on_output would build.
+        self.stats.inserts_in += len(run)
+        index = self._index
+        find = index.find
+        find_or_add = index.find_or_add
+        max_stable = self.max_stable
+        emit_first = self.policy.insert is InsertPropagation.FIRST
+        emit_now = self._emit_now
+        output_key = OUTPUT
+        dropped = 0
+        out: List[Insert] = []
+        emit = out.append
+        for element in run:
+            vs = element.vs
+            if vs < max_stable:
+                node = find(vs, element.payload)
+                if node is None:
+                    dropped += 1
+                    continue
+            else:
+                node, _ = find_or_add(element)
+            ve = element.ve
+            entries = node.entries
+            entries[stream_id] = ve
+            if output_key not in entries and (
+                emit_first or emit_now(node, stream_id)
+            ):
+                emit(element)
+                entries[output_key] = ve
+        if dropped:
+            self.dropped_frozen += dropped
+        if out:
+            self.stats.inserts_out += len(out)
+            self._emit_batch(out)
 
     # ------------------------------------------------------------------
     # Adjust (lines 11-14, plus the EAGER alternative of Section V-A)

@@ -21,9 +21,9 @@ O(c lg w + h*d); space O(w (p + s*d)).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.lmerge.base import LMergeBase, StreamId
+from repro.lmerge.base import LMergeBase, StreamId, _InputState
 from repro.structures.in2t import OUTPUT
 from repro.structures.in3t import In3T, In3TNode
 from repro.temporal.elements import Adjust, Insert
@@ -66,6 +66,41 @@ class LMergeR4(LMergeBase):
             # output already carries.
             self._output_insert(element.payload, element.vs, element.ve)
             node.increment(OUTPUT, element.ve)
+
+    def _insert_batch(
+        self,
+        run: Sequence[Insert],
+        stream_id: StreamId,
+        state: _InputState,
+        coalesce_stables: bool,
+    ) -> None:
+        # Fast path: one tree descent per element (find_or_add instead of
+        # find + add) and one bulk emit.  Keys behind MaxStable must not
+        # be materialized, so they take the find-only branch — and can
+        # never reach the output (the Vs >= MaxStable guard of line 8).
+        self.stats.inserts_in += len(run)
+        index = self._index
+        find_or_add = index.find_or_add
+        max_stable = self.max_stable
+        out: List[Insert] = []
+        for element in run:
+            vs = element.vs
+            ve = element.ve
+            if vs < max_stable:
+                node = index.find(vs, element.payload)
+                if node is None:
+                    self.dropped_frozen += 1
+                    continue
+                node.increment(stream_id, ve)
+                continue
+            node = find_or_add(element)
+            node.increment(stream_id, ve)
+            if node.total_count(stream_id) > node.total_count(OUTPUT):
+                out.append(element)
+                node.increment(OUTPUT, ve)
+        if out:
+            self.stats.inserts_out += len(out)
+            self._emit_batch(out)
 
     # ------------------------------------------------------------------
     # Adjust (lines 12-15)

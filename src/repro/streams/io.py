@@ -67,13 +67,19 @@ def element_to_dict(element: Element) -> dict:
 
 
 def element_from_dict(record: dict) -> Element:
-    """Inverse of :func:`element_to_dict`."""
+    """Inverse of :func:`element_to_dict`.
+
+    Files are untrusted input, so elements are built with ``validate=True``
+    — this is exactly the trust boundary the constructors' opt-in
+    validation exists for.
+    """
     kind = record.get("t")
     if kind == "insert":
         return Insert(
             _decode_payload(record["p"]),
             _decode_time(record["vs"]),
             _decode_time(record["ve"]),
+            validate=True,
         )
     if kind == "adjust":
         return Adjust(
@@ -81,9 +87,10 @@ def element_from_dict(record: dict) -> Element:
             _decode_time(record["vs"]),
             _decode_time(record["vold"]),
             _decode_time(record["ve"]),
+            validate=True,
         )
     if kind == "stable":
-        return Stable(_decode_time(record["vc"]))
+        return Stable(_decode_time(record["vc"]), validate=True)
     raise ValueError(f"unknown element kind {kind!r}")
 
 

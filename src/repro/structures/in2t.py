@@ -120,6 +120,21 @@ class In2T:
             raise KeyError(f"in2t node already exists for {event}")
         return node
 
+    def find_or_add(self, insert) -> "tuple[In2TNode, bool]":
+        """Find the node for *insert*'s key, creating it if absent.
+
+        Returns ``(node, created)``.  One tree descent instead of the
+        ``find`` + ``add`` pair (two descents) used by the per-element
+        path; the event is only materialized when the node is new.  The
+        argument is anything with ``vs``/``payload``/``to_event()`` — in
+        practice an :class:`~repro.temporal.elements.Insert`.
+        """
+        key = (insert.vs, PayloadKey(insert.payload))
+        tree_node, created = self._tree.get_or_reserve(key)
+        if created:
+            tree_node.value = In2TNode(insert.to_event(), key)
+        return tree_node.value, created
+
     def delete(self, node: In2TNode) -> None:
         """``DeleteNode``: remove *node* from the top tier."""
         if not self._tree.delete(node._key):

@@ -154,12 +154,21 @@ class In3T:
             raise KeyError(f"in3t node already exists for ({vs}, {payload!r})")
         return node
 
-    def find_or_add(self, event: Event) -> In3TNode:
-        """The node for *event*'s key, created if absent."""
-        node = self.find(event.vs, event.payload)
-        if node is None:
-            node = self.add(event.vs, event.payload)
-        return node
+    def find_or_add(self, event) -> In3TNode:
+        """The node for *event*'s key, created if absent.
+
+        A single tree descent via
+        :meth:`~repro.structures.rbtree.RedBlackTree.get_or_insert`
+        (the hot path of Algorithm R4's insert handling).  *event* is
+        anything exposing ``vs`` and ``payload`` — an
+        :class:`~repro.temporal.event.Event` or an
+        :class:`~repro.temporal.elements.Insert`.
+        """
+        key = (event.vs, PayloadKey(event.payload))
+        tree_node, created = self._tree.get_or_reserve(key)
+        if created:
+            tree_node.value = In3TNode(event.vs, event.payload, key)
+        return tree_node.value
 
     def delete(self, node: In3TNode) -> None:
         """``Delete``: remove *node* from the top tier."""

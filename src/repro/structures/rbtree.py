@@ -199,6 +199,52 @@ class RedBlackTree:
         self._insert_fixup(fresh)
         return True
 
+    def get_or_insert(self, key: Any, factory: Any) -> Tuple[Any, bool]:
+        """Return ``(value, inserted)`` for *key*, creating it if absent.
+
+        A single root-to-leaf descent serves both the lookup and the
+        insertion — the batched merge paths use this in place of a
+        ``get`` followed by ``insert``, which would descend twice.  When
+        *key* is absent, ``factory()`` supplies the new value and the
+        second element of the result is True; an existing key keeps its
+        current value (factory is not called).
+        """
+        node, created = self.get_or_reserve(key)
+        if created:
+            node.value = factory()
+        return node.value, created
+
+    def get_or_reserve(self, key: Any) -> Tuple[_Node, bool]:
+        """The node for *key*, inserted with a ``None`` value if absent.
+
+        Returns ``(node, created)``; when *created*, the caller must set
+        ``node.value`` before the next tree operation.  This is the
+        zero-allocation core of :meth:`get_or_insert` — the hottest merge
+        paths use it directly to avoid building a factory closure per
+        element.
+        """
+        parent = _NIL
+        node = self._root
+        while node is not _NIL:
+            parent = node
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node, False
+        fresh = _Node(key, None, RED)
+        fresh.parent = parent
+        if parent is _NIL:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._size += 1
+        self._insert_fixup(fresh)
+        return fresh, True
+
     def _insert_fixup(self, node: _Node) -> None:
         while node.parent.color == RED:
             parent = node.parent

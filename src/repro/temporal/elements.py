@@ -12,39 +12,71 @@ The primary element algebra is StreamInsight's (Example 5 of the paper):
 We also provide the simpler ``open``/``close`` algebra of Example 3 (the
 I-stream/D-stream or positive/negative-tuple model), used by the theory
 module to demonstrate compatibility in a second stream dialect.
+
+Elements are immutable ``__slots__`` value objects.  Millions of them
+flow through the merge hot paths, so construction validates nothing by
+default; pass ``validate=True`` at trust boundaries (stream file parsing,
+tests, hand-built fixtures) to get the full contract checks.  Internal
+producers — generators, operators, the merges themselves — only build
+elements from already-valid elements, so the checks would be pure
+overhead there.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Tuple, Union
 
 from repro.temporal.event import Event, Payload
 from repro.temporal.time import (
     INFINITY,
+    MINUS_INFINITY,
     Timestamp,
     is_finite,
     validate_timestamp,
 )
 
 
-@dataclass(frozen=True)
 class Insert:
     """``insert(p, Vs, Ve)``: add an event with lifetime ``[Vs, Ve)``."""
 
-    payload: Payload
-    vs: Timestamp
-    ve: Timestamp = INFINITY
+    __slots__ = ("payload", "vs", "ve")
 
-    def __post_init__(self) -> None:
-        validate_timestamp(self.vs, "Vs")
-        validate_timestamp(self.ve, "Ve")
-        if not is_finite(self.vs):
-            raise ValueError(f"insert Vs must be finite, got {self.vs}")
-        if self.ve <= self.vs:
-            raise ValueError(
-                f"insert lifetime must be non-empty: [{self.vs}, {self.ve})"
-            )
+    def __init__(
+        self,
+        payload: Payload,
+        vs: Timestamp,
+        ve: Timestamp = INFINITY,
+        *,
+        validate: bool = False,
+    ):
+        _set = object.__setattr__
+        _set(self, "payload", payload)
+        _set(self, "vs", vs)
+        _set(self, "ve", ve)
+        if validate:
+            validate_timestamp(vs, "Vs")
+            validate_timestamp(ve, "Ve")
+            if not is_finite(vs):
+                raise ValueError(f"insert Vs must be finite, got {vs}")
+            if ve <= vs:
+                raise ValueError(
+                    f"insert lifetime must be non-empty: [{vs}, {ve})"
+                )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Insert:
+            return NotImplemented
+        return (
+            self.vs == other.vs
+            and self.ve == other.ve
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((Insert, self.payload, self.vs, self.ve))
+
+    def __repr__(self) -> str:
+        return f"Insert(payload={self.payload!r}, vs={self.vs!r}, ve={self.ve!r})"
 
     @property
     def key(self) -> Tuple[Timestamp, Payload]:
@@ -58,32 +90,61 @@ class Insert:
         return f"insert({self.payload!r}, {self.vs}, {end})"
 
 
-@dataclass(frozen=True)
 class Adjust:
     """``adjust(p, Vs, Vold, Ve)``: retime ``<p,Vs,Vold)`` to end at ``Ve``.
 
     ``Ve == Vs`` removes the event from the TDB entirely (a *cancel*).
     """
 
-    payload: Payload
-    vs: Timestamp
-    v_old: Timestamp
-    ve: Timestamp
+    __slots__ = ("payload", "vs", "v_old", "ve")
 
-    def __post_init__(self) -> None:
-        validate_timestamp(self.vs, "Vs")
-        validate_timestamp(self.v_old, "Vold")
-        validate_timestamp(self.ve, "Ve")
-        if not is_finite(self.vs):
-            raise ValueError(f"adjust Vs must be finite, got {self.vs}")
-        if self.v_old <= self.vs:
-            raise ValueError(
-                f"adjust Vold must follow Vs: Vs={self.vs}, Vold={self.v_old}"
-            )
-        if self.ve < self.vs:
-            raise ValueError(
-                f"adjust Ve may not precede Vs: Vs={self.vs}, Ve={self.ve}"
-            )
+    def __init__(
+        self,
+        payload: Payload,
+        vs: Timestamp,
+        v_old: Timestamp,
+        ve: Timestamp,
+        *,
+        validate: bool = False,
+    ):
+        _set = object.__setattr__
+        _set(self, "payload", payload)
+        _set(self, "vs", vs)
+        _set(self, "v_old", v_old)
+        _set(self, "ve", ve)
+        if validate:
+            validate_timestamp(vs, "Vs")
+            validate_timestamp(v_old, "Vold")
+            validate_timestamp(ve, "Ve")
+            if not is_finite(vs):
+                raise ValueError(f"adjust Vs must be finite, got {vs}")
+            if v_old <= vs:
+                raise ValueError(
+                    f"adjust Vold must follow Vs: Vs={vs}, Vold={v_old}"
+                )
+            if ve < vs:
+                raise ValueError(
+                    f"adjust Ve may not precede Vs: Vs={vs}, Ve={ve}"
+                )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Adjust:
+            return NotImplemented
+        return (
+            self.vs == other.vs
+            and self.v_old == other.v_old
+            and self.ve == other.ve
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((Adjust, self.payload, self.vs, self.v_old, self.ve))
+
+    def __repr__(self) -> str:
+        return (
+            f"Adjust(payload={self.payload!r}, vs={self.vs!r}, "
+            f"v_old={self.v_old!r}, ve={self.ve!r})"
+        )
 
     @property
     def key(self) -> Tuple[Timestamp, Payload]:
@@ -100,7 +161,6 @@ class Adjust:
         return f"adjust({self.payload!r}, {self.vs}, {old}, {end})"
 
 
-@dataclass(frozen=True)
 class Stable:
     """``stable(Vc)``: the portion of the TDB before ``Vc`` is stable.
 
@@ -108,12 +168,25 @@ class Stable:
     be ``+inf``, which finalizes the whole stream.
     """
 
-    vc: Timestamp
+    __slots__ = ("vc",)
 
-    def __post_init__(self) -> None:
-        validate_timestamp(self.vc, "Vc")
-        if self.vc == -INFINITY:
-            raise ValueError("stable(-inf) is meaningless")
+    def __init__(self, vc: Timestamp, *, validate: bool = False):
+        object.__setattr__(self, "vc", vc)
+        if validate:
+            validate_timestamp(vc, "Vc")
+            if vc == MINUS_INFINITY:
+                raise ValueError("stable(-inf) is meaningless")
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Stable:
+            return NotImplemented
+        return self.vc == other.vc
+
+    def __hash__(self) -> int:
+        return hash((Stable, self.vc))
+
+    def __repr__(self) -> str:
+        return f"Stable(vc={self.vc!r})"
 
     def __str__(self) -> str:  # pragma: no cover
         at = "inf" if self.vc == INFINITY else self.vc
@@ -124,7 +197,6 @@ class Stable:
 Element = Union[Insert, Adjust, Stable]
 
 
-@dataclass(frozen=True)
 class Open:
     """``open(p, Vs)``: an event with payload *p* starts at ``Vs``.
 
@@ -132,16 +204,29 @@ class Open:
     event per payload may be active at a time.
     """
 
-    payload: Payload
-    vs: Timestamp
+    __slots__ = ("payload", "vs")
 
-    def __post_init__(self) -> None:
-        validate_timestamp(self.vs, "Vs")
-        if not is_finite(self.vs):
-            raise ValueError(f"open Vs must be finite, got {self.vs}")
+    def __init__(self, payload: Payload, vs: Timestamp, *, validate: bool = False):
+        _set = object.__setattr__
+        _set(self, "payload", payload)
+        _set(self, "vs", vs)
+        if validate:
+            validate_timestamp(vs, "Vs")
+            if not is_finite(vs):
+                raise ValueError(f"open Vs must be finite, got {vs}")
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Open:
+            return NotImplemented
+        return self.vs == other.vs and self.payload == other.payload
+
+    def __hash__(self) -> int:
+        return hash((Open, self.payload, self.vs))
+
+    def __repr__(self) -> str:
+        return f"Open(payload={self.payload!r}, vs={self.vs!r})"
 
 
-@dataclass(frozen=True)
 class Close:
     """``close(p, Ve)``: the active event for payload *p* ends at ``Ve``.
 
@@ -149,15 +234,49 @@ class Close:
     stream ``W`` in Example 3).
     """
 
-    payload: Payload
-    ve: Timestamp
+    __slots__ = ("payload", "ve")
 
-    def __post_init__(self) -> None:
-        validate_timestamp(self.ve, "Ve")
+    def __init__(self, payload: Payload, ve: Timestamp, *, validate: bool = False):
+        _set = object.__setattr__
+        _set(self, "payload", payload)
+        _set(self, "ve", ve)
+        if validate:
+            validate_timestamp(ve, "Ve")
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Close:
+            return NotImplemented
+        return self.ve == other.ve and self.payload == other.payload
+
+    def __hash__(self) -> int:
+        return hash((Close, self.payload, self.ve))
+
+    def __repr__(self) -> str:
+        return f"Close(payload={self.payload!r}, ve={self.ve!r})"
 
 
 #: An Example-3 dialect element.
 OCElement = Union[Open, Close]
+
+
+def _frozen_setattr(self, name, value):
+    raise AttributeError(
+        f"{self.__class__.__name__} elements are immutable; "
+        f"cannot set {name!r}"
+    )
+
+
+def _frozen_delattr(self, name):
+    raise AttributeError(
+        f"{self.__class__.__name__} elements are immutable; "
+        f"cannot delete {name!r}"
+    )
+
+
+for _cls in (Insert, Adjust, Stable, Open, Close):
+    _cls.__setattr__ = _frozen_setattr
+    _cls.__delattr__ = _frozen_delattr
+del _cls
 
 
 def element_sort_key(element: Element) -> Tuple[Timestamp, int]:
@@ -168,10 +287,11 @@ def element_sort_key(element: Element) -> Tuple[Timestamp, int]:
     that it would have frozen.  Used by the Cleanse operator and by tests
     that canonicalize streams.
     """
-    if isinstance(element, Insert):
+    cls = element.__class__
+    if cls is Insert:
         return (element.vs, 0)
-    if isinstance(element, Adjust):
+    if cls is Adjust:
         return (element.vs, 1)
-    if isinstance(element, Stable):
+    if cls is Stable:
         return (element.vc, 2)
     raise TypeError(f"not a stream element: {element!r}")

@@ -15,7 +15,6 @@ latest ``stable(Vc)`` element seen on a stream:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Any, Tuple
 
 from repro.temporal.time import INFINITY, Timestamp, is_finite, validate_timestamp
@@ -32,28 +31,88 @@ class FreezeStatus(enum.Enum):
     FULLY_FROZEN = "FF"
 
 
-@dataclass(frozen=True, order=True)
 class Event:
     """A TDB event ``<payload, Vs, Ve)`` with half-open lifetime ``[Vs, Ve)``.
 
-    Events are immutable value objects; "modifying" an event (as an
-    ``adjust`` element does) produces a new :class:`Event`.  The ordering is
-    ``(Vs, payload, Ve)``, matching the key order of the merge indexes.
+    Events are immutable ``__slots__`` value objects; "modifying" an event
+    (as an ``adjust`` element does) produces a new :class:`Event`.  The
+    ordering is ``(Vs, payload, Ve)``, matching the key order of the merge
+    indexes.  Construction skips validation unless ``validate=True`` —
+    events are built per insert on the merge hot path, always from
+    already-checked elements.
     """
 
-    vs: Timestamp
-    payload: Payload
-    ve: Timestamp = INFINITY
+    __slots__ = ("vs", "payload", "ve")
 
-    def __post_init__(self) -> None:
-        validate_timestamp(self.vs, "Vs")
-        validate_timestamp(self.ve, "Ve")
-        if not is_finite(self.vs):
-            raise ValueError(f"event Vs must be finite, got {self.vs}")
-        if self.ve <= self.vs:
-            raise ValueError(
-                f"event lifetime must be non-empty: [{self.vs}, {self.ve})"
-            )
+    def __init__(
+        self,
+        vs: Timestamp,
+        payload: Payload,
+        ve: Timestamp = INFINITY,
+        *,
+        validate: bool = False,
+    ):
+        _set = object.__setattr__
+        _set(self, "vs", vs)
+        _set(self, "payload", payload)
+        _set(self, "ve", ve)
+        if validate:
+            validate_timestamp(vs, "Vs")
+            validate_timestamp(ve, "Ve")
+            if not is_finite(vs):
+                raise ValueError(f"event Vs must be finite, got {vs}")
+            if ve <= vs:
+                raise ValueError(
+                    f"event lifetime must be non-empty: [{vs}, {ve})"
+                )
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"Event is immutable; cannot set {name!r}")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"Event is immutable; cannot delete {name!r}")
+
+    # -- value semantics ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Event:
+            return NotImplemented
+        return (
+            self.vs == other.vs
+            and self.ve == other.ve
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((Event, self.vs, self.payload, self.ve))
+
+    def _tuple(self) -> Tuple[Timestamp, Payload, Timestamp]:
+        return (self.vs, self.payload, self.ve)
+
+    def __lt__(self, other: "Event") -> bool:
+        if other.__class__ is not Event:
+            return NotImplemented
+        return self._tuple() < other._tuple()
+
+    def __le__(self, other: "Event") -> bool:
+        if other.__class__ is not Event:
+            return NotImplemented
+        return self._tuple() <= other._tuple()
+
+    def __gt__(self, other: "Event") -> bool:
+        if other.__class__ is not Event:
+            return NotImplemented
+        return self._tuple() > other._tuple()
+
+    def __ge__(self, other: "Event") -> bool:
+        if other.__class__ is not Event:
+            return NotImplemented
+        return self._tuple() >= other._tuple()
+
+    def __repr__(self) -> str:
+        return f"Event(vs={self.vs!r}, payload={self.payload!r}, ve={self.ve!r})"
+
+    # -- queries -----------------------------------------------------------
 
     @property
     def key(self) -> Tuple[Timestamp, Payload]:

@@ -1,0 +1,369 @@
+"""Batched hot path: ``process_batch`` must match ``process`` exactly.
+
+The batched execution mode (slotted-dispatch runs, per-variant fast
+paths, single-descent index lookups) is pure mechanism — it must not
+change a single output element or statistic.  Hypothesis drives random
+workloads through random chunkings, schedules, and input counts for every
+LMerge variant, comparing against the per-element path element for
+element, MergeStats included.
+
+Stable coalescing (``coalesce_stables=True``) intentionally relaxes this
+to *logical* (TDB) equivalence — intermediate punctuation is absorbed —
+so its tests assert TDB equality and a never-larger stable count instead.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.operator import CollectorSink
+from repro.engine.runtime import QueuedEdge, Runtime
+from repro.lmerge.base import interleave, interleave_batches
+from repro.lmerge.counting import CountingMerge
+from repro.lmerge.r0 import LMergeR0
+from repro.lmerge.r1 import LMergeR1
+from repro.lmerge.r2 import LMergeR2
+from repro.lmerge.r3 import LMergeR3
+from repro.lmerge.r3_naive import LMergeR3Naive
+from repro.lmerge.r4 import LMergeR4
+from repro.streams.divergence import diverge
+from repro.streams.generator import GeneratorConfig, StreamGenerator
+from repro.temporal.elements import Adjust, Insert, Stable
+
+from conftest import small_stream
+
+ORDERED_VARIANTS = {
+    "LMR0": LMergeR0,
+    "LMR1": LMergeR1,
+    "LMR2": LMergeR2,
+}
+GENERAL_VARIANTS = {
+    "LMR3+": LMergeR3,
+    "LMR3-": LMergeR3Naive,
+    "LMR4": LMergeR4,
+}
+ALL_VARIANTS = {**ORDERED_VARIANTS, **GENERAL_VARIANTS}
+
+SCHEDULES = ["round_robin", "sequential", "random"]
+
+
+def _ordered_streams(seed, n):
+    config = GeneratorConfig(
+        count=150,
+        seed=seed,
+        disorder=0.0,
+        min_gap=1,
+        stable_freq=0.06,
+        payload_blob_bytes=2,
+        event_duration=60,
+    )
+    return [StreamGenerator(config).generate()] * n
+
+
+def _general_streams(seed, n):
+    reference = StreamGenerator(
+        GeneratorConfig(
+            count=150,
+            seed=seed,
+            disorder=0.25,
+            stable_freq=0.08,
+            payload_blob_bytes=2,
+            event_duration=60,
+        )
+    ).generate()
+    return [
+        diverge(reference, seed=seed + i, speculate_fraction=0.3)
+        for i in range(n)
+    ]
+
+
+def _streams_for(name, seed, n):
+    if name in ORDERED_VARIANTS:
+        return _ordered_streams(seed, n)
+    return _general_streams(seed, n)
+
+
+def _run_per_element(variant_cls, chunks, n_inputs):
+    merge = variant_cls()
+    for index in range(n_inputs):
+        merge.attach(index)
+    for chunk, stream_id in chunks:
+        for element in chunk:
+            merge.process(element, stream_id)
+    return merge
+
+
+def _run_batched(variant_cls, chunks, n_inputs, coalesce=False):
+    merge = variant_cls()
+    for index in range(n_inputs):
+        merge.attach(index)
+    for chunk, stream_id in chunks:
+        merge.process_batch(chunk, stream_id, coalesce_stables=coalesce)
+    return merge
+
+
+class TestExactEquivalence:
+    """process_batch == process, element for element, stats included."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(ALL_VARIANTS)),
+        seed=st.integers(0, 10**6),
+        n_inputs=st.integers(1, 4),
+        schedule=st.sampled_from(SCHEDULES),
+        batch_size=st.integers(1, 97),
+    )
+    def test_identical_output_and_stats(
+        self, name, seed, n_inputs, schedule, batch_size
+    ):
+        streams = _streams_for(name, seed % 19, n_inputs)
+        chunks = list(
+            interleave_batches(streams, schedule, seed, batch_size)
+        )
+        per = _run_per_element(ALL_VARIANTS[name], chunks, n_inputs)
+        bat = _run_batched(ALL_VARIANTS[name], chunks, n_inputs)
+        assert list(per.output) == list(bat.output)
+        assert per.stats == bat.stats
+
+    @pytest.mark.parametrize("name", sorted(ALL_VARIANTS))
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_merge_batched_driver(self, name, schedule):
+        """The offline drivers agree under every schedule."""
+        streams = _streams_for(name, 5, 3)
+        per = ALL_VARIANTS[name]()
+        out_per = per.merge(streams, schedule="sequential")
+        bat = ALL_VARIANTS[name]()
+        out_bat = bat.merge_batched(streams, schedule="sequential")
+        assert list(out_per) == list(out_bat)
+        assert per.stats == bat.stats
+        # Other schedules chunk more coarsely — still a valid
+        # interleaving, so the outputs stay logically equivalent.
+        again = ALL_VARIANTS[name]()
+        out_again = again.merge_batched(streams, schedule=schedule)
+        assert out_again.tdb() == out_per.tdb()
+
+    def test_counting_merge_uses_generic_path(self):
+        """Variants without a fast path fall back to the per-element
+        loop inside process_batch."""
+        streams = _ordered_streams(3, 2)
+        chunks = list(interleave_batches(streams, "round_robin", 0, 16))
+        per = _run_per_element(CountingMerge, chunks, 2)
+        bat = _run_batched(CountingMerge, chunks, 2)
+        assert list(per.output) == list(bat.output)
+        assert per.stats == bat.stats
+
+
+class TestCoalescedStables:
+    """coalesce_stables=True: logical equivalence, fewer stables out."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(ALL_VARIANTS)),
+        seed=st.integers(0, 10**6),
+        schedule=st.sampled_from(SCHEDULES),
+    )
+    def test_tdb_equivalent(self, name, seed, schedule):
+        streams = _streams_for(name, seed % 19, 3)
+        chunks = list(interleave_batches(streams, schedule, seed, 32))
+        per = _run_per_element(ALL_VARIANTS[name], chunks, 3)
+        bat = _run_batched(ALL_VARIANTS[name], chunks, 3, coalesce=True)
+        assert per.output.tdb() == bat.output.tdb()
+        assert bat.stats.stables_out <= per.stats.stables_out
+        assert bat.stats.stables_in == per.stats.stables_in
+
+    def test_coalesced_run_advances_once(self):
+        """A run of stables with no data between them becomes one
+        frontier advance at the maximum Vc."""
+        merge = LMergeR3()
+        merge.attach(0)
+        merge.process_batch(
+            [Insert("a", 1, 10), Stable(2), Stable(5), Stable(8)],
+            0,
+            coalesce_stables=True,
+        )
+        assert merge.max_stable == 8
+        assert merge.stats.stables_in == 3
+        assert merge.stats.stables_out == 1
+
+
+class TestProcessBatchContract:
+    def test_unattached_stream_rejected(self):
+        merge = LMergeR3()
+        with pytest.raises(Exception, match="unattached"):
+            merge.process_batch([Insert("a", 1)], 99)
+
+    def test_non_element_rejected(self):
+        merge = LMergeR3()
+        merge.attach(0)
+        with pytest.raises(TypeError, match="not a stream element"):
+            merge.process_batch([Insert("a", 1), object()], 0)
+
+    def test_adjust_rejected_under_r0(self):
+        merge = LMergeR0()
+        merge.attach(0)
+        with pytest.raises(TypeError, match="does not support adjust"):
+            merge.process_batch([Adjust("a", 1, 5, 7)], 0)
+        # The offending element was counted, mirroring process().
+        assert merge.stats.adjusts_in == 1
+
+    def test_empty_batch_is_noop(self):
+        merge = LMergeR3()
+        merge.attach(0)
+        merge.process_batch([], 0)
+        assert merge.stats.elements_in == 0
+
+    def test_interleave_batches_flattens_to_interleave(self):
+        """For the sequential schedule the chunked interleaving flattens
+        to exactly the per-element interleaving."""
+        streams = _general_streams(7, 3)
+        flat = [
+            (element, sid)
+            for chunk, sid in interleave_batches(streams, "sequential", 0, 13)
+            for element in chunk
+        ]
+        assert flat == list(interleave(streams, "sequential", 0))
+
+    def test_interleave_batches_preserves_per_stream_order(self):
+        streams = _general_streams(9, 3)
+        for schedule in SCHEDULES:
+            seen = {i: [] for i in range(len(streams))}
+            for chunk, sid in interleave_batches(streams, schedule, 4, 7):
+                seen[sid].extend(chunk)
+            for index, stream in enumerate(streams):
+                assert seen[index] == list(stream)
+
+    def test_interleave_batches_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(interleave_batches([], "sequential", 0, 0))
+
+
+class TestLeadingStreamCache:
+    def test_leader_tracks_max_stable_point(self):
+        merge = LMergeR3()
+        for index in range(3):
+            merge.attach(index)
+        assert merge.leading_stream() is None
+        merge.process(Stable(5), 1)
+        assert merge.leading_stream() == 1
+        merge.process(Stable(9), 2)
+        assert merge.leading_stream() == 2
+        merge.process(Stable(7), 0)  # behind the leader: no change
+        assert merge.leading_stream() == 2
+
+    def test_tie_keeps_first_to_reach(self):
+        merge = LMergeR3()
+        merge.attach(0)
+        merge.attach(1)
+        merge.process(Stable(5), 1)
+        merge.process(Stable(5), 0)
+        assert merge.leading_stream() == 1
+
+    def test_leader_detach_rescans(self):
+        merge = LMergeR3()
+        for index in range(3):
+            merge.attach(index)
+        merge.process(Stable(5), 0)
+        merge.process(Stable(9), 1)
+        merge.detach(1)
+        assert merge.leading_stream() == 0
+        merge.detach(0)
+        assert merge.leading_stream() is None
+
+    def test_batch_path_maintains_cache(self):
+        merge = LMergeR3()
+        merge.attach(0)
+        merge.attach(1)
+        merge.process_batch([Stable(3), Stable(6)], 1, coalesce_stables=True)
+        assert merge.leading_stream() == 1
+        assert merge.input_stable(1) == 6
+
+
+class TestRuntimeBatchDrain:
+    def _pipeline(self, count=120, capacity=None):
+        from repro.operators.select import Filter
+        from repro.operators.source import StreamSource
+
+        stream = small_stream(count=count, seed=61)
+        source = StreamSource(stream)
+        flt = Filter(lambda p: True)
+        sink = CollectorSink()
+        runtime = Runtime(batch=16)
+        runtime.connect(source, flt)
+        runtime.connect(flt, sink, capacity=capacity)
+        source.play()
+        return runtime, stream, sink
+
+    def test_batch_drain_matches_per_element(self):
+        runtime, stream, sink = self._pipeline()
+        runtime.run()
+        assert list(sink.stream) == list(stream)
+
+    def test_sliced_backpressure_respects_capacity(self):
+        runtime, stream, sink = self._pipeline(capacity=5)
+        runtime.run()
+        assert list(sink.stream) == list(stream)
+        bounded = [edge for edge in runtime.edges if edge.capacity is not None]
+        assert bounded and all(
+            edge.peak_depth <= edge.capacity for edge in bounded
+        )
+
+    def test_queued_edge_receive_batch_enforces_capacity(self):
+        from repro.engine.runtime import QueueFullError
+
+        edge = QueuedEdge(CollectorSink(), capacity=3)
+        edge.receive_batch([Insert("a", 1), Insert("b", 2)])
+        assert edge.depth == 2
+        with pytest.raises(QueueFullError):
+            edge.receive_batch([Insert("c", 3), Insert("d", 4)])
+
+    def test_drain_delivers_one_slice(self):
+        sink = CollectorSink()
+        edge = QueuedEdge(sink)
+        edge.receive_batch([Insert(i, i + 1) for i in range(10)])
+        assert edge.drain(4) == 4
+        assert [e.payload for e in sink.stream] == [0, 1, 2, 3]
+        assert edge.depth == 6
+
+    def test_output_room_probes_bounded_queues(self):
+        flt_sink = CollectorSink()
+        edge = QueuedEdge(flt_sink, capacity=2)
+        upstream = CollectorSink()  # any operator works as a producer
+        upstream.subscribe(edge)
+        assert upstream.output_room() == 2
+        edge.receive(Insert("a", 1))
+        assert upstream.output_room() == 1
+        assert upstream.has_output_room()
+        edge.receive(Insert("b", 2))
+        assert upstream.output_room() == 0
+        assert not upstream.has_output_room()
+
+    def test_subscribers_property_is_public_snapshot(self):
+        a = CollectorSink()
+        b = CollectorSink()
+        a.subscribe(b, port=1)
+        assert a.subscribers == ((b, 1),)
+        a.unsubscribe(b)
+        assert a.subscribers == ()
+        assert b.upstreams == ()
+
+
+class TestFragmentAdapterBatch:
+    def test_receive_batch_feeds_merge(self):
+        from repro.ha.hierarchy import _FragmentAdapter
+
+        merge = LMergeR3()
+        merge.attach(0)
+        adapter = _FragmentAdapter(merge, 0)
+        adapter.receive_batch([Insert("a", 1, 10), Stable(5)])
+        assert merge.stats.inserts_in == 1
+        assert merge.stats.stables_in == 1
+
+    def test_receive_batch_after_failure_drops(self):
+        from repro.ha.hierarchy import _FragmentAdapter
+
+        merge = LMergeR3()
+        merge.attach(0)
+        adapter = _FragmentAdapter(merge, 0)
+        merge.detach(0)
+        adapter.receive_batch([Insert("a", 1, 10)])
+        assert merge.stats.inserts_in == 0

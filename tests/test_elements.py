@@ -24,11 +24,16 @@ class TestInsert:
 
     def test_rejects_empty_lifetime(self):
         with pytest.raises(ValueError):
-            Insert("A", 5, 5)
+            Insert("A", 5, 5, validate=True)
 
     def test_rejects_infinite_start(self):
         with pytest.raises(ValueError):
-            Insert("A", INFINITY)
+            Insert("A", INFINITY, validate=True)
+
+    def test_validation_is_opt_in(self):
+        # The hot path skips contract checks; trust boundaries pass
+        # validate=True (see docs/ALGORITHMS.md, "Batched execution").
+        assert Insert("A", 5, 5).ve == 5
 
     def test_frozen(self):
         with pytest.raises(AttributeError):
@@ -53,11 +58,11 @@ class TestAdjust:
     def test_rejects_vold_at_vs(self):
         # The adjusted event must have had a non-empty lifetime.
         with pytest.raises(ValueError):
-            Adjust("A", 5, 5, 10)
+            Adjust("A", 5, 5, 10, validate=True)
 
     def test_rejects_ve_before_vs(self):
         with pytest.raises(ValueError):
-            Adjust("A", 5, 10, 4)
+            Adjust("A", 5, 10, 4, validate=True)
 
 
 class TestStable:
@@ -69,7 +74,7 @@ class TestStable:
 
     def test_minus_infinity_rejected(self):
         with pytest.raises(ValueError):
-            Stable(-INFINITY)
+            Stable(-INFINITY, validate=True)
 
 
 class TestOpenClose:
@@ -78,7 +83,7 @@ class TestOpenClose:
 
     def test_open_rejects_infinite_start(self):
         with pytest.raises(ValueError):
-            Open("A", INFINITY)
+            Open("A", INFINITY, validate=True)
 
     def test_close(self):
         assert Close("A", 9).ve == 9

@@ -21,19 +21,24 @@ class TestEventConstruction:
 
     def test_rejects_empty_lifetime(self):
         with pytest.raises(ValueError):
-            Event(5, "A", 5)
+            Event(5, "A", 5, validate=True)
 
     def test_rejects_reversed_lifetime(self):
         with pytest.raises(ValueError):
-            Event(5, "A", 3)
+            Event(5, "A", 3, validate=True)
 
     def test_rejects_infinite_start(self):
         with pytest.raises(ValueError):
-            Event(INFINITY, "A")
+            Event(INFINITY, "A", validate=True)
 
     def test_rejects_non_numeric_times(self):
         with pytest.raises(TypeError):
-            Event("5", "A", 10)
+            Event("5", "A", 10, validate=True)
+
+    def test_validation_is_opt_in(self):
+        # Hot-path construction (one Event per indexed insert) skips the
+        # contract checks; validate=True restores them at trust boundaries.
+        assert Event(5, "A", 5).ve == 5
 
     def test_immutable(self):
         event = Event(5, "A", 10)
