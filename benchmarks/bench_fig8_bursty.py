@@ -14,7 +14,6 @@ per-second rate and additionally require the merge to have produced
 steady output during the windows where individual inputs stalled.
 """
 
-import pytest
 
 from repro.engine.simulation import (
     BurstyDelay,
@@ -25,7 +24,6 @@ from repro.engine.simulation import (
 from repro.lmerge.r3 import LMergeR3
 from repro.metrics.collector import ThroughputTimeline
 from repro.streams.divergence import diverge
-from repro.temporal.elements import Insert
 
 from conftest import disordered_workload, series_benchmark
 

@@ -11,7 +11,6 @@ throughout, *including* during the two-way overlap, because one input is
 always healthy.
 """
 
-import pytest
 
 from repro.engine.simulation import (
     CongestionWindows,

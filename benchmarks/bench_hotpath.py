@@ -73,7 +73,6 @@ def test_hotpath_speedup_series(report):
 def test_batched_output_equivalent():
     """The bench's two drivers agree element-for-element when stable
     coalescing is off (the property the speedup must not cost)."""
-    streams = _workload_for("LMR3+")
     for name, cls in ALL_VARIANTS.items():
         per = cls()
         out_per = per.merge(_workload_for(name), schedule="sequential")

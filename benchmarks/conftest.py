@@ -16,7 +16,7 @@ paper's Section VI.  Conventions:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import pytest
 
@@ -241,6 +241,54 @@ def run_merge_batched(
         "throughput": processed / elapsed if elapsed > 0 else float("inf"),
         "adjusts_out": merge.stats.adjusts_out,
         "elements_out": merge.stats.elements_out,
+    }
+
+
+def run_merge_sharded(
+    merge_cls,
+    inputs: Sequence[PhysicalStream],
+    num_shards: int,
+    backend: str = "thread",
+    schedule: str = "round_robin",
+    batch_size: int = 64,
+    coalesce_stables: bool = True,
+    **merge_kwargs,
+) -> Dict[str, float]:
+    """Sharded counterpart of :func:`run_merge_batched`.
+
+    Same interleaving and batch size, but the micro-batches flow through
+    an N-shard partitioned plan (``HashPartition`` -> per-shard workers ->
+    ``ShardUnion``).  The clock includes the final drain (``close``), so
+    worker startup/teardown is charged to the run like any exchange cost.
+    """
+    import time
+
+    from repro.lmerge.shard import ShardedLMerge
+
+    plan = ShardedLMerge(
+        merge_cls,
+        num_shards,
+        backend=backend,
+        coalesce_stables=coalesce_stables,
+        **merge_kwargs,
+    )
+    streams = list(inputs)
+    for stream_id in range(len(streams)):
+        plan.attach(stream_id)
+    chunks = list(interleave_batches(streams, schedule, 0, batch_size))
+    processed = 0
+    start = time.perf_counter()
+    for chunk, stream_id in chunks:
+        plan.process_batch(chunk, stream_id)
+        processed += len(chunk)
+    stats = plan.close()
+    elapsed = time.perf_counter() - start
+    return {
+        "elements": processed,
+        "seconds": elapsed,
+        "throughput": processed / elapsed if elapsed > 0 else float("inf"),
+        "adjusts_out": stats.adjusts_out,
+        "elements_out": stats.elements_out,
     }
 
 

@@ -26,6 +26,7 @@ from repro.engine.simulation import (
 )
 from repro.engine.query import Query, infer_properties
 from repro.engine.runtime import QueuedEdge, Runtime
+from repro.engine.parallel import ParallelRuntime, ShardError, merge_factory
 
 __all__ = [
     "Operator",
@@ -43,4 +44,7 @@ __all__ = [
     "infer_properties",
     "Runtime",
     "QueuedEdge",
+    "ParallelRuntime",
+    "ShardError",
+    "merge_factory",
 ]

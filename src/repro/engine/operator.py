@@ -138,6 +138,19 @@ class Operator:
         for downstream, port in self._subscribers:
             downstream.receive(element, port)
 
+    def emit_batch(self, elements: Sequence[Element]) -> None:
+        """Push a slice of consecutive elements to every subscriber.
+
+        The counterpart of :meth:`receive_batch` on the producing side:
+        one call per subscriber instead of one per element, so batch-aware
+        consumers see the whole slice.
+        """
+        if not elements:
+            return
+        self.elements_out += len(elements)
+        for downstream, port in self._subscribers:
+            downstream.receive_batch(elements, port)
+
     def on_insert(self, element: Insert, port: int) -> None:
         raise NotImplementedError(f"{self.name} does not handle insert()")
 

@@ -1,0 +1,380 @@
+"""Multicore execution of partitioned merge plans.
+
+:class:`ParallelRuntime` runs N *shard programs* — factory-built
+:class:`~repro.lmerge.base.LMergeBase` instances (or anything with the
+same ``attach``/``detach``/``process_batch``/``stats`` surface) — each on
+its own worker, fed through bounded per-shard input queues:
+
+* ``backend="serial"`` — in-process, for baselines and debugging;
+* ``backend="thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  worker per shard.  Cheap interop (elements are shared, not copied), but
+  CPU-bound merges contend on the GIL;
+* ``backend="process"`` — a persistent :mod:`multiprocessing` worker per
+  shard exchanging pickled micro-batch envelopes.  Pays serialization per
+  envelope to escape the GIL, which wins for CPU-bound R3/R4 merges on
+  multicore hardware.
+
+Backpressure reuses the engine's semantics in the blocking world: a full
+bounded input queue blocks :meth:`ParallelRuntime.submit` — the threaded
+analogue of a :class:`~repro.engine.runtime.QueuedEdge` refusing elements
+— so an overwhelmed shard throttles the partitioner instead of buffering
+without bound.  Output queues are unbounded; callers drain them with
+:meth:`poll` between submissions (the partition/union loop in
+:mod:`repro.lmerge.shard` does), so output never deadlocks input.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.temporal.elements import Element
+
+#: Builds one shard's merge; receives the sink callable capturing output.
+ShardFactory = Callable[[Callable[[Element], None]], Any]
+
+BACKENDS = ("serial", "thread", "process")
+
+
+class ShardError(RuntimeError):
+    """A shard worker died; carries the worker's traceback text."""
+
+    def __init__(self, shard: int, details: str):
+        super().__init__(f"shard {shard} failed:\n{details}")
+        self.shard = shard
+        self.details = details
+
+
+class _MergeFactory:
+    """Picklable ``cls(**kwargs)`` factory (process workers rebuild the
+    merge on their side of the fork/spawn)."""
+
+    def __init__(self, cls: type, kwargs: Optional[dict] = None):
+        self.cls = cls
+        self.kwargs = kwargs or {}
+
+    def __call__(self, sink: Callable[[Element], None]) -> Any:
+        return self.cls(sink=sink, **self.kwargs)
+
+
+def _shard_loop(
+    shard: int,
+    factory: ShardFactory,
+    get: Callable[[], Any],
+    put: Callable[[Tuple], None],
+    coalesce_stables: bool,
+) -> None:
+    """One worker's life: build the merge, apply envelopes until the
+    ``None`` sentinel, report outputs after every batch and statistics at
+    the end.  Runs identically on a thread or in a child process."""
+    try:
+        buffer: List[Element] = []
+        merge = factory(buffer.append)
+        while True:
+            message = get()
+            if message is None:
+                put(("done", shard, merge.stats))
+                return
+            kind = message[0]
+            if kind == "batch":
+                merge.process_batch(
+                    message[2], message[1], coalesce_stables=coalesce_stables
+                )
+                if buffer:
+                    put(("out", shard, buffer[:]))
+                    buffer.clear()
+            elif kind == "attach":
+                merge.attach(message[1], message[2])
+            elif kind == "detach":
+                merge.detach(message[1])
+            else:  # pragma: no cover - driver and worker are in lockstep
+                raise ValueError(f"unknown envelope kind {kind!r}")
+    except BaseException:
+        put(("error", shard, traceback.format_exc()))
+
+
+class ParallelRuntime:
+    """Drive N shard programs on parallel workers with bounded queues.
+
+    Lifecycle::
+
+        runtime = ParallelRuntime(factory, num_shards=4, backend="process")
+        runtime.start()
+        runtime.broadcast_attach(stream_id)
+        runtime.submit(shard, stream_id, elements)   # blocks when full
+        for shard, outputs in runtime.poll():        # drain ready output
+            ...
+        stats = runtime.close()                      # join; final outputs
+        for shard, outputs in runtime.poll():        #   remain pollable
+            ...
+
+    *factory* is called once per worker with the output sink; for the
+    process backend it must be picklable (see :func:`merge_factory`).
+    """
+
+    def __init__(
+        self,
+        factory: ShardFactory,
+        num_shards: int,
+        backend: str = "thread",
+        queue_capacity: int = 64,
+        coalesce_stables: bool = False,
+    ):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected {BACKENDS}")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be positive")
+        self.factory = factory
+        self.num_shards = num_shards
+        self.backend = backend
+        self.queue_capacity = queue_capacity
+        self.coalesce_stables = coalesce_stables
+        self.submitted = 0
+        self.collected = 0
+        self._started = False
+        self._closed = False
+        self._pending: List[Tuple[int, List[Element]]] = []
+        self._stats: List[Any] = []
+        # Backend state, populated by start().
+        self._inputs: List[Any] = []
+        self._output: Any = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._processes: List[multiprocessing.Process] = []
+        self._serial_shards: List[Any] = []
+        self._serial_buffers: List[List[Element]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ParallelRuntime":
+        if self._started:
+            raise RuntimeError("runtime already started")
+        self._started = True
+        if self.backend == "serial":
+            for shard in range(self.num_shards):
+                buffer: List[Element] = []
+                self._serial_buffers.append(buffer)
+                self._serial_shards.append(self.factory(buffer.append))
+        elif self.backend == "thread":
+            self._inputs = [
+                queue.Queue(maxsize=self.queue_capacity)
+                for _ in range(self.num_shards)
+            ]
+            self._output = queue.SimpleQueue()
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_shards,
+                thread_name_prefix="shard",
+            )
+            for shard in range(self.num_shards):
+                self._executor.submit(
+                    _shard_loop,
+                    shard,
+                    self.factory,
+                    self._inputs[shard].get,
+                    self._output.put,
+                    self.coalesce_stables,
+                )
+        else:  # process
+            context = multiprocessing.get_context(
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            self._inputs = [
+                context.Queue(maxsize=self.queue_capacity)
+                for _ in range(self.num_shards)
+            ]
+            self._output = context.Queue()
+            for shard in range(self.num_shards):
+                process = context.Process(
+                    target=_shard_loop,
+                    args=(
+                        shard,
+                        self.factory,
+                        self._inputs[shard].get,
+                        self._output.put,
+                        self.coalesce_stables,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                self._processes.append(process)
+        return self
+
+    def close(self) -> List[Any]:
+        """Send every worker its sentinel, gather final outputs and the
+        per-shard statistics, and join the workers.
+
+        Returns the per-shard stats list (``merge.stats`` objects, index =
+        shard).  Remaining outputs stay queued for :meth:`poll`.
+        """
+        self._require_started()
+        if self._closed:
+            return self._stats
+        self._closed = True
+        if self.backend == "serial":
+            self._stats = [shard.stats for shard in self._serial_shards]
+            return self._stats
+        stats: List[Any] = [None] * self.num_shards
+        for shard_queue in self._inputs:
+            shard_queue.put(None)
+        done = 0
+        while done < self.num_shards:
+            message = self._output.get()
+            if message[0] == "done":
+                stats[message[1]] = message[2]
+                done += 1
+            elif message[0] == "error":
+                self._abort()
+                raise ShardError(message[1], message[2])
+            else:
+                self._note_output(message)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        for process in self._processes:
+            process.join(timeout=30)
+        self._stats = stats
+        return stats
+
+    def _note_output(self, message: Tuple) -> None:
+        """Stash an ``("out", shard, elements)`` message for :meth:`poll`."""
+        if message[0] == "out":
+            self._pending.append((message[1], message[2]))
+
+    def _abort(self) -> None:
+        """Tear workers down after a shard error."""
+        if self._executor is not None:
+            for shard_queue in self._inputs:
+                try:
+                    shard_queue.put_nowait(None)
+                except queue.Full:
+                    pass
+            self._executor.shutdown(wait=False)
+        for process in self._processes:
+            process.terminate()
+
+    # ------------------------------------------------------------------
+    # Element flow
+    # ------------------------------------------------------------------
+
+    def broadcast_attach(self, stream_id, guarantee_from=None) -> None:
+        """Attach *stream_id* on every shard (all shards share the input
+        roster — each sees its partition of every input)."""
+        from repro.temporal.time import MINUS_INFINITY
+
+        if guarantee_from is None:
+            guarantee_from = MINUS_INFINITY
+        self._broadcast(("attach", stream_id, guarantee_from))
+
+    def broadcast_detach(self, stream_id) -> None:
+        self._broadcast(("detach", stream_id))
+
+    def _broadcast(self, envelope: Tuple) -> None:
+        self._require_open()
+        if self.backend == "serial":
+            for shard in self._serial_shards:
+                if envelope[0] == "attach":
+                    shard.attach(envelope[1], envelope[2])
+                else:
+                    shard.detach(envelope[1])
+            return
+        for shard_queue in self._inputs:
+            shard_queue.put(envelope)
+
+    def submit(self, shard: int, stream_id, elements: Sequence[Element]) -> None:
+        """Feed one micro-batch from *stream_id* to *shard*.
+
+        Blocks while the shard's bounded input queue is full — the
+        backpressure path that throttles an overwhelming producer.
+        """
+        self._require_open()
+        if not elements:
+            return
+        self.submitted += len(elements)
+        if self.backend == "serial":
+            merge = self._serial_shards[shard]
+            buffer = self._serial_buffers[shard]
+            merge.process_batch(
+                list(elements), stream_id, coalesce_stables=self.coalesce_stables
+            )
+            if buffer:
+                self._pending.append((shard, buffer[:]))
+                buffer.clear()
+            return
+        self._inputs[shard].put(("batch", stream_id, list(elements)))
+
+    def poll(self) -> List[Tuple[int, List[Element]]]:
+        """All output micro-batches ready right now, as ``(shard,
+        elements)`` pairs in arrival order (per-shard order is FIFO)."""
+        self._require_started()
+        ready = self._pending
+        self._pending = []
+        if self._output is not None:
+            while True:
+                try:
+                    message = self._output.get_nowait()
+                except queue.Empty:
+                    break
+                if message[0] == "error":
+                    self._abort()
+                    raise ShardError(message[1], message[2])
+                if message[0] == "out":
+                    ready.append((message[1], message[2]))
+                # "done" messages are consumed by close().
+        self.collected += sum(len(elements) for _, elements in ready)
+        return ready
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> List[Any]:
+        """Per-shard merge statistics; populated by :meth:`close`."""
+        return self._stats
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise RuntimeError("runtime not started; call start() first")
+
+    def _require_open(self) -> None:
+        self._require_started()
+        if self._closed:
+            raise RuntimeError("runtime already closed")
+
+    def __enter__(self) -> "ParallelRuntime":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._closed and exc_type is None:
+            self.close()
+        elif not self._closed:
+            # Error path: don't mask the original exception with a join.
+            self._closed = True
+            self._abort()
+
+
+def merge_factory(cls: type, **kwargs) -> ShardFactory:
+    """A picklable shard factory building ``cls(sink=..., **kwargs)``.
+
+    Use this (not a lambda or closure) for the process backend: child
+    workers unpickle the factory and construct their own merge instance.
+    """
+    return _MergeFactory(cls, kwargs)
+
+
+def available_cores() -> int:
+    """CPUs this process may run on (caps useful shard counts)."""
+    try:
+        import os
+
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return multiprocessing.cpu_count()
+

@@ -9,7 +9,7 @@ picks for a set of replica queries.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.engine.operator import CollectorSink, Operator
 from repro.lmerge.base import LMergeBase

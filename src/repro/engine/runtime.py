@@ -27,7 +27,17 @@ from repro.temporal.elements import Element
 
 class QueueFullError(RuntimeError):
     """An unbounded producer overwhelmed a bounded edge with no room to
-    apply backpressure (the producer was external)."""
+    apply backpressure (the producer was external).
+
+    For batch deliveries, :attr:`accepted` reports how many elements of
+    the slice were enqueued before the edge filled (the fitting prefix);
+    :attr:`rejected` is the remainder the producer still owns.
+    """
+
+    def __init__(self, message: str, accepted: int = 0, rejected: int = 1):
+        super().__init__(message)
+        self.accepted = accepted
+        self.rejected = rejected
 
 
 class QueuedEdge(Operator):
@@ -65,15 +75,36 @@ class QueuedEdge(Operator):
             self.peak_depth = len(self._queue)
 
     def receive_batch(self, elements: Sequence[Element], port: int = 0) -> None:
+        """Enqueue a slice, mirroring per-element :meth:`receive` exactly.
+
+        On a near-full bounded edge the fitting *prefix* is admitted and
+        the overflow raises — the same observable state a per-element loop
+        would leave behind (each fitting element enqueued, the first
+        overflowing element counted in ``elements_in`` but rejected).  The
+        raised :class:`QueueFullError` carries ``accepted``/``rejected``
+        so the producer knows where to resume.
+        """
         count = len(elements)
+        if self.capacity is not None:
+            room = self.capacity - len(self._queue)
+            if count > room:
+                admitted = room if room > 0 else 0
+                if admitted:
+                    self._queue.extend(elements[:admitted])
+                    self.enqueued += admitted
+                    if len(self._queue) > self.peak_depth:
+                        self.peak_depth = len(self._queue)
+                # The per-element path counts the first rejected element
+                # in elements_in before raising; later elements are never
+                # presented.
+                self.elements_in += admitted + 1
+                raise QueueFullError(
+                    f"{self.name}: capacity {self.capacity} exceeded "
+                    f"({admitted} of {count} admitted)",
+                    accepted=admitted,
+                    rejected=count - admitted,
+                )
         self.elements_in += count
-        if (
-            self.capacity is not None
-            and len(self._queue) + count > self.capacity
-        ):
-            raise QueueFullError(
-                f"{self.name}: capacity {self.capacity} exceeded"
-            )
         self._queue.extend(elements)
         self.enqueued += count
         if len(self._queue) > self.peak_depth:

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lmerge.feedback import FeedbackSignal
-from repro.temporal.elements import Adjust, Element, Insert, Stable
+from repro.temporal.elements import Adjust, Element, Insert
 from repro.temporal.time import Timestamp
 
 

@@ -9,7 +9,7 @@ and LMerge absorbs the seam.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
 from repro.streams.stream import PhysicalStream

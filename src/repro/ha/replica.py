@@ -25,7 +25,6 @@ from typing import Dict, List, Optional
 
 from repro.lmerge.base import LMergeBase
 from repro.streams.stream import PhysicalStream
-from repro.temporal.time import MINUS_INFINITY
 
 
 class RecoveryMode(enum.Enum):

@@ -18,7 +18,9 @@ R4      :class:`LMergeR4`           in3t three-tier index
 ======  ==========================  ===========================================
 
 :func:`create_lmerge` picks the cheapest algorithm admitted by a
-:class:`~repro.streams.properties.StreamProperties` (Section IV-G).
+:class:`~repro.streams.properties.StreamProperties` (Section IV-G);
+:func:`shard` wraps any variant in an N-shard hash-partitioned plan on a
+serial, thread, or process backend (``create_lmerge(..., shards=N)``).
 """
 
 from repro.lmerge.base import LMergeBase, MergeStats
@@ -36,6 +38,7 @@ from repro.lmerge.r4 import LMergeR4
 from repro.lmerge.selector import algorithm_for, create_lmerge
 from repro.lmerge.feedback import FeedbackSignal, FeedbackPolicy
 from repro.lmerge.counting import CountingMerge
+from repro.lmerge.shard import ShardedLMerge, shard
 
 __all__ = [
     "LMergeBase",
@@ -54,4 +57,6 @@ __all__ = [
     "FeedbackSignal",
     "FeedbackPolicy",
     "CountingMerge",
+    "ShardedLMerge",
+    "shard",
 ]

@@ -29,7 +29,7 @@ from typing import (
 
 from repro.streams.stream import PhysicalStream
 from repro.temporal.elements import Adjust, Element, Insert, Stable
-from repro.temporal.event import Event, Payload
+from repro.temporal.event import Payload
 from repro.temporal.time import MINUS_INFINITY, Timestamp
 
 StreamId = Hashable
@@ -71,6 +71,37 @@ class MergeStats:
     def chattiness(self) -> int:
         """Output-size metric of Section VI-B: adjust() elements emitted."""
         return self.adjusts_out
+
+    def merge(self, other: "MergeStats") -> "MergeStats":
+        """Accumulate *other* into this record (returns ``self``).
+
+        Lets a sharded plan fold per-shard statistics into one report —
+        every field is a count, so aggregation is plain addition.
+        """
+        self.inserts_in += other.inserts_in
+        self.adjusts_in += other.adjusts_in
+        self.stables_in += other.stables_in
+        self.inserts_out += other.inserts_out
+        self.adjusts_out += other.adjusts_out
+        self.stables_out += other.stables_out
+        return self
+
+    def __add__(self, other: "MergeStats") -> "MergeStats":
+        if not isinstance(other, MergeStats):
+            return NotImplemented
+        return MergeStats(
+            inserts_in=self.inserts_in + other.inserts_in,
+            adjusts_in=self.adjusts_in + other.adjusts_in,
+            stables_in=self.stables_in + other.stables_in,
+            inserts_out=self.inserts_out + other.inserts_out,
+            adjusts_out=self.adjusts_out + other.adjusts_out,
+            stables_out=self.stables_out + other.stables_out,
+        )
+
+    def __radd__(self, other) -> "MergeStats":
+        if other == 0:  # so sum(per_shard_stats) works
+            return MergeStats().merge(self)
+        return self.__add__(other)
 
 
 @dataclass

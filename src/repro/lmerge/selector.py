@@ -15,7 +15,10 @@ paper's examples:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Type, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Type, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lmerge.shard import ShardedLMerge
 
 from repro.lmerge.base import LMergeBase
 from repro.lmerge.policies import DEFAULT_POLICY, OutputPolicy
@@ -60,19 +63,30 @@ def algorithm_for(
 def create_lmerge(
     spec: Union[Restriction, StreamProperties, Iterable[StreamProperties]],
     policy: Optional[OutputPolicy] = None,
+    shards: int = 1,
+    backend: str = "thread",
     **kwargs,
-) -> LMergeBase:
+) -> "Union[LMergeBase, ShardedLMerge]":
     """Instantiate the algorithm :func:`algorithm_for` selects.
 
     *policy* is honoured by the R3/R4 algorithms and ignored (with a
     ValueError if explicitly set) by R0-R2, which have no policy freedom.
+
+    With ``shards > 1`` the selected algorithm is wrapped in an N-shard
+    partition-parallel plan (see :func:`repro.lmerge.shard.shard`) running
+    on *backend* workers; the returned object mirrors the LMergeBase
+    driving surface.
     """
     cls = algorithm_for(spec)
-    if cls in (LMergeR3,):
-        return cls(policy=policy or DEFAULT_POLICY, **kwargs)
     if policy is not None and policy != DEFAULT_POLICY:
         if cls not in (LMergeR3, LMergeR4):
             raise ValueError(
                 f"{cls.algorithm} admits no output-policy choices"
             )
+    if cls in (LMergeR3,):
+        kwargs = dict(kwargs, policy=policy or DEFAULT_POLICY)
+    if shards > 1:
+        from repro.lmerge.shard import shard as make_sharded
+
+        return make_sharded(cls, shards, backend=backend, **kwargs)
     return cls(**kwargs)

@@ -1,0 +1,275 @@
+"""Partition-parallel LMerge: ``shard()`` wraps any variant in an N-shard
+hash-partitioned plan.
+
+The plan is the exchange sandwich::
+
+    inputs --HashPartition--> N x LMerge(variant) --ShardUnion--> output
+              (by payload key,      (one worker         (data in arrival
+               stables broadcast)    per shard)          order; CTI = min
+                                                         shard frontier)
+
+Why this is lossless: every LMerge decision — duplicate elimination,
+adjust reconciliation, freeze-out — is made per ``(Vs, payload)`` key
+from that key's own state plus the stable frontier.  Routing by a payload
+key sends every element of a key to the same shard, and broadcasting
+``stable()`` advances every shard's frontier exactly as the unsharded
+merge's, so the per-key output is identical; the union of disjoint
+per-key outputs reconstitutes the same TDB.  The combined punctuation is
+the pointwise minimum of the shard frontiers — the output may only
+promise what every shard has promised (see docs/ALGORITHMS.md,
+"Partitioned execution").
+
+:class:`ShardedLMerge` mirrors the :class:`~repro.lmerge.base.LMergeBase`
+driving surface (``attach``/``process``/``process_batch``/``merge``/
+``merge_batched``/``output``/``stats``) so benches and tests can swap it
+in for a plain variant; call :meth:`ShardedLMerge.close` (or use the
+offline drivers, which close for you) to join the workers and fold the
+per-shard statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Type, Union
+
+from repro.engine.operator import CollectorSink
+from repro.engine.parallel import ParallelRuntime, merge_factory
+from repro.lmerge.base import (
+    InputStateError,
+    LMergeBase,
+    MergeStats,
+    StreamId,
+    interleave_batches,
+)
+from repro.operators.exchange import (
+    KeyFunction,
+    ShardUnion,
+    identity_key,
+    partition_batch,
+)
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Element
+from repro.temporal.time import MINUS_INFINITY, Timestamp
+
+
+class ShardedLMerge:
+    """An N-shard partitioned LMerge plan with the LMergeBase surface."""
+
+    def __init__(
+        self,
+        merge_cls: Type[LMergeBase],
+        num_shards: int,
+        backend: str = "thread",
+        key_fn: Optional[KeyFunction] = None,
+        queue_capacity: int = 64,
+        coalesce_stables: bool = False,
+        name: str = "sharded-lmerge",
+        **merge_kwargs,
+    ):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        self.merge_cls = merge_cls
+        self.algorithm = f"{merge_cls.algorithm}x{num_shards}[{backend}]"
+        self.num_shards = num_shards
+        self.backend = backend
+        self.key_fn: KeyFunction = key_fn or identity_key
+        self.name = name
+        self._union = ShardUnion(num_shards, name=f"{name}.union")
+        sink = CollectorSink(name=f"{name}.out")
+        self._union.subscribe(sink)
+        self.output = sink.stream
+        self._runtime = ParallelRuntime(
+            merge_factory(merge_cls, **merge_kwargs),
+            num_shards,
+            backend=backend,
+            queue_capacity=queue_capacity,
+            coalesce_stables=coalesce_stables,
+        ).start()
+        self._attached: List[StreamId] = []
+        self._closed = False
+        self._stats: Optional[MergeStats] = None
+        self._shard_stats: List[MergeStats] = []
+
+    # ------------------------------------------------------------------
+    # Input lifecycle (broadcast: every shard sees every input's slice)
+    # ------------------------------------------------------------------
+
+    def attach(
+        self, stream_id: StreamId, guarantee_from: Timestamp = MINUS_INFINITY
+    ) -> None:
+        if stream_id in self._attached:
+            raise InputStateError(f"stream {stream_id!r} already attached")
+        self._attached.append(stream_id)
+        self._runtime.broadcast_attach(stream_id, guarantee_from)
+
+    def detach(self, stream_id: StreamId) -> None:
+        if stream_id not in self._attached:
+            raise InputStateError(f"stream {stream_id!r} is not attached")
+        self._attached.remove(stream_id)
+        self._runtime.broadcast_detach(stream_id)
+
+    def is_attached(self, stream_id: StreamId) -> bool:
+        return stream_id in self._attached
+
+    @property
+    def input_ids(self) -> Tuple[StreamId, ...]:
+        return tuple(self._attached)
+
+    # ------------------------------------------------------------------
+    # Element flow
+    # ------------------------------------------------------------------
+
+    def process(self, element: Element, stream_id: StreamId) -> None:
+        self.process_batch((element,), stream_id)
+
+    def process_batch(
+        self,
+        elements: Sequence[Element],
+        stream_id: StreamId,
+        *,
+        coalesce_stables: bool = False,
+    ) -> None:
+        """Partition one micro-batch across the shards and collect any
+        shard output that is ready.
+
+        ``coalesce_stables`` is fixed per plan (a worker-side setting);
+        the keyword is accepted for LMergeBase interface compatibility.
+        """
+        del coalesce_stables  # per-plan, set in __init__
+        if stream_id not in self._attached:
+            raise InputStateError(f"batch from unattached stream {stream_id!r}")
+        runtime = self._runtime
+        for shard, bucket in enumerate(
+            partition_batch(elements, self.num_shards, self.key_fn)
+        ):
+            if bucket:
+                runtime.submit(shard, stream_id, bucket)
+        self._collect()
+
+    def _collect(self) -> None:
+        union = self._union
+        for shard, outputs in self._runtime.poll():
+            union.receive_batch(outputs, shard)
+
+    def close(self) -> MergeStats:
+        """Drain the workers, fold per-shard statistics, and return the
+        aggregate.  Idempotent; the offline drivers call it for you."""
+        if not self._closed:
+            self._shard_stats = list(self._runtime.close())
+            self._collect()
+            self._closed = True
+            self._stats = MergeStats()
+            for stats in self._shard_stats:
+                self._stats.merge(stats)
+        assert self._stats is not None
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Statistics & frontiers
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> MergeStats:
+        """The aggregate MergeStats across shards (closes the plan).
+
+        Sums the per-shard records, so ``stables_in`` counts each
+        broadcast ``stable()`` once per shard; data counts are exact (the
+        partition is disjoint).
+        """
+        if self._stats is None:
+            return self.close()
+        return self._stats
+
+    @property
+    def shard_stats(self) -> List[MergeStats]:
+        """Per-shard MergeStats, index = shard (closes the plan)."""
+        self.close()
+        return self._shard_stats
+
+    @property
+    def max_stable(self) -> Timestamp:
+        """The combined output frontier: min over shard frontiers."""
+        return self._union.emitted_stable
+
+    @property
+    def shard_frontiers(self) -> Tuple[Timestamp, ...]:
+        return self._union.frontiers
+
+    # ------------------------------------------------------------------
+    # Offline drivers (mirror LMergeBase.merge / merge_batched)
+    # ------------------------------------------------------------------
+
+    def merge(
+        self,
+        streams: Iterable[PhysicalStream],
+        schedule: str = "round_robin",
+        seed: int = 0,
+        batch_size: int = 64,
+    ) -> PhysicalStream:
+        """Merge complete physical streams offline and return the output.
+
+        Unlike the unsharded driver, elements always travel in micro-batch
+        envelopes (*batch_size* per scheduling turn): per-element IPC
+        would drown the process backend in round trips.
+        """
+        return self.merge_batched(streams, schedule, seed, batch_size)
+
+    def merge_batched(
+        self,
+        streams: Iterable[PhysicalStream],
+        schedule: str = "round_robin",
+        seed: int = 0,
+        batch_size: int = 64,
+        coalesce_stables: bool = False,
+    ) -> PhysicalStream:
+        del coalesce_stables  # per-plan, set in __init__
+        streams = list(streams)
+        for index in range(len(streams)):
+            if not self.is_attached(index):
+                self.attach(index)
+        for chunk, stream_id in interleave_batches(
+            streams, schedule, seed, batch_size
+        ):
+            self.process_batch(chunk, stream_id)
+        self.close()
+        return self.output
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ShardedLMerge {self.algorithm} {self.name!r}>"
+
+
+def shard(
+    variant: Union[Type[LMergeBase], object],
+    num_shards: int,
+    *,
+    backend: str = "thread",
+    key_fn: Optional[KeyFunction] = None,
+    queue_capacity: int = 64,
+    coalesce_stables: bool = False,
+    **merge_kwargs,
+) -> ShardedLMerge:
+    """Wrap an LMerge variant in an N-shard partition-parallel plan.
+
+    *variant* is an :class:`LMergeBase` subclass (``LMergeR3``), a
+    :class:`~repro.streams.properties.Restriction`, a
+    :class:`~repro.streams.properties.StreamProperties`, or an iterable of
+    per-input properties — the latter three resolve through the Section
+    IV-G selector, so ``shard(properties, 4)`` picks the cheapest correct
+    algorithm and parallelizes it.
+
+    >>> plan = shard(LMergeR3, 4, backend="process")
+    >>> out = plan.merge([replica_a, replica_b])
+    >>> plan.stats.elements_out      # aggregate across the 4 shards
+    """
+    if not (isinstance(variant, type) and issubclass(variant, LMergeBase)):
+        from repro.lmerge.selector import algorithm_for
+
+        variant = algorithm_for(variant)
+    return ShardedLMerge(
+        variant,
+        num_shards,
+        backend=backend,
+        key_fn=key_fn,
+        queue_capacity=queue_capacity,
+        coalesce_stables=coalesce_stables,
+        **merge_kwargs,
+    )

@@ -11,6 +11,7 @@ from repro.metrics.collector import (
     AppTimeLatencyProbe,
     MemoryProbe,
     ThroughputTimeline,
+    merge_stats,
     wall_clock_throughput,
 )
 
@@ -18,5 +19,6 @@ __all__ = [
     "ThroughputTimeline",
     "MemoryProbe",
     "AppTimeLatencyProbe",
+    "merge_stats",
     "wall_clock_throughput",
 ]

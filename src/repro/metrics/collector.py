@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Tuple
 
-from repro.temporal.elements import Element, Insert, Stable
+from repro.temporal.elements import Element, Insert
 from repro.temporal.time import MINUS_INFINITY, Timestamp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lmerge.base import MergeStats
 
 
 class ThroughputTimeline:
@@ -121,6 +123,21 @@ class AppTimeLatencyProbe:
         ordered = sorted(self.latencies)
         index = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[index]
+
+
+def merge_stats(parts: Iterable["MergeStats"]) -> "MergeStats":
+    """Fold per-shard (or per-replica) MergeStats into one report.
+
+    The counterpart of :meth:`MergeStats.merge` for a collection — used by
+    sharded plans and report scripts to aggregate statistics without
+    mutating the inputs.
+    """
+    from repro.lmerge.base import MergeStats
+
+    total = MergeStats()
+    for part in parts:
+        total.merge(part)
+    return total
 
 
 def wall_clock_throughput(run: Callable[[], int]) -> Tuple[float, int]:

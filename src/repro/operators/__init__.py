@@ -15,7 +15,10 @@ These are the query-plan building blocks the paper composes around LMerge:
 * :class:`AlterLifetime` — lifetime modification (the paper's adjust()
   factory when chained after an aggregate);
 * :class:`UdfFilter` — a selection UDF with a value-dependent cost model
-  (the Figure 10 plan-switching workload).
+  (the Figure 10 plan-switching workload);
+* :class:`HashPartition` / :class:`ShardUnion` — CTI-aligned exchange
+  operators for partition-parallel plans (stables broadcast on the way
+  out, min-frontier punctuation on the way back).
 """
 
 from repro.operators.source import StreamSource
@@ -32,6 +35,12 @@ from repro.operators.cleanse import Cleanse
 from repro.operators.alter_lifetime import AlterLifetime
 from repro.operators.udf import UdfFilter, ValueBandCost
 from repro.operators.sample import Sample
+from repro.operators.exchange import (
+    HashPartition,
+    ShardPort,
+    ShardUnion,
+    partition_batch,
+)
 
 __all__ = [
     "StreamSource",
@@ -48,4 +57,8 @@ __all__ = [
     "UdfFilter",
     "ValueBandCost",
     "Sample",
+    "HashPartition",
+    "ShardPort",
+    "ShardUnion",
+    "partition_batch",
 ]

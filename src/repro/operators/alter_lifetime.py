@@ -14,7 +14,7 @@ from typing import Callable, List, Optional
 from repro.engine.operator import Operator
 from repro.streams.properties import StreamProperties
 from repro.temporal.elements import Adjust, Insert, Stable
-from repro.temporal.time import INFINITY, Timestamp
+from repro.temporal.time import Timestamp
 
 
 class AlterLifetime(Operator):

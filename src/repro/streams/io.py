@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, IO, Iterable, Iterator, List, Union
+from typing import Any, IO, Iterable, List, Union
 
 from repro.streams.stream import PhysicalStream
 from repro.temporal.elements import Adjust, Element, Insert, Stable

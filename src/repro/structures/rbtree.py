@@ -13,7 +13,7 @@ need multiplicity, like in3t's Ve tier, store counts as values).
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Tuple
 
 RED = True
 BLACK = False

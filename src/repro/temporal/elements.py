@@ -78,6 +78,9 @@ class Insert:
     def __repr__(self) -> str:
         return f"Insert(payload={self.payload!r}, vs={self.vs!r}, ve={self.ve!r})"
 
+    def __reduce__(self):
+        return (Insert, (self.payload, self.vs, self.ve))
+
     @property
     def key(self) -> Tuple[Timestamp, Payload]:
         return (self.vs, self.payload)
@@ -146,6 +149,9 @@ class Adjust:
             f"v_old={self.v_old!r}, ve={self.ve!r})"
         )
 
+    def __reduce__(self):
+        return (Adjust, (self.payload, self.vs, self.v_old, self.ve))
+
     @property
     def key(self) -> Tuple[Timestamp, Payload]:
         return (self.vs, self.payload)
@@ -188,6 +194,9 @@ class Stable:
     def __repr__(self) -> str:
         return f"Stable(vc={self.vc!r})"
 
+    def __reduce__(self):
+        return (Stable, (self.vc,))
+
     def __str__(self) -> str:  # pragma: no cover
         at = "inf" if self.vc == INFINITY else self.vc
         return f"stable({at})"
@@ -226,6 +235,9 @@ class Open:
     def __repr__(self) -> str:
         return f"Open(payload={self.payload!r}, vs={self.vs!r})"
 
+    def __reduce__(self):
+        return (Open, (self.payload, self.vs))
+
 
 class Close:
     """``close(p, Ve)``: the active event for payload *p* ends at ``Ve``.
@@ -253,6 +265,9 @@ class Close:
 
     def __repr__(self) -> str:
         return f"Close(payload={self.payload!r}, ve={self.ve!r})"
+
+    def __reduce__(self):
+        return (Close, (self.payload, self.ve))
 
 
 #: An Example-3 dialect element.

@@ -19,7 +19,7 @@ can certify a stream for the R2/R3 algorithms at runtime.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.structures.in2t import _KeyFloor
 from repro.structures.rbtree import RedBlackTree

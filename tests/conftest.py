@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Type
+from typing import List, Optional, Sequence
 
 import pytest
 

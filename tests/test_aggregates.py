@@ -11,7 +11,6 @@ from repro.operators.aggregate import (
 )
 from repro.operators.cleanse import Cleanse
 from repro.streams.properties import measure_properties
-from repro.streams.stream import PhysicalStream
 from repro.temporal.elements import Adjust, Insert, Stable
 from repro.temporal.event import Event
 from repro.temporal.tdb import TDB

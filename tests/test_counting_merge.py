@@ -6,9 +6,7 @@ import pytest
 
 from repro.lmerge.counting import CountingMerge
 from repro.lmerge.r3 import LMergeR3
-from repro.streams.stream import PhysicalStream
-from repro.temporal.elements import Insert, Stable
-from repro.temporal.time import INFINITY
+from repro.temporal.elements import Insert
 
 from conftest import small_stream
 

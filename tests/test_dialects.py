@@ -13,7 +13,6 @@ from repro.temporal.dialects import (
     open_close_to_elements,
 )
 from repro.temporal.elements import Adjust, Close, Insert, Open, Stable
-from repro.temporal.event import Event
 from repro.temporal.tdb import (
     StreamViolationError,
     reconstitute,

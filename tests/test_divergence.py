@@ -16,8 +16,7 @@ from repro.streams.divergence import (
     thin_stables,
 )
 from repro.streams.generator import GeneratorConfig, StreamGenerator
-from repro.streams.stream import PhysicalStream
-from repro.temporal.elements import Adjust, Insert, Stable
+from repro.temporal.elements import Stable
 from repro.temporal.time import INFINITY
 
 

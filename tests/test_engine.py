@@ -5,7 +5,7 @@ import pytest
 from repro.engine.operator import CallbackSink, CollectorSink
 from repro.engine.query import Query, infer_properties, play_together
 from repro.lmerge.r2 import LMergeR2
-from repro.operators.aggregate import AggregateMode, GroupedCount, WindowedCount
+from repro.operators.aggregate import GroupedCount, WindowedCount
 from repro.operators.select import Filter, MapPayload
 from repro.operators.source import StreamSource
 from repro.operators.union import Union
@@ -46,7 +46,7 @@ class TestQueryExecution:
     def test_run_leaves_graph_reusable(self):
         stream = small_stream(count=100, seed=105)
         query = Query.from_stream(stream).then(Filter(lambda p: True))
-        first = query.run()
+        query.run()
         # Re-running requires a fresh source cursor; build a new query on
         # the same operators is out of scope — but the graph must not
         # still push into the first run's sink.
@@ -140,7 +140,7 @@ class TestMergeWith:
     def test_adapter_counts_elements(self):
         stream = small_stream(count=60, seed=113)
         replicas = [Query.from_stream(stream)]
-        merge = Query.merge_with(replicas)
+        Query.merge_with(replicas)
         replicas[0].play()
         adapters = [
             op for op, _ in replicas[0].tail._subscribers

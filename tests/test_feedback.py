@@ -1,9 +1,8 @@
 """Tests for feedback signalling and fast-forward (Section V-D)."""
 
-import pytest
 
 from repro.engine.operator import CollectorSink
-from repro.engine.query import Query, play_together
+from repro.engine.query import Query
 from repro.lmerge.feedback import FeedbackPolicy, FeedbackSignal
 from repro.lmerge.r3 import LMergeR3
 from repro.operators.select import Filter

@@ -4,7 +4,7 @@ import pytest
 
 from repro.ha.hierarchy import FragmentChain, ReplicatedFragment
 from repro.lmerge.r0 import LMergeR0
-from repro.operators.aggregate import AggregateMode, WindowedCount
+from repro.operators.aggregate import WindowedCount
 from repro.operators.select import Filter
 
 from conftest import small_stream

@@ -3,7 +3,6 @@ plans, counters, and mixed delay models."""
 
 import pytest
 
-from repro.engine.operator import CollectorSink
 from repro.engine.query import Query
 from repro.engine.simulation import (
     BurstyDelay,
@@ -24,7 +23,6 @@ from repro.operators.aggregate import AggregateMode, GroupedCount
 from repro.operators.select import Filter
 from repro.operators.union import Union
 from repro.temporal.elements import Insert, Stable
-from repro.temporal.time import INFINITY
 
 from conftest import divergent_inputs, merge_with_oracle, small_stream
 

@@ -1,7 +1,6 @@
 """Stream serialization (JSON lines) and the command-line interface."""
 
 import io
-import json
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the symmetric temporal join."""
 
-import pytest
 
 from repro.engine.operator import CollectorSink
 from repro.operators.join import TemporalJoin

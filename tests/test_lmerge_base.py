@@ -61,6 +61,39 @@ class TestMergeStats:
         stats = MergeStats(adjusts_out=7)
         assert stats.chattiness == 7
 
+    def test_merge_accumulates_in_place(self):
+        a = MergeStats(inserts_in=3, adjusts_out=2, stables_out=1)
+        b = MergeStats(inserts_in=4, adjusts_in=5, stables_out=6)
+        result = a.merge(b)
+        assert result is a
+        assert a.inserts_in == 7
+        assert a.adjusts_in == 5
+        assert a.adjusts_out == 2
+        assert a.stables_out == 7
+        # The source record is untouched.
+        assert b.inserts_in == 4
+
+    def test_add_is_pure(self):
+        a = MergeStats(inserts_in=1, inserts_out=2)
+        b = MergeStats(inserts_in=10, stables_in=3)
+        total = a + b
+        assert (total.inserts_in, total.inserts_out, total.stables_in) == (11, 2, 3)
+        assert a.inserts_in == 1 and b.inserts_in == 10
+
+    def test_sum_over_shards(self):
+        parts = [MergeStats(inserts_in=i, adjusts_out=1) for i in range(4)]
+        total = sum(parts)
+        assert total.inserts_in == 6
+        assert total.adjusts_out == 4
+        assert all(p.adjusts_out == 1 for p in parts)
+
+    def test_merge_stats_helper(self):
+        from repro.metrics import merge_stats
+
+        parts = [MergeStats(stables_in=2), MergeStats(stables_in=5)]
+        assert merge_stats(parts).stables_in == 7
+        assert merge_stats([]).elements_in == 0
+
     def test_counting_by_processing(self):
         merge = LMergeR3()
         merge.attach(0)

@@ -18,7 +18,7 @@ from repro.lmerge.r2 import LMergeR2
 from repro.lmerge.r3 import LMergeR3
 from repro.lmerge.r3_naive import LMergeR3Naive
 from repro.lmerge.r4 import LMergeR4
-from repro.streams.divergence import diverge, reorder_within_stability
+from repro.streams.divergence import diverge
 from repro.streams.generator import GeneratorConfig, StreamGenerator
 from repro.streams.stream import PhysicalStream
 from repro.temporal.elements import Insert, Stable

@@ -11,7 +11,6 @@ from repro.temporal.elements import Adjust, Insert, Stable
 from repro.temporal.tdb import reconstitute
 from repro.temporal.time import INFINITY
 
-from conftest import small_stream
 
 
 def attach(merge, n=2):

@@ -7,12 +7,9 @@ from repro.operators.alter_lifetime import AlterLifetime
 from repro.operators.select import Filter, MapPayload
 from repro.operators.source import StreamSource
 from repro.operators.union import Union
-from repro.streams.properties import StreamProperties, measure_properties
-from repro.streams.stream import PhysicalStream
+from repro.streams.properties import StreamProperties
 from repro.temporal.elements import Adjust, Insert, Stable
-from repro.temporal.event import Event
 from repro.temporal.tdb import TDB
-from repro.temporal.time import INFINITY
 
 from conftest import small_stream
 

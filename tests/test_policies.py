@@ -16,7 +16,6 @@ from repro.streams.stream import PhysicalStream
 from repro.temporal.elements import Adjust, Insert, Stable
 from repro.temporal.event import Event
 from repro.temporal.tdb import TDB
-from repro.temporal.time import INFINITY
 
 from conftest import divergent_inputs, small_stream
 

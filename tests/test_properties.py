@@ -1,6 +1,5 @@
 """Tests for the stream-property lattice and R0-R4 classification."""
 
-import pytest
 
 from repro.streams.properties import (
     Restriction,

@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 from repro.engine.operator import CollectorSink
 from repro.operators.cleanse import Cleanse
 from repro.operators.join import TemporalJoin
-from repro.structures.in2t import In2T, OUTPUT
+from repro.structures.in2t import In2T
 from repro.structures.in3t import In3T
 from repro.temporal.elements import Insert, Stable
 from repro.temporal.event import Event

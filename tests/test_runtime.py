@@ -7,8 +7,7 @@ from repro.engine.runtime import QueuedEdge, QueueFullError, Runtime
 from repro.operators.aggregate import WindowedCount
 from repro.operators.select import Filter
 from repro.operators.source import StreamSource
-from repro.temporal.elements import Insert, Stable
-from repro.temporal.time import INFINITY
+from repro.temporal.elements import Insert
 
 from conftest import small_stream
 
@@ -54,6 +53,54 @@ class TestQueuedEdge:
             edge.receive(Insert(index, index + 1), 0)
         edge.drain(100)
         assert [e.payload for e in sink.stream] == [0, 1, 2, 3]
+
+    def test_batch_overflow_admits_fitting_prefix(self):
+        """Regression: a batch on a near-full bounded edge must enqueue
+        the fitting prefix and backpressure on the remainder — exactly the
+        state a per-element receive loop would leave behind."""
+        edge = QueuedEdge(CollectorSink(), capacity=4)
+        edge.receive(Insert("a", 1), 0)
+        batch = [Insert(i, i + 1) for i in range(5)]
+        with pytest.raises(QueueFullError) as excinfo:
+            edge.receive_batch(batch, 0)
+        assert excinfo.value.accepted == 3
+        assert excinfo.value.rejected == 2
+        assert edge.depth == 4  # prefix admitted, not over-admitted
+        assert edge.enqueued == 4
+
+    def test_batch_overflow_matches_per_element_counters(self):
+        batch = [Insert(i, i + 1) for i in range(5)]
+
+        batched = QueuedEdge(CollectorSink(), capacity=3)
+        with pytest.raises(QueueFullError):
+            batched.receive_batch(batch, 0)
+
+        one_by_one = QueuedEdge(CollectorSink(), capacity=3)
+        with pytest.raises(QueueFullError):
+            for element in batch:
+                one_by_one.receive(element, 0)
+
+        assert batched.depth == one_by_one.depth == 3
+        assert batched.enqueued == one_by_one.enqueued
+        assert batched.elements_in == one_by_one.elements_in
+        assert batched.peak_depth == one_by_one.peak_depth
+
+    def test_batch_overflow_on_full_edge_admits_nothing(self):
+        edge = QueuedEdge(CollectorSink(), capacity=2)
+        edge.receive_batch([Insert("a", 1), Insert("b", 2)], 0)
+        with pytest.raises(QueueFullError) as excinfo:
+            edge.receive_batch([Insert("c", 3)], 0)
+        assert excinfo.value.accepted == 0
+        assert excinfo.value.rejected == 1
+        assert edge.depth == 2
+
+    def test_batch_fitting_exactly_is_admitted(self):
+        sink = CollectorSink()
+        edge = QueuedEdge(sink, capacity=3)
+        edge.receive_batch([Insert(i, i + 1) for i in range(3)], 0)
+        assert edge.depth == 3
+        assert edge.drain(10) == 3
+        assert [e.payload for e in sink.stream] == [0, 1, 2]
 
 
 class TestRuntime:

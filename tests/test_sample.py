@@ -8,7 +8,6 @@ from repro.operators.sample import Sample
 from repro.streams.divergence import diverge
 from repro.streams.properties import StreamProperties
 from repro.temporal.elements import Adjust, Insert, Stable
-from repro.temporal.time import INFINITY
 
 from conftest import small_stream
 

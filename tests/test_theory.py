@@ -14,7 +14,7 @@ from repro.theory.equivalence import (
     open_close_compatible,
     prefix_equivalent_open_close,
 )
-from repro.temporal.elements import Adjust, Insert, Stable
+from repro.temporal.elements import Adjust, Insert
 from repro.temporal.time import INFINITY
 
 
