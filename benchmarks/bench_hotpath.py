@@ -6,13 +6,20 @@ per-element baseline.  Elements/sec are recorded for every variant on its
 natural workload; the headline claims are asserted:
 
 * batched >= 1.5x per-element for LMR1 on in-order input;
-* batched >= 1.5x per-element for LMR3+ on general (disordered) input.
+* batched >= 1.5x per-element for LMR3+ on general (disordered) input;
+* disabled observability (the NullTracer guard in ``process_batch``)
+  costs under 5% vs a replica of the uninstrumented inner loop.
 
 The per-variant pytest-benchmark entries keep the batched path in the
 BENCH json trajectory so regressions show up run-to-run.
 """
 
+import time
+
 import pytest
+
+from repro.engine.parallel import available_cores
+from repro.lmerge.base import interleave_batches
 
 from conftest import (
     ALL_VARIANTS,
@@ -82,6 +89,58 @@ def test_batched_output_equivalent():
         )
         assert list(out_per) == list(out_bat), name
         assert per.stats == bat.stats, name
+
+
+def _untraced_process_batch(merge, elements, stream_id):
+    """The pre-instrumentation inner loop of ``process_batch``:
+    run-grouping + type-keyed dispatch, no tracer guard."""
+    state = merge._inputs[stream_id]
+    dispatch = merge._batch_dispatch
+    i = 0
+    n = len(elements)
+    while i < n:
+        cls = elements[i].__class__
+        j = i + 1
+        while j < n and elements[j].__class__ is cls:
+            j += 1
+        dispatch[cls](elements[i:j], stream_id, state, False)
+        i = j
+
+
+@pytest.mark.skipif(
+    available_cores() < 2,
+    reason="timing budget needs an unloaded core; host has <2",
+)
+@series_benchmark
+def test_nulltracer_overhead_series(report):
+    """Disabled observability must cost <5% on the batched hot path."""
+    report("NullTracer guard overhead vs uninstrumented inner loop")
+    for name in ("LMR1", "LMR3+"):
+        cls = ALL_VARIANTS[name]
+        streams = _workload_for(name)
+        chunks = list(interleave_batches(streams, "round_robin", 0, 64))
+
+        def timed(use_replica):
+            merge = cls()
+            for stream_id in range(len(streams)):
+                merge.attach(stream_id)
+            start = time.perf_counter()
+            if use_replica:
+                for chunk, stream_id in chunks:
+                    _untraced_process_batch(merge, chunk, stream_id)
+            else:
+                for chunk, stream_id in chunks:
+                    merge.process_batch(chunk, stream_id)
+            return time.perf_counter() - start
+
+        shipped = min(timed(False) for _ in range(3))
+        replica = min(timed(True) for _ in range(3))
+        slowdown = shipped / replica
+        report(f"  {name:>6}: shipped {shipped:.4f}s  "
+               f"replica {replica:.4f}s  ({slowdown - 1:+.1%})")
+        assert slowdown <= 1.05, (
+            f"{name}: disabled tracing costs {slowdown - 1:.1%} (budget 5%)"
+        )
 
 
 @pytest.mark.parametrize("name", list(ALL_VARIANTS))

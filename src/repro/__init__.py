@@ -56,6 +56,13 @@ from repro.lmerge import (
 )
 from repro.engine import Query
 from repro.ha import Checkpoint, ReplicatedDeployment, checkpoint_of, replay_stream
+from repro.obs import (
+    LMergeObserver,
+    MetricRegistry,
+    RingTracer,
+    RunReport,
+    prometheus_text,
+)
 
 __version__ = "1.0.0"
 
@@ -92,5 +99,10 @@ __all__ = [
     "checkpoint_of",
     "replay_stream",
     "ReplicatedDeployment",
+    "MetricRegistry",
+    "RingTracer",
+    "LMergeObserver",
+    "RunReport",
+    "prometheus_text",
     "__version__",
 ]

@@ -6,7 +6,12 @@ Commands operate on JSON-lines stream files (see
 * ``generate`` — produce a synthetic workload (Section VI-B knobs);
 * ``diverge`` — derive a physically divergent, logically equivalent copy;
 * ``merge`` — LMerge several stream files into one (algorithm selected
-  from measured properties, or forced with ``--algorithm``);
+  from measured properties, or forced with ``--algorithm``); with
+  ``--metrics-out``/``--trace-out``/``--prom-out`` the run is
+  instrumented through :mod:`repro.obs` and leaves a
+  :class:`~repro.obs.export.RunReport` / trace JSONL / Prometheus text
+  behind;
+* ``report`` — render a saved RunReport JSON as a human-readable table;
 * ``validate`` — check the element contract (and optionally the key
   property) of a stream file;
 * ``inspect`` — summarize a stream file (counts, properties, TDB size).
@@ -16,8 +21,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
+from repro.engine.operator import Operator
+from repro.engine.runtime import Runtime
+from repro.lmerge.base import interleave
 from repro.lmerge.selector import algorithm_for, create_lmerge
+from repro.obs import (
+    LMergeObserver,
+    MetricRegistry,
+    RingTracer,
+    RunReport,
+    prometheus_text,
+)
+from repro.obs.trace import NULL_TRACER
 from repro.streams.divergence import diverge
 from repro.streams.generator import GeneratorConfig, StreamGenerator
 from repro.streams.io import read_stream, save_stream
@@ -61,6 +78,111 @@ def _cmd_diverge(args: argparse.Namespace) -> int:
     return 0
 
 
+class _MergeInput(Operator):
+    """Presents one LMerge input port as an operator, so the instrumented
+    CLI run can stand behind queued edges (real queue-depth dynamics)."""
+
+    kind = "lmerge-input"
+
+    def __init__(self, merge, stream_id: int):
+        super().__init__(f"{merge.name}[{stream_id}]")
+        self.merge = merge
+        self.stream_id = stream_id
+
+    def receive(self, element, port: int = 0) -> None:
+        self.elements_in += 1
+        self.merge.process(element, self.stream_id)
+
+    def receive_batch(self, elements, port: int = 0) -> None:
+        self.elements_in += len(elements)
+        self.merge.process_batch(elements, self.stream_id)
+
+
+def _print_stats(merge) -> None:
+    stats = merge.stats
+    per_input = ""
+    input_ids = getattr(merge, "input_ids", ())
+    if input_ids:
+        per_input = f" from {len(input_ids)} inputs"
+    print(
+        f"stats: in {stats.elements_in}{per_input} "
+        f"(inserts {stats.inserts_in}, adjusts {stats.adjusts_in}, "
+        f"stables {stats.stables_in})"
+    )
+    print(
+        f"       out {stats.elements_out} "
+        f"(inserts {stats.inserts_out}, adjusts {stats.adjusts_out}, "
+        f"stables {stats.stables_out}); chattiness {stats.chattiness}"
+    )
+    if stats.inserts_in:
+        dropped = max(0, stats.inserts_in - stats.inserts_out)
+        print(
+            f"       duplicates dropped {dropped} "
+            f"({dropped / stats.inserts_in:.1%} of input inserts)"
+        )
+
+
+def _instrumented_merge(args: argparse.Namespace, merge, inputs) -> None:
+    """Drive the merge through queued edges with repro.obs attached,
+    leaving the requested report/trace/Prometheus artifacts behind."""
+    total = sum(len(stream) for stream in inputs)
+    registry = MetricRegistry()
+    tracer = (
+        RingTracer(capacity=args.trace_capacity)
+        if args.trace_out
+        else NULL_TRACER
+    )
+    merge.set_tracer(tracer)
+    observer = LMergeObserver(
+        merge, registry, bucket=max(1.0, total / 64)
+    )
+    runtime = Runtime(batch=64, tracer=tracer, registry=registry)
+    edges = [
+        runtime.edge_to(_MergeInput(merge, stream_id).set_tracer(tracer))
+        for stream_id in range(len(inputs))
+    ]
+    for stream_id in range(len(inputs)):
+        merge.attach(stream_id)
+
+    sample_every = max(1, total // 128)
+    processed = 0
+    start = time.perf_counter()
+    for element, stream_id in interleave(list(inputs), args.schedule, args.seed):
+        edges[stream_id].receive(element)
+        processed += 1
+        if processed % 64 == 0:
+            runtime.pump()
+        if processed % sample_every == 0:
+            observer.sample(clock=processed)
+    runtime.run()
+    observer.sample(clock=processed)
+    elapsed = time.perf_counter() - start
+
+    report = RunReport.build(
+        merge=merge,
+        registry=registry,
+        observer=observer,
+        runtime=runtime,
+        tracer=tracer,
+        wall_seconds=elapsed,
+        inputs=list(args.inputs),
+    )
+    if args.metrics_out:
+        report.save(args.metrics_out)
+        print(f"run report -> {args.metrics_out}")
+    if args.trace_out:
+        with open(args.trace_out, "w") as fp:
+            lines = tracer.export_jsonl(fp)
+        print(
+            f"trace -> {args.trace_out} ({lines} events, "
+            f"{tracer.dropped} dropped)"
+        )
+    if args.prom_out:
+        with open(args.prom_out, "w") as fp:
+            fp.write(prometheus_text(registry))
+        print(f"prometheus metrics -> {args.prom_out}")
+
+
 def _cmd_merge(args: argparse.Namespace) -> int:
     inputs = [read_stream(path) for path in args.inputs]
     if args.algorithm:
@@ -68,13 +190,26 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     else:
         properties = [measure_properties(stream) for stream in inputs]
         merge = create_lmerge(properties)
-    output = merge.merge(inputs, schedule=args.schedule, seed=args.seed)
+    instrumented = args.metrics_out or args.trace_out or args.prom_out
+    if instrumented:
+        _instrumented_merge(args, merge, inputs)
+        output = merge.output
+    else:
+        output = merge.merge(inputs, schedule=args.schedule, seed=args.seed)
     written = save_stream(output, args.output)
     print(
         f"{merge.algorithm}: merged {merge.stats.elements_in} elements "
         f"from {len(inputs)} inputs into {written} "
         f"({merge.stats.adjusts_out} adjusts) -> {args.output}"
     )
+    if args.stats:
+        _print_stats(merge)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    report = RunReport.load(args.report)
+    print(report.render())
     return 0
 
 
@@ -155,7 +290,40 @@ def build_parser() -> argparse.ArgumentParser:
         default="round_robin",
     )
     merge.add_argument("--seed", type=int, default=0)
+    merge.add_argument(
+        "--stats",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="print a MergeStats summary on completion (default on)",
+    )
+    merge.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="instrument the run and write a RunReport JSON here",
+    )
+    merge.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record pipeline trace events and write JSONL here",
+    )
+    merge.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        help="write the metric registry in Prometheus text format here",
+    )
+    merge.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=65536,
+        help="trace ring-buffer capacity (oldest events drop beyond it)",
+    )
     merge.set_defaults(func=_cmd_merge)
+
+    report = commands.add_parser(
+        "report", help="render a RunReport JSON as a table"
+    )
+    report.add_argument("report", help="path to a --metrics-out JSON file")
+    report.set_defaults(func=_cmd_report)
 
     validate = commands.add_parser("validate", help="check stream contract")
     validate.add_argument("input")

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.lmerge.feedback import FeedbackSignal
+from repro.obs.trace import NULL_TRACER
 from repro.streams.properties import StreamProperties
 from repro.streams.stream import PhysicalStream
 from repro.temporal.elements import Adjust, Element, Insert, Stable
@@ -31,6 +32,12 @@ class Operator:
 
     #: Human-readable operator kind.
     kind = "operator"
+    #: The observability tracer (class default: the shared no-op).  The
+    #: hot paths guard on ``tracer.enabled``, so the disabled cost is one
+    #: attribute load and a branch per *call*; install a
+    #: :class:`repro.obs.trace.RingTracer` via :meth:`set_tracer` to
+    #: record receive/batch events.
+    tracer = NULL_TRACER
 
     def __init__(self, name: str = ""):
         self.name = name or type(self).__name__
@@ -61,6 +68,11 @@ class Operator:
         downstream._upstreams = [
             op for op in downstream._upstreams if op is not self
         ]
+
+    def set_tracer(self, tracer) -> "Operator":
+        """Install an observability tracer on this operator (chainable)."""
+        self.tracer = tracer
+        return self
 
     @property
     def upstreams(self) -> Tuple["Operator", ...]:
@@ -111,6 +123,12 @@ class Operator:
     def receive(self, element: Element, port: int = 0) -> None:
         """Entry point: dispatch one element arriving on *port*."""
         self.elements_in += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(
+                "receive", self.name,
+                port=port, cls=element.__class__.__name__,
+            )
         if isinstance(element, Insert):
             self.on_insert(element, port)
         elif isinstance(element, Adjust):
@@ -128,6 +146,18 @@ class Operator:
         (queued edges enqueue in one extend; the HA fragment adapter
         forwards to ``LMergeBase.process_batch``).
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            out_before = self.elements_out
+            receive = self.receive
+            for element in elements:
+                receive(element, port)
+            tracer.record(
+                "receive_batch", self.name,
+                port=port, n=len(elements),
+                out=self.elements_out - out_before,
+            )
+            return
         receive = self.receive
         for element in elements:
             receive(element, port)

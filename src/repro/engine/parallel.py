@@ -122,6 +122,7 @@ class ParallelRuntime:
         backend: str = "thread",
         queue_capacity: int = 64,
         coalesce_stables: bool = False,
+        registry=None,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
@@ -134,6 +135,10 @@ class ParallelRuntime:
         self.backend = backend
         self.queue_capacity = queue_capacity
         self.coalesce_stables = coalesce_stables
+        #: Optional :class:`repro.obs.registry.MetricRegistry`: when set,
+        #: submit/poll keep per-shard queue-depth gauges and element
+        #: counters current (sampled per micro-batch, not per element).
+        self.registry = registry
         self.submitted = 0
         self.collected = 0
         self._started = False
@@ -297,6 +302,19 @@ class ParallelRuntime:
         if not elements:
             return
         self.submitted += len(elements)
+        registry = self.registry
+        if registry is not None:
+            labels = {"shard": shard}
+            registry.counter("shard_elements_submitted_total", labels).inc(
+                len(elements)
+            )
+            depth = self.queue_depth(shard)
+            if depth is not None:
+                gauge = registry.gauge("shard_queue_depth", labels)
+                gauge.set(depth)
+                peak = registry.gauge("shard_queue_peak", labels)
+                if depth > peak.value:
+                    peak.set(depth)
         if self.backend == "serial":
             merge = self._serial_shards[shard]
             buffer = self._serial_buffers[shard]
@@ -327,12 +345,35 @@ class ParallelRuntime:
                 if message[0] == "out":
                     ready.append((message[1], message[2]))
                 # "done" messages are consumed by close().
-        self.collected += sum(len(elements) for _, elements in ready)
+        collected = sum(len(elements) for _, elements in ready)
+        self.collected += collected
+        if self.registry is not None and collected:
+            self.registry.counter("shard_elements_collected_total").inc(
+                collected
+            )
         return ready
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def queue_depth(self, shard: int) -> Optional[int]:
+        """One shard's input-queue depth right now.
+
+        Serial shards have no queue (always 0); ``None`` where the
+        platform's queues cannot report a size (``qsize`` is unsupported
+        on some macOS multiprocessing queues).
+        """
+        if self.backend == "serial" or not self._inputs:
+            return 0
+        try:
+            return self._inputs[shard].qsize()
+        except NotImplementedError:  # pragma: no cover - platform quirk
+            return None
+
+    def queue_depths(self) -> List[Optional[int]]:
+        """Per-shard input-queue depths, index = shard."""
+        return [self.queue_depth(shard) for shard in range(self.num_shards)]
 
     @property
     def stats(self) -> List[Any]:

@@ -22,6 +22,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.operator import Operator
+from repro.obs.trace import NULL_TRACER
 from repro.temporal.elements import Element
 
 
@@ -159,9 +160,22 @@ class QueuedEdge(Operator):
 
 
 class Runtime:
-    """Round-robin cooperative scheduler over queued edges."""
+    """Round-robin cooperative scheduler over queued edges.
 
-    def __init__(self, batch: int = 32, reserve: int = 1):
+    Observability is opt-in: pass a :class:`repro.obs.trace.RingTracer`
+    to record per-round and per-drain-slice events, and/or a
+    :class:`repro.obs.registry.MetricRegistry` to keep queue-depth gauges
+    and moved-element counters current (updated once per pump, so the
+    per-slice hot loop is untouched when both are absent).
+    """
+
+    def __init__(
+        self,
+        batch: int = 32,
+        reserve: int = 1,
+        tracer=None,
+        registry=None,
+    ):
         if batch < 1:
             raise ValueError("batch must be positive")
         if reserve < 0:
@@ -172,6 +186,8 @@ class Runtime:
         #: element per input (a slice is never sized to land exactly on
         #: the capacity line unless only one slot is free).
         self.reserve = reserve
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = registry
         self._edges: List[QueuedEdge] = []
         self.rounds = 0
 
@@ -185,6 +201,22 @@ class Runtime:
         """Wire ``producer -> consumer`` through a queue."""
         edge = QueuedEdge(consumer, port=port, capacity=capacity)
         producer.subscribe(edge)
+        self._edges.append(edge)
+        return edge
+
+    def edge_to(
+        self,
+        consumer: Operator,
+        port: int = 0,
+        capacity: Optional[int] = None,
+    ) -> QueuedEdge:
+        """A scheduled queue feeding *consumer* with no producer operator.
+
+        For drivers that push elements from outside the operator graph
+        (the CLI, replay harnesses): call ``edge.receive(...)`` to
+        enqueue, and the runtime drains it like any connected edge.
+        """
+        edge = QueuedEdge(consumer, port=port, capacity=capacity)
         self._edges.append(edge)
         return edge
 
@@ -204,6 +236,8 @@ class Runtime:
         moved = 0
         self.rounds += 1
         reserve = self.reserve
+        tracer = self.tracer
+        traced = tracer.enabled
         for edge in reversed(self._edges):
             budget = self.batch
             consumer = edge.consumer
@@ -215,12 +249,37 @@ class Runtime:
                 if room is None:
                     size = budget if budget < depth else depth
                 elif room <= 0:
+                    if traced:
+                        tracer.record(
+                            "backpressure", edge.name,
+                            depth=depth, round=self.rounds,
+                        )
                     break
                 else:
                     size = min(budget, depth, max(1, room - reserve))
                 moved += edge.drain(size)
                 budget -= size
+                if traced:
+                    tracer.record(
+                        "drain", edge.name,
+                        size=size, budget=budget, depth=edge.depth,
+                        round=self.rounds,
+                    )
+        if traced:
+            tracer.record("pump", "runtime", round=self.rounds, moved=moved)
+        if self.registry is not None:
+            self._update_metrics(moved)
         return moved
+
+    def _update_metrics(self, moved: int) -> None:
+        """Refresh queue gauges and counters (once per pump round)."""
+        registry = self.registry
+        registry.counter("runtime_rounds_total").inc()
+        registry.counter("runtime_elements_moved_total").inc(moved)
+        for edge in self._edges:
+            labels = {"edge": edge.name}
+            registry.gauge("runtime_queue_depth", labels).set(edge.depth)
+            registry.gauge("runtime_queue_peak", labels).set(edge.peak_depth)
 
     def run(self, max_rounds: Optional[int] = None) -> int:
         """Pump until every queue is empty (or *max_rounds*); returns the

@@ -27,6 +27,7 @@ from typing import (
     Tuple,
 )
 
+from repro.obs.trace import NULL_TRACER
 from repro.streams.stream import PhysicalStream
 from repro.temporal.elements import Adjust, Element, Insert, Stable
 from repro.temporal.event import Payload
@@ -103,6 +104,21 @@ class MergeStats:
             return MergeStats().merge(self)
         return self.__add__(other)
 
+    def as_dict(self) -> Dict[str, int]:
+        """The six counts plus the derived totals, JSON-ready (the shape
+        embedded in :class:`repro.obs.export.RunReport`)."""
+        return {
+            "inserts_in": self.inserts_in,
+            "adjusts_in": self.adjusts_in,
+            "stables_in": self.stables_in,
+            "inserts_out": self.inserts_out,
+            "adjusts_out": self.adjusts_out,
+            "stables_out": self.stables_out,
+            "elements_in": self.elements_in,
+            "elements_out": self.elements_out,
+            "chattiness": self.chattiness,
+        }
+
 
 @dataclass
 class _InputState:
@@ -127,6 +143,12 @@ class LMergeBase:
     algorithm = "LM?"
     #: Whether the algorithm accepts adjust() elements.
     supports_adjust = True
+    #: Observability tracer (class default: the shared no-op).  Hot paths
+    #: guard on ``tracer.enabled`` once per :meth:`process` /
+    #: :meth:`process_batch` call; assign a
+    #: :class:`repro.obs.trace.RingTracer` (or call :meth:`set_tracer`)
+    #: to record per-call spans.
+    tracer = NULL_TRACER
 
     def __init__(self, sink: Optional[Sink] = None, name: str = "lmerge"):
         self.name = name
@@ -152,6 +174,11 @@ class LMergeBase:
             Adjust: self._adjust_batch,
             Stable: self._stable_batch,
         }
+
+    def set_tracer(self, tracer) -> "LMergeBase":
+        """Install an observability tracer on this merge (chainable)."""
+        self.tracer = tracer
+        return self
 
     # ------------------------------------------------------------------
     # Input lifecycle (Section V-B)
@@ -267,6 +294,12 @@ class LMergeBase:
             raise InputStateError(
                 f"element from unattached stream {stream_id!r}: {element}"
             )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(
+                "process", self.name,
+                stream=str(stream_id), cls=element.__class__.__name__,
+            )
         if isinstance(element, Insert):
             self.stats.inserts_in += 1
             self._insert(element, stream_id)
@@ -333,6 +366,10 @@ class LMergeBase:
             raise InputStateError(
                 f"batch from unattached stream {stream_id!r}"
             )
+        tracer = self.tracer
+        traced = tracer.enabled
+        if traced:
+            out_before = len(self.output)
         dispatch = self._batch_dispatch
         i = 0
         n = len(elements)
@@ -346,6 +383,13 @@ class LMergeBase:
                 raise TypeError(f"not a stream element: {elements[i]!r}")
             handler(elements[i:j], stream_id, state, coalesce_stables)
             i = j
+        if traced:
+            tracer.record(
+                "process_batch", self.name,
+                stream=str(stream_id), n=n,
+                out=len(self.output) - out_before,
+                stable=self.max_stable,
+            )
 
     def _insert_batch(
         self,
@@ -451,6 +495,8 @@ class LMergeBase:
     def _output_stable(self, t: Timestamp) -> None:
         self.stats.stables_out += 1
         self.max_stable = t
+        if self.tracer.enabled:
+            self.tracer.record("stable_out", self.name, t=t)
         self._emit(Stable(t))
         self._signal_feedback(t)
 

@@ -63,6 +63,7 @@ class ShardedLMerge:
         queue_capacity: int = 64,
         coalesce_stables: bool = False,
         name: str = "sharded-lmerge",
+        registry=None,
         **merge_kwargs,
     ):
         if num_shards < 1:
@@ -73,7 +74,14 @@ class ShardedLMerge:
         self.backend = backend
         self.key_fn: KeyFunction = key_fn or identity_key
         self.name = name
-        self._union = ShardUnion(num_shards, name=f"{name}.union")
+        #: Optional :class:`repro.obs.registry.MetricRegistry`: threads
+        #: through the worker runtime (queue depths), the union (frontier
+        #: gauges), and a :class:`repro.obs.lmerge_obs.ShardObserver`
+        #: sampled on every collect.
+        self.registry = registry
+        self._union = ShardUnion(
+            num_shards, name=f"{name}.union", registry=registry
+        )
         sink = CollectorSink(name=f"{name}.out")
         self._union.subscribe(sink)
         self.output = sink.stream
@@ -83,7 +91,13 @@ class ShardedLMerge:
             backend=backend,
             queue_capacity=queue_capacity,
             coalesce_stables=coalesce_stables,
+            registry=registry,
         ).start()
+        self._observer = None
+        if registry is not None:
+            from repro.obs.lmerge_obs import ShardObserver
+
+            self._observer = ShardObserver(self, registry)
         self._attached: List[StreamId] = []
         self._closed = False
         self._stats: Optional[MergeStats] = None
@@ -149,6 +163,13 @@ class ShardedLMerge:
         union = self._union
         for shard, outputs in self._runtime.poll():
             union.receive_batch(outputs, shard)
+        if self._observer is not None:
+            self._observer.sample()
+
+    def queue_depths(self) -> List[Optional[int]]:
+        """Per-shard input-queue depths (see
+        :meth:`~repro.engine.parallel.ParallelRuntime.queue_depths`)."""
+        return self._runtime.queue_depths()
 
     def close(self) -> MergeStats:
         """Drain the workers, fold per-shard statistics, and return the
@@ -160,6 +181,8 @@ class ShardedLMerge:
             self._stats = MergeStats()
             for stats in self._shard_stats:
                 self._stats.merge(stats)
+            if self._observer is not None:
+                self._observer.record_stats()
         assert self._stats is not None
         return self._stats
 
@@ -245,6 +268,7 @@ def shard(
     key_fn: Optional[KeyFunction] = None,
     queue_capacity: int = 64,
     coalesce_stables: bool = False,
+    registry=None,
     **merge_kwargs,
 ) -> ShardedLMerge:
     """Wrap an LMerge variant in an N-shard partition-parallel plan.
@@ -271,5 +295,6 @@ def shard(
         key_fn=key_fn,
         queue_capacity=queue_capacity,
         coalesce_stables=coalesce_stables,
+        registry=registry,
         **merge_kwargs,
     )

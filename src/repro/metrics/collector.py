@@ -1,7 +1,15 @@
-"""Metric probes: throughput timelines, memory sampling, latency."""
+"""Metric probes: throughput timelines, memory sampling, latency.
+
+These are the figure benches' ad-hoc probes.  New instrumentation should
+go through :mod:`repro.obs` instead — the registry's
+:class:`~repro.obs.registry.TimeSeries` and
+:class:`~repro.obs.registry.Histogram` are the labeled, snapshot-able
+successors of :class:`ThroughputTimeline` and the latency lists here.
+"""
 
 from __future__ import annotations
 
+import math
 import time
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Tuple
 
@@ -35,10 +43,15 @@ class ThroughputTimeline:
     def series(self) -> List[Tuple[float, int]]:
         if not self._counts:
             return []
+        # Buckets may be negative (a simulation clock starts wherever the
+        # workload does), so the gap-fill starts at the minimum recorded
+        # bucket — never a hardcoded zero, which silently dropped every
+        # bucket below it.
+        first = min(self._counts)
         last = max(self._counts)
         return [
             (index * self.bucket, self._counts.get(index, 0))
-            for index in range(0, last + 1)
+            for index in range(first, last + 1)
         ]
 
     def rates(self) -> List[float]:
@@ -118,11 +131,19 @@ class AppTimeLatencyProbe:
         return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
 
     def percentile(self, q: float) -> float:
+        """Ceil-based nearest-rank percentile.
+
+        ``percentile(0.5)`` of two samples is the *lower* one (rank
+        ``ceil(0.5 * 2) = 1``) and ``percentile(1.0)`` is exactly the
+        maximum — the truncating ``int(q * n)`` it replaces returned the
+        max for the median of a 2-sample list and only hit the true max
+        through the index clamp.
+        """
         if not self.latencies:
             return 0.0
         ordered = sorted(self.latencies)
-        index = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[index]
+        rank = math.ceil(q * len(ordered))
+        return ordered[min(len(ordered) - 1, max(0, rank - 1))]
 
 
 def merge_stats(parts: Iterable["MergeStats"]) -> "MergeStats":

@@ -1,0 +1,295 @@
+"""Exporters: Prometheus text, JSONL event logs, and the RunReport.
+
+Three ways out of the observability layer:
+
+* :func:`prometheus_text` — the registry as Prometheus text exposition
+  format (``# TYPE`` headers, ``name{label="value"} value`` samples).
+  Counters and gauges map directly; histograms are exposed as summaries
+  (``_count``/``_sum`` plus ``quantile`` samples); time series export
+  their total as a counter (the series itself is JSON-side data);
+* JSONL — the tracer writes its own event log
+  (:meth:`repro.obs.trace.RingTracer.export_jsonl`); :func:`write_jsonl`
+  does the same for any iterable of dicts;
+* :class:`RunReport` — one JSON document folding a registry snapshot,
+  the merge's :class:`~repro.lmerge.base.MergeStats`, queue peaks
+  (:meth:`repro.engine.runtime.Runtime.peak_report` shaped), and the
+  per-input frontier-lag series into the artifact a run leaves behind.
+  ``python -m repro report`` renders it back as a table.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
+
+from repro.obs.registry import Histogram, MetricRegistry, TimeSeries
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_CLEAN = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    if _NAME_OK.match(name):
+        return name
+    cleaned = _NAME_CLEAN.sub("_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_value(value) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and math.isnan(value):  # pragma: no cover
+        return "NaN"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _prom_labels(labels, extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = list(labels)
+    if extra:
+        pairs.extend(extra.items())
+    if not pairs:
+        return ""
+    escaped = ",".join(
+        '{}="{}"'.format(
+            _prom_name(str(k)),
+            str(v).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n"),
+        )
+        for k, v in pairs
+    )
+    return "{" + escaped + "}"
+
+
+def prometheus_text(registry: MetricRegistry) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def type_line(name: str, prom_type: str) -> None:
+        if typed.get(name) is None:
+            typed[name] = prom_type
+            lines.append(f"# TYPE {name} {prom_type}")
+
+    for instrument in registry:
+        name = _prom_name(instrument.name)
+        labels = instrument.labels
+        if isinstance(instrument, Histogram):
+            type_line(name, "summary")
+            for q in (0.5, 0.9, 0.99):
+                lines.append(
+                    f"{name}{_prom_labels(labels, {'quantile': str(q)})} "
+                    f"{_prom_value(instrument.percentile(q))}"
+                )
+            lines.append(
+                f"{name}_sum{_prom_labels(labels)} "
+                f"{_prom_value(instrument.total)}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(labels)} {instrument.count}"
+            )
+        elif isinstance(instrument, TimeSeries):
+            type_line(f"{name}_total", "counter")
+            lines.append(
+                f"{name}_total{_prom_labels(labels)} "
+                f"{_prom_value(instrument.total)}"
+            )
+        else:  # Counter / Gauge
+            type_line(name, instrument.kind)
+            lines.append(
+                f"{name}{_prom_labels(labels)} "
+                f"{_prom_value(instrument.value)}"  # type: ignore[attr-defined]
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(events: Iterable[dict], fp: IO[str]) -> int:
+    """Write dict events as JSON lines (infinities as ``"inf"``/``"-inf"``
+    strings); returns lines written."""
+    from repro.obs.trace import json_safe
+
+    count = 0
+    for event in events:
+        fp.write(
+            json.dumps({k: json_safe(v) for k, v in event.items()}, default=str)
+        )
+        fp.write("\n")
+        count += 1
+    return count
+
+
+@dataclass
+class RunReport:
+    """One run's observability artifact, as a single JSON document.
+
+    ``metrics`` is a :meth:`~repro.obs.registry.MetricRegistry.snapshot`;
+    ``frontier_lag`` maps input ids to ``[clock, lag]`` series;
+    ``queue_peaks`` is :meth:`Runtime.peak_report`-shaped (edge/shard name
+    to peak depth).
+    """
+
+    algorithm: str = ""
+    inputs: List[str] = field(default_factory=list)
+    elements_in: int = 0
+    elements_out: int = 0
+    wall_seconds: float = 0.0
+    throughput_eps: float = 0.0
+    merge_stats: Dict[str, int] = field(default_factory=dict)
+    frontier_lag: Dict[str, List] = field(default_factory=dict)
+    queue_peaks: Dict[str, int] = field(default_factory=dict)
+    metrics: Dict[str, List[dict]] = field(default_factory=dict)
+    trace: Dict[str, int] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        merge=None,
+        registry: Optional[MetricRegistry] = None,
+        observer=None,
+        runtime=None,
+        tracer=None,
+        wall_seconds: float = 0.0,
+        inputs: Optional[List[str]] = None,
+    ) -> "RunReport":
+        """Fold the run's sources into one report.
+
+        Every argument is optional; pass what the run had.  *merge* is an
+        :class:`~repro.lmerge.base.LMergeBase` (or sharded plan) providing
+        ``algorithm``/``stats``; *observer* an
+        :class:`~repro.obs.lmerge_obs.LMergeObserver` providing the lag
+        series; *runtime* anything with ``peak_report()``.
+        """
+        report = cls(wall_seconds=wall_seconds, inputs=list(inputs or []))
+        if merge is not None:
+            report.algorithm = getattr(merge, "algorithm", type(merge).__name__)
+            stats = merge.stats
+            report.merge_stats = stats.as_dict()
+            report.elements_in = stats.elements_in
+            report.elements_out = stats.elements_out
+            if wall_seconds > 0:
+                report.throughput_eps = stats.elements_in / wall_seconds
+        if observer is not None:
+            report.frontier_lag = observer.lag_series()
+        if runtime is not None:
+            report.queue_peaks = dict(runtime.peak_report())
+        if registry is not None:
+            report.metrics = registry.snapshot()
+        if tracer is not None and getattr(tracer, "enabled", False):
+            report.trace = {
+                "recorded": tracer.recorded,
+                "retained": len(tracer),
+                "dropped": tracer.dropped,
+            }
+        return report
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(asdict(self), indent=indent, default=str)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        data = json.loads(text)
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunReport":
+        return cls.from_json(Path(path).read_text())
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        """A human-readable table (the ``repro report`` output)."""
+        lines: List[str] = []
+        rule = "-" * 64
+
+        def row(label: str, value) -> None:
+            lines.append(f"  {label:<28} {value}")
+
+        lines.append(f"Run report: {self.algorithm or '(unknown algorithm)'}")
+        lines.append(rule)
+        if self.inputs:
+            row("inputs", ", ".join(self.inputs))
+        row("elements in", f"{self.elements_in:,}")
+        row("elements out", f"{self.elements_out:,}")
+        row("wall seconds", f"{self.wall_seconds:.3f}")
+        row("throughput (elements/s)", f"{self.throughput_eps:,.0f}")
+        if self.merge_stats:
+            lines.append("merge stats")
+            lines.append(rule)
+            for key in (
+                "inserts_in", "adjusts_in", "stables_in",
+                "inserts_out", "adjusts_out", "stables_out",
+            ):
+                if key in self.merge_stats:
+                    row(key, f"{self.merge_stats[key]:,}")
+            inserts_in = self.merge_stats.get("inserts_in", 0)
+            if inserts_in:
+                dropped = inserts_in - self.merge_stats.get("inserts_out", 0)
+                row("duplicate hit rate", f"{max(0, dropped) / inserts_in:.1%}")
+            row("chattiness (adjusts out)", self.merge_stats.get("adjusts_out", 0))
+        if self.frontier_lag:
+            lines.append("frontier lag (per input)")
+            lines.append(rule)
+            for input_id in sorted(self.frontier_lag):
+                series = self.frontier_lag[input_id]
+                if not series:
+                    row(f"input {input_id}", "(no samples)")
+                    continue
+                values = [v for _, v in series]
+                row(
+                    f"input {input_id}",
+                    f"last {values[-1]:g}  max {max(values):g}  "
+                    f"mean {sum(values) / len(values):g}  "
+                    f"({len(values)} samples)",
+                )
+        if self.queue_peaks:
+            lines.append("queue peaks")
+            lines.append(rule)
+            for name in sorted(self.queue_peaks):
+                row(name, self.queue_peaks[name])
+        if self.trace:
+            lines.append("trace")
+            lines.append(rule)
+            for key in ("recorded", "retained", "dropped"):
+                if key in self.trace:
+                    row(key, f"{self.trace[key]:,}")
+        if self.metrics:
+            counts = {k: len(v) for k, v in self.metrics.items() if v}
+            lines.append(rule)
+            row(
+                "metrics snapshot",
+                ", ".join(f"{n} {k}" for k, n in sorted(counts.items()))
+                or "(empty)",
+            )
+        return "\n".join(lines)
+
+
+def instrument_value(report: RunReport, kind: str, name: str, **labels) -> Any:
+    """Look one instrument's value out of a report's metrics snapshot.
+
+    Convenience for tests and scripts: matches on name and the *given*
+    labels (a subset match).  Returns ``None`` when absent.
+    """
+    wanted = {str(k): str(v) for k, v in labels.items()}
+    for entry in report.metrics.get(kind, []):
+        if entry["name"] != name:
+            continue
+        entry_labels = entry.get("labels", {})
+        if all(entry_labels.get(k) == v for k, v in wanted.items()):
+            return entry["value"]
+    return None

@@ -1,0 +1,249 @@
+"""LMerge-specific gauges: frontier lag, leadership, duplicate elimination,
+feedback, and per-shard health.
+
+The paper's evaluation watches a handful of merge-specific signals
+(Figures 5, 9, 10): how far each input's stable point trails the merged
+output, which input currently leads, how many redundant inserts the merge
+absorbed, and when fast-forward feedback fires.  This module packages
+those as registry instruments:
+
+* :class:`LMergeObserver` — samples one :class:`~repro.lmerge.base.LMergeBase`
+  (or anything with the same surface) into gauges and time series.
+  Sampling is pull-based: the driver calls :meth:`LMergeObserver.sample`
+  at whatever cadence it likes (every K elements, every batch), so an
+  unobserved merge pays nothing.
+* :class:`ShardObserver` — samples a
+  :class:`~repro.lmerge.shard.ShardedLMerge` plan: per-shard input-queue
+  depth (from :meth:`~repro.engine.parallel.ParallelRuntime.queue_depths`),
+  per-shard CTI frontier, and each shard's lag behind the most advanced
+  shard (stragglers are what hold the combined CTI back).
+* :func:`count_feedback` — wraps an operator's ``on_feedback`` so honored
+  signals are counted (the emitting side is counted by the observer's
+  feedback listener).
+
+Metric names use the ``lmerge_``/``shard_`` prefixes; see
+docs/OBSERVABILITY.md for the full catalogue.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.obs.registry import MetricRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.operator import Operator
+    from repro.lmerge.base import LMergeBase, MergeStats
+    from repro.lmerge.shard import ShardedLMerge
+
+
+def frontier_lag(output_frontier: float, input_frontier: float) -> float:
+    """How far an input's stable point trails the merged output's.
+
+    Clamped at zero: the leading input is *ahead* of the output (the
+    output can promise at most what some input promised), and a negative
+    lag carries no tuning signal.  Before any punctuation both frontiers
+    are ``-inf`` and the lag is defined as 0.
+    """
+    if output_frontier == -math.inf:
+        return 0.0
+    if input_frontier == -math.inf:
+        return math.inf
+    return max(0.0, output_frontier - input_frontier)
+
+
+class LMergeObserver:
+    """Sample one merge's health into a registry.
+
+    Instruments (all labeled ``merge=<name>``):
+
+    * ``lmerge_frontier_lag{input=}`` gauge + ``lmerge_frontier_lag_series``
+      time series — per-input lag vs. the merged output frontier;
+    * ``lmerge_leading{input=}`` gauge — 1 on the current leading stream;
+    * ``lmerge_inserts_in_total`` / ``lmerge_duplicates_dropped_total``
+      counters — duplicate-elimination accounting from
+      :class:`~repro.lmerge.base.MergeStats` deltas (hit rate =
+      dropped / inserts in);
+    * ``lmerge_output_frontier`` gauge — the merged stable point;
+    * ``lmerge_feedback_emitted_total{input=}`` counter — fast-forward
+      signals raised toward each lagging input (Section V-D).
+    """
+
+    def __init__(
+        self,
+        merge: "LMergeBase",
+        registry: MetricRegistry,
+        bucket: float = 1.0,
+    ):
+        self.merge = merge
+        self.registry = registry
+        self.bucket = bucket
+        self._labels = {"merge": getattr(merge, "name", "lmerge")}
+        self._last_inserts_in = merge.stats.inserts_in
+        self._last_inserts_out = merge.stats.inserts_out
+        self.samples = 0
+        if hasattr(merge, "add_feedback_listener"):
+            merge.add_feedback_listener(self._on_feedback_emitted)
+
+    def _on_feedback_emitted(self, stream_id, horizon) -> None:
+        self.registry.counter(
+            "lmerge_feedback_emitted_total",
+            {**self._labels, "input": stream_id},
+        ).inc()
+        self.registry.gauge(
+            "lmerge_feedback_horizon", self._labels
+        ).set(horizon)
+
+    def sample(self, clock: Optional[float] = None) -> Dict[object, float]:
+        """Take one sample; returns the per-input lag map just recorded.
+
+        *clock* positions the time-series bucket — pass the simulation
+        clock, elements processed, or wall seconds, whichever timeline the
+        run is plotted against.  Defaults to the sample ordinal.
+        """
+        registry = self.registry
+        merge = self.merge
+        if clock is None:
+            clock = float(self.samples)
+        self.samples += 1
+
+        frontier = merge.max_stable
+        registry.gauge("lmerge_output_frontier", self._labels).set(frontier)
+        leader = merge.leading_stream()
+        lags: Dict[object, float] = {}
+        for stream_id in merge.input_ids:
+            labels = {**self._labels, "input": stream_id}
+            lag = frontier_lag(frontier, merge.input_stable(stream_id))
+            lags[stream_id] = lag
+            registry.gauge("lmerge_frontier_lag", labels).set(lag)
+            registry.gauge("lmerge_leading", labels).set(
+                1 if stream_id == leader else 0
+            )
+            if lag != math.inf:
+                registry.timeseries(
+                    "lmerge_frontier_lag_series", labels, bucket=self.bucket
+                ).record(clock, lag)
+
+        # Duplicate elimination from MergeStats deltas: inserts absorbed
+        # without a matching output insert were redundant presentations of
+        # events another input already supplied.
+        stats = merge.stats
+        d_in = stats.inserts_in - self._last_inserts_in
+        d_out = stats.inserts_out - self._last_inserts_out
+        self._last_inserts_in = stats.inserts_in
+        self._last_inserts_out = stats.inserts_out
+        if d_in > 0:
+            registry.counter("lmerge_inserts_in_total", self._labels).inc(d_in)
+            dropped = d_in - d_out
+            if dropped > 0:
+                registry.counter(
+                    "lmerge_duplicates_dropped_total", self._labels
+                ).inc(dropped)
+        return lags
+
+    def duplicate_hit_rate(self) -> float:
+        """Fraction of sampled input inserts absorbed as duplicates."""
+        inserts = self.registry.counter("lmerge_inserts_in_total", self._labels)
+        dropped = self.registry.counter(
+            "lmerge_duplicates_dropped_total", self._labels
+        )
+        if not inserts.value:
+            return 0.0
+        return dropped.value / inserts.value
+
+    def lag_series(self) -> Dict[str, List]:
+        """Per-input frontier-lag series, keyed by input id (as a string)."""
+        out: Dict[str, List] = {}
+        for instrument in self.registry:
+            if instrument.name != "lmerge_frontier_lag_series":
+                continue
+            labels = dict(instrument.labels)
+            out[labels.get("input", "?")] = [
+                [t, v] for t, v in instrument.series()  # type: ignore[attr-defined]
+            ]
+        return out
+
+
+class ShardObserver:
+    """Sample a sharded plan's per-shard health into a registry.
+
+    Instruments (labeled ``merge=<plan name>, shard=<index>``):
+
+    * ``shard_queue_depth`` gauge — the shard worker's bounded input
+      queue depth (backpressure pressure gauge);
+    * ``shard_frontier`` gauge — the shard's CTI frontier at the union;
+    * ``shard_cti_lag`` gauge — how far the shard trails the *most
+      advanced* shard (a straggler holds the combined CTI at its own
+      frontier, so this is the number to tune partitioning by).
+    """
+
+    def __init__(self, plan: "ShardedLMerge", registry: MetricRegistry):
+        self.plan = plan
+        self.registry = registry
+        self._labels = {"merge": getattr(plan, "name", "sharded-lmerge")}
+        self.samples = 0
+
+    def sample(self) -> None:
+        registry = self.registry
+        plan = self.plan
+        self.samples += 1
+        frontiers = plan.shard_frontiers
+        best = max(frontiers) if frontiers else -math.inf
+        for shard, frontier in enumerate(frontiers):
+            labels = {**self._labels, "shard": shard}
+            registry.gauge("shard_frontier", labels).set(frontier)
+            registry.gauge("shard_cti_lag", labels).set(
+                frontier_lag(best, frontier)
+            )
+        depths = plan.queue_depths()
+        for shard, depth in enumerate(depths):
+            if depth is None:
+                continue
+            labels = {**self._labels, "shard": shard}
+            gauge = registry.gauge("shard_queue_depth", labels)
+            gauge.set(depth)
+            peak = registry.gauge("shard_queue_peak", labels)
+            if depth > peak.value or self.samples == 1:
+                peak.set(depth)
+        registry.gauge("shard_emitted_stable", self._labels).set(
+            plan.max_stable
+        )
+
+    def record_stats(self) -> None:
+        """Fold the per-shard :class:`MergeStats` into labeled counters
+        (call after the plan closes)."""
+        for shard, stats in enumerate(self.plan.shard_stats):
+            labels = {**self._labels, "shard": shard}
+            self.registry.counter(
+                "shard_elements_in_total", labels
+            ).inc(stats.elements_in)
+            self.registry.counter(
+                "shard_elements_out_total", labels
+            ).inc(stats.elements_out)
+            self.registry.counter(
+                "shard_adjusts_out_total", labels
+            ).inc(stats.adjusts_out)
+
+
+def count_feedback(
+    operator: "Operator", registry: MetricRegistry
+) -> "Operator":
+    """Count feedback signals *honored* by an operator.
+
+    Wraps ``operator.on_feedback`` so every delivery increments
+    ``lmerge_feedback_honored_total{op=<name>}``; returns the operator for
+    chaining.  The emitting side is counted by
+    :class:`LMergeObserver`'s feedback listener.
+    """
+    inner = operator.on_feedback
+    counter = registry.counter(
+        "lmerge_feedback_honored_total", {"op": operator.name}
+    )
+
+    def counted(signal):
+        counter.inc()
+        return inner(signal)
+
+    operator.on_feedback = counted  # type: ignore[method-assign]
+    return operator

@@ -1,0 +1,343 @@
+"""The metric registry: labeled instruments with snapshot/reset semantics.
+
+The registry is the collection point of the observability layer
+(:mod:`repro.obs`): hook points all over the engine create *instruments*
+here — counters, gauges, histograms, and time series, each keyed by a
+metric name plus a frozen label set — and exporters
+(:mod:`repro.obs.export`) read them back out as one consistent snapshot.
+
+Design constraints, in order:
+
+* **zero cost when absent** — every hook point guards on
+  ``registry is not None``; code paths without a registry never touch
+  this module;
+* **cheap when present** — instrument handles are created once
+  (``registry.counter(...)``) and mutated with plain attribute updates on
+  the hot path, no dict lookups per event;
+* **JSON-clean snapshots** — :meth:`MetricRegistry.snapshot` returns
+  plain dicts/lists/numbers (infinities encoded as ``"inf"``/``"-inf"``
+  strings, matching :mod:`repro.streams.io`), so a snapshot can round-trip
+  through ``json.dumps``/``loads`` unchanged.
+
+This module absorbs the role of the ad-hoc probes in
+:mod:`repro.metrics.collector`: a :class:`TimeSeries` is a labeled,
+registry-managed :class:`~repro.metrics.collector.ThroughputTimeline`,
+and :class:`Histogram` covers what one-off latency lists did.  The old
+probes remain for the figure benches; new instrumentation should go
+through the registry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+#: A frozen, order-normalized label set — the second half of a metric key.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+Number = Union[int, float]
+
+
+def _freeze_labels(labels: Optional[Mapping[str, object]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _json_number(value: Number) -> Union[Number, str]:
+    """Encode one number JSON-cleanly (infinities become strings, the
+    :mod:`repro.streams.io` convention)."""
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    return value
+
+
+class Instrument:
+    """Base class: a named, labeled measurement."""
+
+    __slots__ = ("name", "labels")
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: LabelSet = ()):
+        self.name = name
+        self.labels = labels
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def snapshot_value(self) -> object:
+        """The instrument's state as JSON-clean data."""
+        raise NotImplementedError
+
+    def _key(self) -> Tuple[str, LabelSet]:
+        return (self.name, self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        labels = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"<{type(self).__name__} {self.name}{{{labels}}}>"
+
+
+class Counter(Instrument):
+    """A monotonically increasing count (elements processed, signals sent)."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelSet = ()):
+        super().__init__(name, labels)
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot_value(self) -> object:
+        return _json_number(self.value)
+
+
+class Gauge(Instrument):
+    """A point-in-time value (queue depth, frontier lag)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelSet = ()):
+        super().__init__(name, labels)
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def add(self, delta: Number) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot_value(self) -> object:
+        return _json_number(self.value)
+
+
+class Histogram(Instrument):
+    """A distribution (batch sizes, drain budgets, span durations).
+
+    ``count``/``total``/``min``/``max`` are exact over every observation;
+    percentiles are computed over a bounded window of the most recent
+    *window* observations (a ring, so long runs stay O(window) memory).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "window", "_samples", "_next")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelSet = (), window: int = 1024):
+        super().__init__(name, labels)
+        if window < 1:
+            raise ValueError("histogram window must be positive")
+        self.window = window
+        self.count = 0
+        self.total: Number = 0
+        self.min: Number = math.inf
+        self.max: Number = -math.inf
+        self._samples: List[Number] = []
+        self._next = 0
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self.window:
+            self._samples.append(value)
+        else:
+            self._samples[self._next] = value
+            self._next = (self._next + 1) % self.window
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Ceil-based nearest-rank percentile over the sample window."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = math.ceil(q * len(ordered))
+        return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples = []
+        self._next = 0
+
+    def snapshot_value(self) -> object:
+        return {
+            "count": self.count,
+            "sum": _json_number(self.total),
+            "min": _json_number(self.min) if self.count else None,
+            "max": _json_number(self.max) if self.count else None,
+            "mean": _json_number(self.mean),
+            "p50": _json_number(self.percentile(0.5)),
+            "p99": _json_number(self.percentile(0.99)),
+        }
+
+
+class TimeSeries(Instrument):
+    """A value accumulated per time bucket (throughput/lag timelines).
+
+    The registry-managed successor of
+    :class:`repro.metrics.collector.ThroughputTimeline`: buckets are keyed
+    by ``floor(t / bucket)`` and may be negative (simulation clocks start
+    wherever the workload does); :meth:`series` fills gaps from the
+    *minimum* recorded bucket, not zero.
+    """
+
+    __slots__ = ("bucket", "_buckets", "total")
+    kind = "timeseries"
+
+    def __init__(self, name: str, labels: LabelSet = (), bucket: float = 1.0):
+        super().__init__(name, labels)
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        self.bucket = bucket
+        self._buckets: Dict[int, Number] = {}
+        self.total: Number = 0
+
+    def record(self, t: Number, value: Number = 1) -> None:
+        index = int(t // self.bucket)
+        self._buckets[index] = self._buckets.get(index, 0) + value
+        self.total += value
+
+    def series(self) -> List[Tuple[float, Number]]:
+        if not self._buckets:
+            return []
+        first = min(self._buckets)
+        last = max(self._buckets)
+        return [
+            (index * self.bucket, self._buckets.get(index, 0))
+            for index in range(first, last + 1)
+        ]
+
+    def reset(self) -> None:
+        self._buckets = {}
+        self.total = 0
+
+    def snapshot_value(self) -> object:
+        return {
+            "bucket": self.bucket,
+            "total": _json_number(self.total),
+            "series": [
+                [_json_number(t), _json_number(v)] for t, v in self.series()
+            ],
+        }
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram, TimeSeries)}
+
+
+class MetricRegistry:
+    """Get-or-create registry of labeled instruments.
+
+    One registry per run; hook points hold on to the instrument handles
+    they create, so the per-event cost is a plain attribute update.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelSet], Instrument] = {}
+
+    # -- instrument factories ---------------------------------------------
+
+    def _get_or_create(
+        self, cls: type, name: str, labels: Optional[Mapping[str, object]], **kwargs
+    ) -> Instrument:
+        key = (name, _freeze_labels(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(key[0], key[1], **kwargs)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"requested {cls.kind}"
+            )
+        return instrument
+
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, object]] = None,
+        window: int = 1024,
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, labels, window=window
+        )
+
+    def timeseries(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, object]] = None,
+        bucket: float = 1.0,
+    ) -> TimeSeries:
+        return self._get_or_create(  # type: ignore[return-value]
+            TimeSeries, name, labels, bucket=bucket
+        )
+
+    # -- iteration & lookup ------------------------------------------------
+
+    def __iter__(self) -> Iterator[Instrument]:
+        """Instruments in deterministic (name, labels) order."""
+        return iter(
+            sorted(self._instruments.values(), key=Instrument._key)
+        )
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def get(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Optional[Instrument]:
+        return self._instruments.get((name, _freeze_labels(labels)))
+
+    # -- snapshot / reset ----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, List[dict]]:
+        """Every instrument's state as JSON-clean data, grouped by kind.
+
+        The result shares no mutable state with the registry: later
+        instrument updates do not alter an already-taken snapshot.
+        """
+        out: Dict[str, List[dict]] = {kind: [] for kind in _KINDS}
+        for instrument in self:
+            out[instrument.kind].append(
+                {
+                    "name": instrument.name,
+                    "labels": dict(instrument.labels),
+                    "value": instrument.snapshot_value(),
+                }
+            )
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping registrations (and handles) live."""
+        for instrument in self._instruments.values():
+            instrument.reset()

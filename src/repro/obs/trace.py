@@ -1,0 +1,184 @@
+"""Pipeline tracing: per-operator events in a bounded ring buffer.
+
+Two tracers share one interface:
+
+* :class:`NullTracer` — the default everywhere.  ``enabled`` is False and
+  every method is a no-op; hook points guard their work with
+  ``if tracer.enabled:`` so the disabled cost is one attribute load and a
+  branch per *call* (not per element).  The budget — within 5% of the
+  uninstrumented hot path — is asserted by ``bench_hotpath`` and the
+  tier-1 overhead smoke test.
+* :class:`RingTracer` — records events into a preallocated ring of
+  *capacity* slots.  When the ring wraps, the oldest events are dropped
+  (and counted in :attr:`RingTracer.dropped`); tracing never grows without
+  bound no matter how long the run.
+
+An *event* is a plain dict: ``{"t": <seconds since tracer start>,
+"kind": ..., "op": ..., **fields}``.  The hook points record pump
+rounds, drain slices (budget + size), batch sizes, and elements in/out
+per ``receive``/``receive_batch``/``stable`` call.  Timed regions use
+:meth:`RingTracer.span`, which adds a ``"dur"`` field (seconds) on exit.
+
+Export is JSONL, one event per line (:meth:`RingTracer.export_jsonl`),
+ready for ``jq``/pandas post-processing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import IO, Iterator, List, Optional
+
+
+def json_safe(value):
+    """Make one value JSON-clean: infinities and NaN become strings (the
+    :mod:`repro.streams.io` convention — ``json.dumps`` would otherwise
+    emit the invalid-JSON literals ``Infinity``/``-Infinity``/``NaN``)."""
+    if isinstance(value, float):
+        if value == math.inf:
+            return "inf"
+        if value == -math.inf:
+            return "-inf"
+        if math.isnan(value):
+            return "nan"
+    return value
+
+
+class _NullSpan:
+    """A reusable no-op context manager (one instance, zero allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Hot paths must check :attr:`enabled` before assembling event fields —
+    the no-op ``record`` exists only as a safety net for unguarded calls.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def record(self, kind: str, op: str = "", **fields) -> None:
+        return None
+
+    def span(self, kind: str, op: str = "", **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def events(self) -> List[dict]:
+        return []
+
+
+#: The shared default tracer; identity-comparable (``tracer is NULL_TRACER``).
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Times a region and records one event with its duration on exit."""
+
+    __slots__ = ("_tracer", "_kind", "_op", "_fields", "_start")
+
+    def __init__(self, tracer: "RingTracer", kind: str, op: str, fields: dict):
+        self._tracer = tracer
+        self._kind = kind
+        self._op = op
+        self._fields = fields
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        tracer.record(
+            self._kind,
+            self._op,
+            dur=tracer._clock() - self._start,
+            **self._fields,
+        )
+
+
+class RingTracer:
+    """Record events into a bounded ring buffer.
+
+    *capacity* bounds memory; the clock is injectable for deterministic
+    tests (defaults to :func:`time.perf_counter`, re-zeroed at
+    construction so event times are run-relative).
+    """
+
+    __slots__ = ("capacity", "recorded", "_ring", "_next", "_clock", "_epoch")
+    enabled = True
+
+    def __init__(self, capacity: int = 4096, clock=time.perf_counter):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.recorded = 0
+        self._ring: List[Optional[dict]] = [None] * capacity
+        self._next = 0
+        self._clock = clock
+        self._epoch = clock()
+
+    def record(self, kind: str, op: str = "", **fields) -> None:
+        event = {"t": self._clock() - self._epoch, "kind": kind, "op": op}
+        if fields:
+            event.update(fields)
+        self._ring[self._next] = event
+        self._next = (self._next + 1) % self.capacity
+        self.recorded += 1
+
+    def span(self, kind: str, op: str = "", **fields) -> _Span:
+        """Context manager timing a region; records ``kind`` with a
+        ``dur`` field (seconds) when the region exits."""
+        return _Span(self, kind, op, fields)
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wraparound."""
+        return max(0, self.recorded - self.capacity)
+
+    def events(self) -> List[dict]:
+        """Retained events, oldest first."""
+        if self.recorded < self.capacity:
+            return [e for e in self._ring[: self._next]]
+        return [
+            e
+            for e in self._ring[self._next :] + self._ring[: self._next]
+            if e is not None
+        ]
+
+    def __len__(self) -> int:
+        return min(self.recorded, self.capacity)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.events())
+
+    def clear(self) -> None:
+        self._ring = [None] * self.capacity
+        self._next = 0
+        self.recorded = 0
+
+    def export_jsonl(self, fp: IO[str]) -> int:
+        """Write retained events as JSON lines; returns lines written."""
+        count = 0
+        for event in self.events():
+            fp.write(
+                json.dumps(
+                    {k: json_safe(v) for k, v in event.items()}, default=str
+                )
+            )
+            fp.write("\n")
+            count += 1
+        return count

@@ -108,12 +108,17 @@ class HashPartition(Operator):
         num_shards: int,
         key_fn: Optional[KeyFunction] = None,
         name: str = "partition",
+        registry=None,
     ):
         super().__init__(name)
         if num_shards < 1:
             raise ValueError("partition needs at least one shard")
         self.num_shards = num_shards
         self.key_fn: KeyFunction = key_fn or identity_key
+        #: Optional :class:`repro.obs.registry.MetricRegistry`: when set,
+        #: batched routing keeps ``partition_routed_total{shard=}`` and
+        #: ``partition_stables_broadcast_total`` counters current.
+        self.registry = registry
         self.outputs: Tuple[ShardPort, ...] = tuple(
             ShardPort(shard, name=f"{name}.out[{shard}]")
             for shard in range(num_shards)
@@ -145,10 +150,23 @@ class HashPartition(Operator):
     def receive_batch(self, elements: Sequence[Element], port: int = 0) -> None:
         self.elements_in += len(elements)
         buckets = partition_batch(elements, self.num_shards, self.key_fn)
+        registry = self.registry
         for shard, bucket in enumerate(buckets):
             if bucket:
                 self.elements_out += len(bucket)
+                if registry is not None:
+                    registry.counter(
+                        "partition_routed_total", {"shard": shard}
+                    ).inc(len(bucket))
                 self.outputs[shard].receive_batch(bucket)
+        if registry is not None:
+            stables = sum(
+                1 for e in elements if e.__class__ is Stable
+            )
+            if stables:
+                registry.counter("partition_stables_broadcast_total").inc(
+                    stables
+                )
 
     def input_room(self) -> Optional[int]:
         # The partitioner holds nothing; its room is the tightest room
@@ -180,11 +198,17 @@ class ShardUnion(Operator):
 
     kind = "shard-union"
 
-    def __init__(self, num_shards: int, name: str = "shard-union"):
+    def __init__(
+        self, num_shards: int, name: str = "shard-union", registry=None
+    ):
         super().__init__(name)
         if num_shards < 1:
             raise ValueError("shard union needs at least one input")
         self.num_shards = num_shards
+        #: Optional :class:`repro.obs.registry.MetricRegistry`: when set,
+        #: every punctuation updates ``union_frontier{shard=}`` and
+        #: ``union_emitted_stable`` gauges (the CTI-alignment signals).
+        self.registry = registry
         self._frontiers: Dict[int, Timestamp] = {
             port: MINUS_INFINITY for port in range(num_shards)
         }
@@ -204,8 +228,16 @@ class ShardUnion(Operator):
         if vc > self._frontiers[port]:
             self._frontiers[port] = vc
         frontier = min(self._frontiers.values())
+        if self.registry is not None:
+            self.registry.gauge(
+                "union_frontier", {"union": self.name, "shard": port}
+            ).set(self._frontiers[port])
         if frontier > self._emitted_stable:
             self._emitted_stable = frontier
+            if self.registry is not None:
+                self.registry.gauge(
+                    "union_emitted_stable", {"union": self.name}
+                ).set(frontier)
             self.emit(Stable(frontier))
 
     def receive_batch(self, elements: Sequence[Element], port: int = 0) -> None:

@@ -20,6 +20,21 @@ class TestThroughputTimeline:
         assert timeline.series() == [(0.0, 2), (1.0, 0), (2.0, 1)]
         assert timeline.total == 3
 
+    def test_negative_sim_time_buckets_survive(self):
+        """Regression: series() used to start at bucket 0, silently
+        dropping everything recorded at negative simulation time."""
+        timeline = ThroughputTimeline(bucket=1.0)
+        timeline.record(-2.5, count=3)
+        timeline.record(0.5)
+        assert timeline.series() == [(-3.0, 3), (-2.0, 0), (-1.0, 0), (0.0, 1)]
+        assert timeline.total == 4
+        assert timeline.rates() == [3.0, 0.0, 0.0, 1.0]
+
+    def test_all_negative_buckets(self):
+        timeline = ThroughputTimeline(bucket=1.0)
+        timeline.record(-5.0, count=2)
+        assert timeline.series() == [(-5.0, 2)]
+
     def test_rates(self):
         timeline = ThroughputTimeline(bucket=0.5)
         timeline.record(0.1, count=5)
@@ -106,6 +121,26 @@ class TestAppTimeLatencyProbe:
         assert probe.mean == pytest.approx(25.0)
         assert probe.percentile(0.99) == 40
         assert probe.percentile(0.0) == 10
+
+    def test_percentile_boundaries_nearest_rank(self):
+        """Regression: the percentile is ceil-based nearest rank — the
+        2-sample median is the lower sample and q=1.0 is exactly the
+        max (the old index arithmetic overshot on small samples)."""
+        probe = AppTimeLatencyProbe()
+        probe.observe_input(Insert("x", 100, 200))
+        probe.observe_output(Insert("y", 90, 200))   # latency 10
+        probe.observe_output(Insert("y", 70, 200))   # latency 30
+        assert probe.percentile(0.5) == 10
+        assert probe.percentile(0.51) == 30
+        assert probe.percentile(1.0) == 30
+        assert probe.percentile(0.0) == 10
+
+    def test_percentile_single_sample(self):
+        probe = AppTimeLatencyProbe()
+        probe.observe_input(Insert("x", 100, 200))
+        probe.observe_output(Insert("y", 95, 200))
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert probe.percentile(q) == 5
 
     def test_empty_probe(self):
         probe = AppTimeLatencyProbe()

@@ -1,0 +1,173 @@
+"""End-to-end CLI tests for instrumented merges: the observability
+acceptance criteria for ``--metrics-out`` / ``--trace-out`` /
+``--prom-out`` and the ``report`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.export import RunReport, instrument_value
+
+from test_obs_export import parse_prometheus
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    """Two divergent replicas of one generated workload, on disk."""
+    root = tmp_path_factory.mktemp("obs_cli")
+    a = root / "a.jsonl"
+    b = root / "b.jsonl"
+    assert main([
+        "generate", str(a), "--count", "600", "--seed", "7",
+        "--payload-bytes", "4",
+    ]) == 0
+    assert main(["diverge", str(a), str(b), "--seed", "3"]) == 0
+    return root, a, b
+
+
+@pytest.fixture(scope="module")
+def instrumented(workload):
+    """One instrumented merge run leaving all three artifacts behind."""
+    root, a, b = workload
+    out = root / "merged.jsonl"
+    report_path = root / "report.json"
+    trace_path = root / "trace.jsonl"
+    prom_path = root / "metrics.prom"
+    assert main([
+        "merge", str(a), str(b), "-o", str(out),
+        "--metrics-out", str(report_path),
+        "--trace-out", str(trace_path),
+        "--prom-out", str(prom_path),
+    ]) == 0
+    return out, report_path, trace_path, prom_path
+
+
+class TestRunReportArtifact:
+    def test_report_contains_throughput(self, instrumented):
+        _, report_path, _, _ = instrumented
+        report = RunReport.load(report_path)
+        assert report.throughput_eps > 0
+        assert report.wall_seconds > 0
+        assert report.elements_in > 0
+
+    def test_report_contains_per_input_lag_series(self, instrumented):
+        _, report_path, _, _ = instrumented
+        report = RunReport.load(report_path)
+        assert set(report.frontier_lag) == {"0", "1"}
+        for series in report.frontier_lag.values():
+            assert series, "lag series must have samples"
+            for t, lag in series:
+                assert lag >= 0
+
+    def test_report_contains_queue_peaks(self, instrumented):
+        _, report_path, _, _ = instrumented
+        report = RunReport.load(report_path)
+        assert report.queue_peaks
+        assert all(peak >= 1 for peak in report.queue_peaks.values())
+
+    def test_report_contains_merge_stats(self, instrumented):
+        _, report_path, _, _ = instrumented
+        report = RunReport.load(report_path)
+        for key in (
+            "inserts_in", "inserts_out", "stables_in", "stables_out",
+            "elements_in", "elements_out",
+        ):
+            assert key in report.merge_stats
+        # Two replicas of one logical stream: duplicates were absorbed.
+        assert report.merge_stats["inserts_out"] < report.merge_stats["inserts_in"]
+
+    def test_report_metrics_snapshot_queryable(self, instrumented):
+        _, report_path, _, _ = instrumented
+        report = RunReport.load(report_path)
+        inserts = instrument_value(
+            report, "counter", "lmerge_inserts_in_total"
+        )
+        assert inserts == report.merge_stats["inserts_in"]
+
+    def test_report_is_plain_json(self, instrumented):
+        _, report_path, _, _ = instrumented
+        data = json.loads(report_path.read_text())
+        assert data["algorithm"]
+
+
+class TestTraceArtifact:
+    def test_trace_lines_are_valid_json(self, instrumented):
+        _, _, trace_path, _ = instrumented
+        lines = trace_path.read_text().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]  # must not raise
+        kinds = {event["kind"] for event in events}
+        assert "process_batch" in kinds or "receive_batch" in kinds
+        assert "pump" in kinds
+
+
+class TestPrometheusArtifact:
+    def test_prometheus_exposes_same_counters_as_report(self, instrumented):
+        _, report_path, _, prom_path = instrumented
+        report = RunReport.load(report_path)
+        types, samples = parse_prometheus(prom_path.read_text())
+        prom_counters = {
+            name for name, prom_type in types.items()
+            if prom_type == "counter"
+        }
+        report_counters = {
+            entry["name"] for entry in report.metrics.get("counter", [])
+        }
+        assert report_counters <= prom_counters
+        # Values agree for the headline counter.
+        inserts_sample = [
+            value for name, labels, value in samples
+            if name == "lmerge_inserts_in_total"
+        ]
+        assert inserts_sample
+        assert int(inserts_sample[0]) == report.merge_stats["inserts_in"]
+
+
+class TestStatsFlag:
+    def test_stats_printed_by_default(self, workload, tmp_path, capsys):
+        _, a, b = workload
+        assert main([
+            "merge", str(a), str(b), "-o", str(tmp_path / "m.jsonl"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stats:" in out
+        assert "duplicates dropped" in out
+
+    def test_no_stats_suppresses_summary(self, workload, tmp_path, capsys):
+        _, a, b = workload
+        assert main([
+            "merge", str(a), str(b), "-o", str(tmp_path / "m.jsonl"),
+            "--no-stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stats:" not in out
+
+
+class TestReportSubcommand:
+    def test_renders_saved_report(self, instrumented, capsys):
+        _, report_path, _, _ = instrumented
+        assert main(["report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Run report:" in out
+        assert "frontier lag" in out
+        assert "queue peaks" in out
+
+
+class TestMergedOutputUnchanged:
+    def test_instrumented_output_matches_uninstrumented(
+        self, workload, instrumented, tmp_path
+    ):
+        """Observability must not change the merge's output stream."""
+        from repro.streams.io import read_stream
+
+        _, a, b = workload
+        merged_instrumented, _, _, _ = instrumented
+        plain = tmp_path / "plain.jsonl"
+        assert main([
+            "merge", str(a), str(b), "-o", str(plain), "--no-stats",
+        ]) == 0
+        assert (
+            read_stream(plain).tdb()
+            == read_stream(merged_instrumented).tdb()
+        )

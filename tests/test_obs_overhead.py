@@ -1,0 +1,97 @@
+"""Tier-1 smoke test: the disabled-observability budget.
+
+The tracing hook points guard all their work behind ``tracer.enabled``
+(one attribute load + branch per *call*).  This test times the shipped
+``process_batch`` (NullTracer guard in place) against a local replica of
+the pre-instrumentation inner loop — identical run-grouping and dispatch,
+no guard — and asserts the shipped path stays within the 5% budget.
+
+Timing assertions are meaningless on a loaded single-core host (the noise
+floor exceeds the budget), so the perf assertion is skipped there —
+matching the repo's precedent for core-gated perf claims.  The
+correctness half (the replica and the shipped path produce identical
+output) runs everywhere.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.parallel import available_cores
+from repro.lmerge.r3 import LMergeR3
+from repro.lmerge.base import interleave_batches
+from repro.obs.trace import NULL_TRACER
+
+from conftest import divergent_inputs, small_stream
+
+BUDGET = 0.95  # shipped throughput must stay >= 95% of the replica's
+REPS = 5
+
+
+def untraced_process_batch(merge, elements, stream_id):
+    """The pre-instrumentation inner loop: run-grouping + type-keyed
+    dispatch, no tracer guard.  Must mirror LMergeBase.process_batch."""
+    state = merge._inputs[stream_id]
+    dispatch = merge._batch_dispatch
+    i = 0
+    n = len(elements)
+    while i < n:
+        cls = elements[i].__class__
+        j = i + 1
+        while j < n and elements[j].__class__ is cls:
+            j += 1
+        dispatch[cls](elements[i : j], stream_id, state, False)
+        i = j
+
+
+def _chunks(streams, batch_size=64):
+    return list(interleave_batches(streams, "round_robin", 0, batch_size))
+
+
+def _run(streams, chunks, use_replica):
+    merge = LMergeR3()
+    for stream_id in range(len(streams)):
+        merge.attach(stream_id)
+    start = time.perf_counter()
+    if use_replica:
+        for chunk, stream_id in chunks:
+            untraced_process_batch(merge, chunk, stream_id)
+    else:
+        for chunk, stream_id in chunks:
+            merge.process_batch(chunk, stream_id)
+    return time.perf_counter() - start, merge
+
+
+def test_replica_matches_shipped_output():
+    """The baseline loop used for timing is semantically the shipped
+    path — otherwise the overhead comparison measures nothing."""
+    streams = divergent_inputs(small_stream(count=300, blob=2), n=2)
+    chunks = _chunks(streams)
+    _, shipped = _run(streams, chunks, use_replica=False)
+    _, replica = _run(streams, chunks, use_replica=True)
+    assert list(shipped.output) == list(replica.output)
+    assert shipped.stats.inserts_out == replica.stats.inserts_out
+
+
+@pytest.mark.skipif(
+    available_cores() < 2,
+    reason="timing budget needs an unloaded core; host has <2",
+)
+def test_nulltracer_overhead_within_budget():
+    streams = divergent_inputs(small_stream(count=2000, blob=2), n=2)
+    chunks = _chunks(streams)
+    merge = LMergeR3()
+    assert merge.tracer is NULL_TRACER  # the default must be the null tracer
+
+    best_shipped = min(
+        _run(streams, chunks, use_replica=False)[0] for _ in range(REPS)
+    )
+    best_replica = min(
+        _run(streams, chunks, use_replica=True)[0] for _ in range(REPS)
+    )
+    slowdown = best_shipped / best_replica
+    assert slowdown <= 1 / BUDGET, (
+        f"disabled tracing costs {slowdown - 1:.1%} on the hot path "
+        f"(budget 5%): shipped {best_shipped:.4f}s vs "
+        f"replica {best_replica:.4f}s"
+    )

@@ -1,0 +1,182 @@
+"""Tests for the metric registry (repro.obs.registry)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    TimeSeries,
+)
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = Counter("c")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("g")
+        g.set(4.5)
+        g.add(-1.5)
+        assert g.value == 3.0
+
+    def test_infinity_snapshot_is_json_clean(self):
+        g = Gauge("g")
+        g.set(-math.inf)
+        assert g.snapshot_value() == "-inf"
+        g.set(math.inf)
+        assert g.snapshot_value() == "inf"
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("h")
+        for v in (5, 1, 3):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 9
+        assert h.min == 1
+        assert h.max == 5
+        assert h.mean == pytest.approx(3.0)
+
+    def test_ceil_nearest_rank_percentile(self):
+        h = Histogram("h")
+        h.observe(10)
+        h.observe(20)
+        # Median of a 2-sample list is the LOWER sample under ceil-based
+        # nearest rank; q=1.0 is exactly the max.
+        assert h.percentile(0.5) == 10
+        assert h.percentile(1.0) == 20
+        assert h.percentile(0.0) == 10
+
+    def test_bounded_window(self):
+        h = Histogram("h", window=4)
+        for v in range(100):
+            h.observe(v)
+        assert h.count == 100          # exact aggregates survive
+        assert h.max == 99
+        assert len(h._samples) == 4    # percentile window stays bounded
+        assert h.percentile(1.0) == 99  # last 4 observations retained
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", window=0)
+
+
+class TestTimeSeries:
+    def test_negative_buckets_survive(self):
+        ts = TimeSeries("ts", bucket=1.0)
+        ts.record(-2.5, 3)
+        ts.record(0.5, 1)
+        assert ts.series() == [(-3.0, 3), (-2.0, 0), (-1.0, 0), (0.0, 1)]
+        assert ts.total == 4
+
+    def test_gap_fill_from_minimum(self):
+        ts = TimeSeries("ts", bucket=2.0)
+        ts.record(4.0)
+        ts.record(8.0)
+        assert ts.series() == [(4.0, 1), (6.0, 0), (8.0, 1)]
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries("ts", bucket=0)
+
+
+class TestMetricRegistry:
+    def test_get_or_create_is_stable(self):
+        r = MetricRegistry()
+        a = r.counter("hits", {"op": "x"})
+        b = r.counter("hits", {"op": "x"})
+        assert a is b
+        assert r.counter("hits", {"op": "y"}) is not a
+        assert len(r) == 2
+
+    def test_label_order_normalized(self):
+        r = MetricRegistry()
+        a = r.gauge("g", {"a": 1, "b": 2})
+        b = r.gauge("g", {"b": 2, "a": 1})
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        r = MetricRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.gauge("x")
+
+    def test_snapshot_round_trips_through_json(self):
+        r = MetricRegistry()
+        r.counter("c", {"k": "v"}).inc(7)
+        r.gauge("g").set(1.5)
+        h = r.histogram("h")
+        h.observe(3)
+        r.timeseries("ts").record(-1, 2)
+        snap = r.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_snapshot_is_detached(self):
+        r = MetricRegistry()
+        c = r.counter("c")
+        c.inc(1)
+        snap = r.snapshot()
+        c.inc(10)
+        assert snap["counter"][0]["value"] == 1
+
+    def test_reset_zeroes_but_keeps_handles(self):
+        r = MetricRegistry()
+        c = r.counter("c")
+        g = r.gauge("g")
+        ts = r.timeseries("ts")
+        c.inc(5)
+        g.set(2)
+        ts.record(0, 9)
+        r.reset()
+        assert c.value == 0 and g.value == 0 and ts.series() == []
+        assert r.counter("c") is c  # registration survives
+        c.inc(1)
+        assert r.snapshot()["counter"][0]["value"] == 1
+
+    def test_snapshot_reset_snapshot_round_trip(self):
+        """snapshot -> reset -> replay the same traffic -> same snapshot."""
+        r = MetricRegistry()
+
+        def traffic():
+            r.counter("c", {"op": "a"}).inc(3)
+            r.gauge("depth").set(17)
+            r.timeseries("lag", {"input": 0}).record(2.0, 5)
+
+        traffic()
+        first = r.snapshot()
+        r.reset()
+        traffic()
+        assert r.snapshot() == first
+
+    def test_deterministic_iteration_order(self):
+        r = MetricRegistry()
+        r.counter("b")
+        r.counter("a", {"z": 1})
+        r.counter("a", {"k": 1})
+        names = [(i.name, i.labels) for i in r]
+        assert names == sorted(names)
+
+    def test_get(self):
+        r = MetricRegistry()
+        c = r.counter("c", {"x": 1})
+        assert r.get("c", {"x": 1}) is c
+        assert r.get("c") is None
