@@ -1,0 +1,322 @@
+"""Plan catalog: one executable LMerge plan per restriction class.
+
+Each entry in :data:`PLANS` is a zero-argument factory returning a fresh
+:class:`MergePlan` — replica queries wired through
+:class:`repro.analysis.checked.PropertyChecker` operators into the LMerge
+the selector picks.  The catalog is the shared fixture of
+
+* ``python -m repro.analysis check-plan`` (static soundness over every
+  plan; ``--dynamic`` also executes each plan and confirms the inferred
+  restriction against the live observation), and
+* ``tests/test_example_plans.py`` (the static == dynamic acceptance
+  gate).
+
+The plans are engineered so the restriction the analyzer infers is
+exactly the restriction the generated workload exhibits — including the
+negative space (``grouped_r2`` really does present different same-Vs
+orders across replicas; ``noninjective_r4`` really does duplicate keys).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.checked import MergeCheck
+from repro.engine.query import Query, play_together
+from repro.operators.aggregate import AggregateMode, GroupedCount, TopK
+from repro.operators.select import MapPayload
+from repro.streams.generator import GeneratorConfig, StreamGenerator
+from repro.streams.properties import (
+    Restriction,
+    classify,
+    required_properties,
+)
+from repro.streams.stream import PhysicalStream
+from repro.temporal.elements import Insert, Stable
+
+
+@dataclass
+class MergePlan:
+    """A wired, runnable, checkable merge plan."""
+
+    name: str
+    description: str
+    #: Replica queries whose tails feed the LMerge (through checkers).
+    replicas: List[Query]
+    merge: object
+    check: MergeCheck
+    #: What the analyzer infers for the merge inputs.
+    inferred: Restriction
+
+    def run_checked(self) -> Restriction:
+        """Execute all replicas through the property checkers into the
+        merge; return the restriction the live streams exhibited."""
+        play_together(self.replicas)
+        return self.check.observed_restriction()
+
+    def close(self) -> None:
+        close = getattr(self.merge, "close", None)
+        if callable(close):
+            close()
+
+
+def _build(
+    name: str,
+    description: str,
+    queries: List[Query],
+    force: Optional[Restriction] = None,
+    **lmerge_kwargs,
+) -> MergePlan:
+    """Wire *queries* through per-input checkers into the selected merge.
+
+    The checkers assert exactly the guarantees the selected variant
+    relies on (``required_properties``), so a lying transfer function
+    fails loudly at run time instead of corrupting the merge output.
+    """
+    properties = [query.properties() for query in queries]
+    merged = properties[0]
+    for item in properties[1:]:
+        merged = merged.meet(item)
+    inferred = classify(merged)
+    selected = force if force is not None else inferred
+    check = MergeCheck(
+        required_properties(selected), len(queries), name=f"{name}.check"
+    )
+    checked = [
+        query.then(check.checker(index))
+        for index, query in enumerate(queries)
+    ]
+    merge = Query.merge_with(checked, force=force, **lmerge_kwargs)
+    return MergePlan(
+        name=name,
+        description=description,
+        replicas=checked,
+        merge=merge,
+        check=check,
+        inferred=inferred,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Workload helpers
+# ---------------------------------------------------------------------------
+
+
+def _generated(
+    count: int = 400,
+    seed: int = 0,
+    disorder: float = 0.0,
+    min_gap: int = 0,
+    stable_freq: float = 0.05,
+) -> PhysicalStream:
+    config = GeneratorConfig(
+        count=count,
+        seed=seed,
+        disorder=disorder,
+        min_gap=min_gap,
+        stable_freq=stable_freq,
+        event_duration=50,
+        payload_blob_bytes=4,
+    )
+    return StreamGenerator(config).generate()
+
+
+def _permuted_within_stables(
+    stream: PhysicalStream, seed: int
+) -> PhysicalStream:
+    """A physically divergent, logically equivalent copy: shuffle each run
+    of data elements between stables.
+
+    Stables stay in place, and each ``stable(t)``'s promise (no later
+    element below ``t``) survives any permutation of the elements after
+    it, so the result is a valid stream with the same TDB — it differs
+    only in arrival order, the divergence grouped aggregation turns into
+    differing same-Vs output order (the R2 shape).
+    """
+    rng = random.Random(seed)
+    out = []
+    run = []
+    for element in stream:
+        if element.__class__ is Stable:
+            rng.shuffle(run)
+            out.extend(run)
+            run = []
+            out.append(element)
+        else:
+            run.append(element)
+    rng.shuffle(run)
+    out.extend(run)
+    return PhysicalStream(out, name=f"{stream.name}~perm{seed}")
+
+
+def _handmade_disordered() -> PhysicalStream:
+    """A tiny disordered stream whose payloads collide under a
+    non-injective projection (two live events at Vs 5 share field 1)."""
+    return PhysicalStream(
+        [
+            Insert(("a", 1), 5, 100),
+            Insert(("b", 2), 3, 100),
+            Insert(("c", 1), 5, 100),
+            Insert(("d", 3), 9, 100),
+            Stable(9),
+            Insert(("e", 2), 12, 100),
+            Stable(200),
+        ],
+        name="handmade",
+    )
+
+
+# ---------------------------------------------------------------------------
+# The catalog
+# ---------------------------------------------------------------------------
+
+
+def ordered_sources_r0() -> MergePlan:
+    """Two strictly-increasing insert-only replicas merged directly —
+    the paper's case 1 (R0)."""
+    queries = [
+        Query.from_stream(
+            _generated(seed=7, disorder=0.0, min_gap=1), name=f"src{i}"
+        )
+        for i in range(2)
+    ]
+    return _build(
+        "ordered_sources_r0",
+        "ordered in-order sources merged directly",
+        queries,
+    )
+
+
+def topk_r1() -> MergePlan:
+    """Top-k over ordered inputs: duplicate window timestamps in
+    deterministic rank order — the paper's case 4 (R1)."""
+    queries = [
+        Query.from_stream(
+            _generated(seed=11, disorder=0.0, min_gap=1), name=f"src{i}"
+        ).then(
+            TopK(window=120, k=3, score_fn=lambda p: p[0], name=f"topk{i}")
+        )
+        for i in range(2)
+    ]
+    return _build(
+        "topk_r1", "rank-ordered Top-k outputs over ordered inputs", queries
+    )
+
+
+def grouped_r2() -> MergePlan:
+    """Conservative grouped counts over replicas that saw the same events
+    in different physical order: same-Vs group order differs across
+    replicas but stays keyed — the paper's case 5 (R2)."""
+    base = _generated(seed=23, disorder=0.0, min_gap=0, stable_freq=0.08)
+    inputs = [base, _permuted_within_stables(base, seed=5)]
+    queries = [
+        Query.from_stream(stream, name=f"src{i}").then(
+            GroupedCount(
+                window=80,
+                key_fn=lambda p: p[0] % 8,
+                mode=AggregateMode.CONSERVATIVE,
+                name=f"grouped{i}",
+            )
+        )
+        for i, stream in enumerate(inputs)
+    ]
+    return _build(
+        "grouped_r2",
+        "conservative grouped aggregation, replica-dependent group order",
+        queries,
+    )
+
+
+def speculative_r3() -> MergePlan:
+    """Aggressive grouped counts over a disordered source: revisions
+    (adjusts) with the ``(Vs, payload)`` key intact — the R3 shape."""
+    base = _generated(seed=31, disorder=0.3, stable_freq=0.06)
+    inputs = [base, _permuted_within_stables(base, seed=9)]
+    queries = [
+        Query.from_stream(stream, name=f"src{i}").then(
+            GroupedCount(
+                window=100,
+                key_fn=lambda p: p[0] % 6,
+                mode=AggregateMode.AGGRESSIVE,
+                name=f"grouped{i}",
+            )
+        )
+        for i, stream in enumerate(inputs)
+    ]
+    return _build(
+        "speculative_r3",
+        "aggressive grouped aggregation: revisions, keyed",
+        queries,
+    )
+
+
+def noninjective_r4() -> MergePlan:
+    """A non-injective projection over a disordered source: payload
+    collisions destroy the key, nothing is guaranteed — R4."""
+    queries = [
+        Query.from_stream(_handmade_disordered(), name=f"src{i}").then(
+            MapPayload(
+                lambda p: p[1], injective=False, name=f"collapse{i}"
+            )
+        )
+        for i in range(2)
+    ]
+    return _build(
+        "noninjective_r4",
+        "non-injective projection: duplicate keys, no guarantees",
+        queries,
+    )
+
+
+def partitioned_r3() -> MergePlan:
+    """The R3 plan executed as a 2-shard partition-parallel merge (serial
+    backend): sharding must not change the soundness verdict."""
+    base = _generated(seed=43, disorder=0.25, stable_freq=0.06)
+    inputs = [base, _permuted_within_stables(base, seed=13)]
+    queries = [
+        Query.from_stream(stream, name=f"src{i}").then(
+            GroupedCount(
+                window=100,
+                key_fn=lambda p: p[0] % 5,
+                mode=AggregateMode.AGGRESSIVE,
+                name=f"grouped{i}",
+            )
+        )
+        for i, stream in enumerate(inputs)
+    ]
+    return _build(
+        "partitioned_r3",
+        "aggressive grouped aggregation through a 2-shard merge",
+        queries,
+        shards=2,
+        backend="serial",
+    )
+
+
+PLANS: Dict[str, Callable[[], MergePlan]] = {
+    "ordered_sources_r0": ordered_sources_r0,
+    "topk_r1": topk_r1,
+    "grouped_r2": grouped_r2,
+    "speculative_r3": speculative_r3,
+    "noninjective_r4": noninjective_r4,
+    "partitioned_r3": partitioned_r3,
+}
+
+
+if __name__ == "__main__":
+    from repro.analysis.propflow import check_plan
+
+    for plan_name, factory in PLANS.items():
+        plan = factory()
+        try:
+            report = check_plan(*plan.replicas, plan=plan_name)
+            observed = plan.run_checked()
+            print(report.render())
+            print(
+                f"         {plan_name}: inferred {plan.inferred.name}, "
+                f"observed {observed.name}"
+            )
+        finally:
+            plan.close()

@@ -14,7 +14,13 @@ Commands operate on JSON-lines stream files (see
 * ``report`` — render a saved RunReport JSON as a human-readable table;
 * ``validate`` — check the element contract (and optionally the key
   property) of a stream file;
-* ``inspect`` — summarize a stream file (counts, properties, TDB size).
+* ``inspect`` — summarize a stream file (counts, properties, TDB size);
+* ``analysis`` — static analysis: repo lint, plan soundness checking,
+  lint rule catalog (delegates to :mod:`repro.analysis.cli`).
+
+``merge --checked`` validates every input against the selected
+algorithm's assumed properties (:mod:`repro.analysis.checked`) before
+merging.
 """
 
 from __future__ import annotations
@@ -88,6 +94,9 @@ class _MergeInput(Operator):
         super().__init__(f"{merge.name}[{stream_id}]")
         self.merge = merge
         self.stream_id = stream_id
+        adapters = getattr(merge, "input_adapters", None)
+        if adapters is not None:
+            adapters.append(self)
 
     def receive(self, element, port: int = 0) -> None:
         self.elements_in += 1
@@ -183,6 +192,30 @@ def _instrumented_merge(args: argparse.Namespace, merge, inputs) -> None:
         print(f"prometheus metrics -> {args.prom_out}")
 
 
+def _checked_inputs(merge, inputs) -> int:
+    """Validate that every input upholds the guarantees *merge* assumes
+    (``repro merge --checked``); returns 0 when clean, 1 on violation."""
+    from repro.analysis.checked import MergeCheck, PropertyViolationError
+    from repro.lmerge.selector import restriction_of
+
+    restriction = restriction_of(merge)
+    check = MergeCheck.for_restriction(
+        restriction, len(inputs), name="merge-check"
+    )
+    try:
+        for stream_id, stream in enumerate(inputs):
+            check.wrap(stream_id, stream)
+    except PropertyViolationError as exc:
+        print(f"CHECK FAILED for {merge.algorithm}: {exc}")
+        return 1
+    observed = check.observed_restriction()
+    print(
+        f"checked: inputs uphold {merge.algorithm}'s {restriction.name} "
+        f"assumptions (observed {observed.name})"
+    )
+    return 0
+
+
 def _cmd_merge(args: argparse.Namespace) -> int:
     inputs = [read_stream(path) for path in args.inputs]
     if args.algorithm:
@@ -190,6 +223,8 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     else:
         properties = [measure_properties(stream) for stream in inputs]
         merge = create_lmerge(properties)
+    if args.checked and _checked_inputs(merge, inputs):
+        return 1
     instrumented = args.metrics_out or args.trace_out or args.prom_out
     if instrumented:
         _instrumented_merge(args, merge, inputs)
@@ -205,6 +240,12 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     if args.stats:
         _print_stats(merge)
     return 0
+
+
+def _cmd_analysis(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as analysis_main
+
+    return analysis_main(args.rest)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -291,6 +332,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     merge.add_argument("--seed", type=int, default=0)
     merge.add_argument(
+        "--checked",
+        action="store_true",
+        help="validate each input against the selected algorithm's "
+        "assumed properties before merging (fails fast on violation)",
+    )
+    merge.add_argument(
         "--stats",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -336,6 +383,15 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = commands.add_parser("inspect", help="summarize a stream file")
     inspect.add_argument("input")
     inspect.set_defaults(func=_cmd_inspect)
+
+    analysis = commands.add_parser(
+        "analysis",
+        help="static analysis: lint / check-plan / rules "
+        "(see `repro analysis --help`)",
+        add_help=False,
+    )
+    analysis.add_argument("rest", nargs=argparse.REMAINDER)
+    analysis.set_defaults(func=_cmd_analysis)
     return parser
 
 

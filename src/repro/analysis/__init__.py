@@ -1,0 +1,62 @@
+"""Static and runtime analysis for repro stream plans.
+
+Three coordinated passes (see :mod:`repro.analysis.propflow`,
+:mod:`repro.analysis.lint`, :mod:`repro.analysis.checked`):
+
+1. **Property flow** — infer per-operator :class:`StreamProperties` over
+   a wired plan graph and judge every LMerge site's selected variant
+   against the inferred restriction (unsound → error, over-conservative
+   → warning);
+2. **Repo lint** — AST rules (REP101…) encoding engine invariants:
+   replayability, punctuation handling, element immutability, slotted
+   layouts, no stray console output;
+3. **Checked execution** — :class:`PropertyChecker` operators that
+   re-measure declared properties on live streams and raise on the first
+   violating element, confirming the static verdicts dynamically.
+
+CLI: ``python -m repro.analysis {lint,check-plan,rules}``.
+"""
+
+from repro.analysis.checked import (
+    JointOrderTracker,
+    MergeCheck,
+    PropertyChecker,
+    PropertyViolationError,
+)
+from repro.analysis.lint import (
+    RULES,
+    Finding,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.propflow import (
+    GraphAnalysis,
+    MergeSite,
+    PlanCheck,
+    SiteCheck,
+    UnsoundPlanError,
+    analyze_graph,
+    check_plan,
+    verify_plan,
+)
+
+__all__ = [
+    "Finding",
+    "GraphAnalysis",
+    "JointOrderTracker",
+    "MergeCheck",
+    "MergeSite",
+    "PlanCheck",
+    "PropertyChecker",
+    "PropertyViolationError",
+    "RULES",
+    "SiteCheck",
+    "UnsoundPlanError",
+    "analyze_graph",
+    "check_plan",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "verify_plan",
+]

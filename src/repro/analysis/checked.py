@@ -1,0 +1,251 @@
+"""Runtime property sanitization: confirm static verdicts on live data.
+
+The static analyzer (:mod:`repro.analysis.propflow`) proves which LMerge
+variant a plan's properties justify — *assuming the declared transfer
+functions are honest*.  This module closes the loop at runtime:
+
+* :class:`PropertyChecker` is a transparent pass-through operator that
+  incrementally re-measures the stream flowing through it (via
+  :class:`repro.streams.properties.PropertyTracker`, the same machinery
+  behind :func:`~repro.streams.properties.measure_properties`) and raises
+  :class:`PropertyViolationError` on the first element that contradicts a
+  *declared* guarantee.  Wired between a replica plan and its LMerge
+  input, it turns a silent wrong-variant corruption into an immediate,
+  attributed failure.
+* :class:`JointOrderTracker` validates the one flag a single stream
+  cannot witness — ``deterministic_same_vs_order`` — by comparing the
+  same-Vs insert order *across* the checkers of one merge site.
+* :class:`MergeCheck` bundles one checker per merge input plus the shared
+  joint tracker, and reports the properties/restriction the live streams
+  actually exhibited (:meth:`MergeCheck.observed_restriction`), directly
+  comparable to the static inference.
+
+``repro merge --checked`` and ``repro analysis check-plan --dynamic``
+build on these.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.operator import Operator
+from repro.streams.properties import (
+    PropertyTracker,
+    Restriction,
+    StreamProperties,
+    classify,
+    required_properties,
+)
+from repro.temporal.elements import Element, Insert
+from repro.temporal.event import Payload
+from repro.temporal.time import Timestamp
+
+
+class PropertyViolationError(RuntimeError):
+    """A live stream broke a guarantee it was declared to provide."""
+
+    def __init__(
+        self,
+        stream: str,
+        element: Element,
+        index: int,
+        violated: Sequence[str],
+    ):
+        self.stream = stream
+        self.element = element
+        self.index = index
+        self.violated = tuple(violated)
+        flags = ", ".join(violated)
+        super().__init__(
+            f"stream {stream!r} violated declared propert"
+            f"{'ies' if len(self.violated) > 1 else 'y'} {flags} at "
+            f"element #{index}: {element}"
+        )
+
+
+class JointOrderTracker:
+    """Cross-replica same-Vs insert-order agreement, incremental.
+
+    The first stream to deliver the inserts of a Vs establishes the
+    reference payload order; every other stream must present that Vs's
+    inserts as a prefix-consistent repetition of the reference.  Holds for
+    rank-ordered outputs (Top-k) and fails for arrival-ordered ones
+    (grouped aggregates) — exactly the R1/R2 boundary.
+    """
+
+    def __init__(self) -> None:
+        #: Vs -> reference payload order (first stream's delivery order).
+        self._reference: dict = {}
+        #: (stream_index, Vs) -> how many inserts of that Vs the stream
+        #: has delivered so far.
+        self._positions: dict = {}
+        self.agreed = True
+
+    def observe_insert(
+        self, stream_index: int, vs: Timestamp, payload: Payload
+    ) -> bool:
+        """Account one insert; return False on first order disagreement."""
+        reference = self._reference.setdefault(vs, [])
+        position = self._positions.get((stream_index, vs), 0)
+        self._positions[(stream_index, vs)] = position + 1
+        if position < len(reference):
+            if reference[position] != payload:
+                self.agreed = False
+                return False
+            return True
+        if position > len(reference):
+            # A stream ran ahead of the reference stream on this Vs —
+            # irreconcilable with "same order on every input".
+            self.agreed = False
+            return False
+        reference.append(payload)
+        return True
+
+
+class PropertyChecker(Operator):
+    """Transparent operator asserting declared properties on a live stream.
+
+    Standalone (no *joint* tracker) its semantics are exactly
+    :func:`~repro.streams.properties.measure_properties` evaluated
+    incrementally — empty and single-element streams uphold everything,
+    and ``deterministic_same_vs_order`` is treated as broken by the first
+    duplicated Vs (a single stream cannot prove cross-replica agreement).
+    Attached to a :class:`JointOrderTracker` (see :class:`MergeCheck`),
+    determinism is instead judged by cross-stream order agreement, so
+    legitimately duplicate-Vs R1 streams (Top-k rank order) check clean.
+    """
+
+    kind = "property-checker"
+
+    def __init__(
+        self,
+        declared: StreamProperties,
+        name: str = "checked",
+        joint: Optional[JointOrderTracker] = None,
+        joint_index: int = 0,
+    ):
+        super().__init__(name)
+        self.declared = declared
+        self.tracker = PropertyTracker()
+        self._joint = joint
+        self._joint_index = joint_index
+
+    # -- validation core ---------------------------------------------------
+
+    def _check(self, element: Element) -> None:
+        broken = self.tracker.observe(element)
+        joint = self._joint
+        if joint is not None:
+            # Determinism is judged jointly; drop the single-stream
+            # (vacuous-duplication) verdict and consult the shared tracker.
+            broken = tuple(
+                flag for flag in broken if flag != "deterministic_same_vs_order"
+            )
+            if element.__class__ is Insert and not joint.observe_insert(
+                self._joint_index, element.vs, element.payload
+            ):
+                broken = broken + ("deterministic_same_vs_order",)
+        violated = [
+            flag for flag in broken if getattr(self.declared, flag)
+        ]
+        if violated:
+            raise PropertyViolationError(
+                self.name,
+                element,
+                self.tracker.elements_observed - 1,
+                violated,
+            )
+
+    # -- operator surface --------------------------------------------------
+
+    def receive(self, element: Element, port: int = 0) -> None:
+        self.elements_in += 1
+        self._check(element)
+        self.emit(element)
+
+    def receive_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> None:
+        self.elements_in += len(elements)
+        for element in elements:
+            self._check(element)
+        self.emit_batch(elements)
+
+    def observed(self) -> StreamProperties:
+        """The guarantees the stream has actually exhibited so far."""
+        properties = self.tracker.current()
+        if self._joint is not None:
+            properties = properties.weaken(
+                deterministic_same_vs_order=self._joint.agreed
+            )
+        return properties
+
+    def derive_properties(
+        self, input_properties: List[StreamProperties]
+    ) -> StreamProperties:
+        # A checker is transparent: it forwards elements unchanged.
+        if not input_properties:
+            return StreamProperties.unknown()
+        return input_properties[0]
+
+
+class MergeCheck:
+    """One checker per LMerge input, sharing a joint determinism tracker.
+
+    >>> check = MergeCheck.for_restriction(Restriction.R2, 2)
+    >>> checked_streams = [
+    ...     check.wrap(i, stream) for i, stream in enumerate(streams)
+    ... ]
+    """
+
+    def __init__(
+        self,
+        declared: StreamProperties,
+        inputs: int,
+        name: str = "merge-check",
+    ):
+        self.declared = declared
+        self.joint = JointOrderTracker()
+        self.checkers: Tuple[PropertyChecker, ...] = tuple(
+            PropertyChecker(
+                declared,
+                name=f"{name}[{index}]",
+                joint=self.joint,
+                joint_index=index,
+            )
+            for index in range(inputs)
+        )
+
+    @staticmethod
+    def for_restriction(
+        restriction: Restriction, inputs: int, name: str = "merge-check"
+    ) -> "MergeCheck":
+        """Checkers asserting the guarantees *restriction* relies on."""
+        return MergeCheck(
+            required_properties(restriction), inputs, name=name
+        )
+
+    def checker(self, index: int) -> PropertyChecker:
+        return self.checkers[index]
+
+    def wrap(self, index: int, elements: Sequence[Element]) -> List[Element]:
+        """Validate an offline stream through checker *index*; returns the
+        elements unchanged (raises on the first violation)."""
+        checker = self.checkers[index]
+        for element in elements:
+            checker._check(element)
+        return list(elements)
+
+    def observed_properties(self) -> StreamProperties:
+        """The meet of what every input actually exhibited."""
+        if not self.checkers:
+            return StreamProperties.strongest()
+        merged = self.checkers[0].observed()
+        for checker in self.checkers[1:]:
+            merged = merged.meet(checker.observed())
+        return merged
+
+    def observed_restriction(self) -> Restriction:
+        """The restriction the live inputs jointly justified — the dynamic
+        counterpart of the analyzer's inferred restriction."""
+        return classify(self.observed_properties())

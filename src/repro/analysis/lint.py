@@ -1,0 +1,655 @@
+"""Repo-specific AST lint: engine invariants as checkable rules.
+
+Generic linters cannot know that ``repro`` operators must be replayable
+(no wall-clock reads in hot paths), that stream elements are immutable
+value objects, or that punctuation handling is mandatory.  This module
+encodes those invariants as AST rules with stable IDs:
+
+=======  ========  ====================================================
+ID       Severity  Invariant
+=======  ========  ====================================================
+REP101   error     No wall-clock reads (``time.time``/``datetime.now``)
+                   in engine/operators/lmerge hot paths — results must
+                   be a function of the element sequence alone
+                   (``time.perf_counter`` for measurement is fine).
+REP102   error     Direct ``Operator`` subclasses that handle data
+                   elements (``on_insert``/``on_adjust``/
+                   ``receive_batch``) must also handle punctuation:
+                   define ``on_stable`` (or take over delivery wholesale
+                   by overriding ``receive``).
+REP103   error     Never mutate received elements: no attribute stores
+                   on parameters typed ``Insert``/``Adjust``/``Element``
+                   (or named ``element``) — elements are shared across
+                   subscribers.
+REP104   error     Classes declaring ``__slots__`` must not store
+                   attributes outside them (``self.x = ...``,
+                   ``object.__setattr__(self, "x", ...)``, or the
+                   ``_set(self, "x", ...)`` idiom) — growing a
+                   ``__dict__`` silently forfeits the slotted layout.
+REP105   error     No bare ``print`` in library code under ``src/`` —
+                   use the CLI surface or :mod:`repro.obs`.  CLI modules
+                   (``__main__.py``, ``cli.py``) are exempt.
+REP106   warning   No mutable default arguments (``def f(x=[])``).
+=======  ========  ====================================================
+
+Suppression: append ``# noqa: REP104`` (or a bare ``# noqa``) to the
+offending line.  Run via ``python -m repro.analysis lint <paths>``;
+programmatic entry points are :func:`lint_source`, :func:`lint_file`, and
+:func:`lint_paths`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Module path fragments that count as merge-engine hot paths (REP101).
+HOT_PATH_PARTS = (
+    ("repro", "engine"),
+    ("repro", "operators"),
+    ("repro", "lmerge"),
+)
+
+#: Wall-clock call names (attribute or bare) REP101 flags.
+WALL_CLOCK_ATTRS = {"time", "time_ns", "now", "utcnow", "today"}
+WALL_CLOCK_ROOTS = {"time", "datetime", "date"}
+
+#: Parameter annotations REP103 treats as shared stream elements.
+ELEMENT_TYPES = {"Insert", "Adjust", "Stable", "Element"}
+
+#: File names exempt from REP105 (they *are* the console surface).
+PRINT_EXEMPT_FILES = {"__main__.py", "cli.py"}
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A lint rule: stable ID, severity, scope, and an AST check."""
+
+    id: str
+    severity: str
+    summary: str
+    applies: Callable[[Path], bool]
+    check: Callable[[ast.Module, str], List["_RawFinding"]]
+
+
+@dataclass(frozen=True)
+class _RawFinding:
+    line: int
+    col: int
+    message: str
+
+
+def _parts(path: Path) -> tuple:
+    return tuple(part for part in path.as_posix().split("/") if part)
+
+
+def _in_hot_path(path: Path) -> bool:
+    parts = _parts(path)
+    for fragment in HOT_PATH_PARTS:
+        for i in range(len(parts) - len(fragment) + 1):
+            if parts[i : i + len(fragment)] == fragment:
+                return True
+    return False
+
+
+def _in_src(path: Path) -> bool:
+    return "src" in _parts(path) or "repro" in _parts(path)
+
+
+def _always(_path: Path) -> bool:
+    return True
+
+
+# ---------------------------------------------------------------------------
+# REP101 — wall-clock reads in hot paths
+# ---------------------------------------------------------------------------
+
+
+def _wall_clock_aliases(tree: ast.Module) -> Set[str]:
+    """Names bound by ``from time import time`` style imports."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in (
+            "time",
+            "datetime",
+        ):
+            for alias in node.names:
+                if alias.name in WALL_CLOCK_ATTRS:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _attr_root(node: ast.expr) -> Optional[str]:
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _check_wall_clock(tree: ast.Module, _source: str) -> List[_RawFinding]:
+    aliases = _wall_clock_aliases(tree)
+    findings: List[_RawFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in WALL_CLOCK_ATTRS
+            and _attr_root(func) in WALL_CLOCK_ROOTS
+        ):
+            name = f"{_attr_root(func)}.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in aliases:
+            name = func.id
+        else:
+            continue
+        findings.append(
+            _RawFinding(
+                node.lineno,
+                node.col_offset,
+                f"wall-clock read {name}() in a merge hot path; element "
+                f"processing must be replayable (time.perf_counter is "
+                f"allowed for measurement)",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP102 — Operator subclasses must handle punctuation
+# ---------------------------------------------------------------------------
+
+
+def _base_name(base: ast.expr) -> Optional[str]:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def _check_on_stable(tree: ast.Module, _source: str) -> List[_RawFinding]:
+    findings: List[_RawFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not any(_base_name(base) == "Operator" for base in node.bases):
+            continue
+        methods = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        handles_data = methods & {"on_insert", "on_adjust", "receive_batch"}
+        if not handles_data:
+            continue  # output-only operator (source, bridge): no input
+        if "on_stable" in methods or "receive" in methods:
+            continue
+        findings.append(
+            _RawFinding(
+                node.lineno,
+                node.col_offset,
+                f"Operator subclass {node.name!r} handles data elements "
+                f"({', '.join(sorted(handles_data))}) but defines neither "
+                f"on_stable nor receive — punctuation would be dropped "
+                f"and downstream frontiers never advance",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP103 — no mutation of received elements
+# ---------------------------------------------------------------------------
+
+
+def _annotation_name(annotation: Optional[ast.expr]) -> Optional[str]:
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        return annotation.value.split(".")[-1].strip()
+    return None
+
+
+def _element_params(
+    function: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> Set[str]:
+    names: Set[str] = set()
+    args = function.args
+    for arg in [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+    ]:
+        annotated = _annotation_name(arg.annotation)
+        if annotated in ELEMENT_TYPES or (
+            annotated is None and arg.arg == "element"
+        ):
+            names.add(arg.arg)
+    return names
+
+
+def _check_element_mutation(
+    tree: ast.Module, _source: str
+) -> List[_RawFinding]:
+    findings: List[_RawFinding] = []
+    for function in ast.walk(tree):
+        if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params = _element_params(function)
+        if not params:
+            continue
+        for node in ast.walk(function):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in params
+                ):
+                    findings.append(
+                        _RawFinding(
+                            node.lineno,
+                            node.col_offset,
+                            f"mutation of received element parameter "
+                            f"{target.value.id!r} "
+                            f"({target.value.id}.{target.attr} = ...); "
+                            f"elements are immutable and shared across "
+                            f"subscribers — build a new element instead",
+                        )
+                    )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP104 — slotted classes must not grow attributes
+# ---------------------------------------------------------------------------
+
+
+def _slot_names(node: ast.ClassDef) -> Optional[Set[str]]:
+    """The literal ``__slots__`` of a class body, or None when absent."""
+    for item in node.body:
+        values: Optional[ast.expr] = None
+        if isinstance(item, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in item.targets
+            ):
+                values = item.value
+        elif isinstance(item, ast.AnnAssign):
+            if (
+                isinstance(item.target, ast.Name)
+                and item.target.id == "__slots__"
+            ):
+                values = item.value
+        if values is None:
+            continue
+        if isinstance(values, (ast.Tuple, ast.List, ast.Set)):
+            names = {
+                el.value
+                for el in values.elts
+                if isinstance(el, ast.Constant) and isinstance(el.value, str)
+            }
+            return names
+        if isinstance(values, ast.Constant) and isinstance(values.value, str):
+            return {values.value}
+        return None  # dynamic __slots__: not checkable
+    return None
+
+
+def _setattr_string_target(node: ast.Call) -> Optional[str]:
+    """The attribute name of ``object.__setattr__(self, "name", ...)`` or
+    ``_set(self, "name", ...)`` calls targeting ``self``."""
+    func = node.func
+    is_object_setattr = (
+        isinstance(func, ast.Attribute)
+        and func.attr == "__setattr__"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "object"
+    )
+    is_set_alias = isinstance(func, ast.Name) and func.id == "_set"
+    if not (is_object_setattr or is_set_alias):
+        return None
+    if len(node.args) < 2:
+        return None
+    target, name = node.args[0], node.args[1]
+    if not (isinstance(target, ast.Name) and target.id == "self"):
+        return None
+    if isinstance(name, ast.Constant) and isinstance(name.value, str):
+        return name.value
+    return None
+
+
+def _check_slot_growth(tree: ast.Module, _source: str) -> List[_RawFinding]:
+    # Union slots along the (same-module) base chain so subclasses may
+    # store into inherited slots.
+    class_slots: Dict[str, Optional[Set[str]]] = {}
+    class_bases: Dict[str, List[str]] = {}
+    classes: List[ast.ClassDef] = [
+        node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
+    ]
+    for node in classes:
+        class_slots[node.name] = _slot_names(node)
+        class_bases[node.name] = [
+            name
+            for name in (_base_name(base) for base in node.bases)
+            if name is not None
+        ]
+
+    def effective_slots(name: str, seen: Set[str]) -> Optional[Set[str]]:
+        if name in seen or name not in class_slots:
+            # Base outside this module: unknown layout, skip the class.
+            return None
+        seen.add(name)
+        own = class_slots[name]
+        if own is None:
+            return None
+        merged = set(own)
+        for base in class_bases[name]:
+            if base == "object":
+                continue
+            inherited = effective_slots(base, seen)
+            if inherited is None:
+                return None
+            merged |= inherited
+        return merged
+
+    findings: List[_RawFinding] = []
+    for node in classes:
+        if class_slots.get(node.name) is None:
+            continue
+        slots = effective_slots(node.name, set())
+        if slots is None:
+            continue
+        for sub in ast.walk(node):
+            attr: Optional[str] = None
+            line, col = 0, 0
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attr, line, col = (
+                            target.attr,
+                            sub.lineno,
+                            sub.col_offset,
+                        )
+            elif isinstance(sub, ast.Call):
+                named = _setattr_string_target(sub)
+                if named is not None:
+                    attr, line, col = named, sub.lineno, sub.col_offset
+            if attr is not None and attr not in slots:
+                findings.append(
+                    _RawFinding(
+                        line,
+                        col,
+                        f"attribute {attr!r} stored outside __slots__ of "
+                        f"{node.name!r}; slotted element classes must not "
+                        f"grow __dict__ entries",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP105 — no bare print in library code
+# ---------------------------------------------------------------------------
+
+
+def _print_applies(path: Path) -> bool:
+    return _in_src(path) and path.name not in PRINT_EXEMPT_FILES
+
+
+def _check_print(tree: ast.Module, _source: str) -> List[_RawFinding]:
+    findings: List[_RawFinding] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            findings.append(
+                _RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    "bare print() in library code; route output through "
+                    "the CLI layer or repro.obs",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP106 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _check_mutable_default(
+    tree: ast.Module, _source: str
+) -> List[_RawFinding]:
+    findings: List[_RawFinding] = []
+    for function in ast.walk(tree):
+        if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(function.args.defaults) + [
+            d for d in function.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                findings.append(
+                    _RawFinding(
+                        default.lineno,
+                        default.col_offset,
+                        f"mutable default argument in {function.name}(); "
+                        f"shared across calls — default to None and build "
+                        f"inside",
+                    )
+                )
+    return findings
+
+
+RULES: Dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        Rule(
+            id="REP101",
+            severity=SEVERITY_ERROR,
+            summary="no wall-clock reads in engine/operators/lmerge",
+            applies=_in_hot_path,
+            check=_check_wall_clock,
+        ),
+        Rule(
+            id="REP102",
+            severity=SEVERITY_ERROR,
+            summary="data-handling Operator subclasses must define "
+            "on_stable or receive",
+            applies=_always,
+            check=_check_on_stable,
+        ),
+        Rule(
+            id="REP103",
+            severity=SEVERITY_ERROR,
+            summary="no mutation of received Insert/Adjust/Element params",
+            applies=_always,
+            check=_check_element_mutation,
+        ),
+        Rule(
+            id="REP104",
+            severity=SEVERITY_ERROR,
+            summary="slotted classes must not grow attributes",
+            applies=_always,
+            check=_check_slot_growth,
+        ),
+        Rule(
+            id="REP105",
+            severity=SEVERITY_ERROR,
+            summary="no bare print() in src/ library code",
+            applies=_print_applies,
+            check=_check_print,
+        ),
+        Rule(
+            id="REP106",
+            severity=SEVERITY_WARNING,
+            summary="no mutable default arguments",
+            applies=_always,
+            check=_check_mutable_default,
+        ),
+    )
+}
+
+
+def _suppressed(source_line: str, rule_id: str) -> bool:
+    match = _NOQA_RE.search(source_line)
+    if not match:
+        return False
+    codes = match.group("codes")
+    if not codes:
+        return True  # bare `# noqa` silences everything on the line
+    return rule_id.upper() in {
+        code.strip().upper() for code in codes.split(",")
+    }
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one module's source; *path* scopes path-dependent rules."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule="REP100",
+                severity=SEVERITY_ERROR,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    selected = (
+        [RULES[rule_id] for rule_id in rules]
+        if rules is not None
+        else list(RULES.values())
+    )
+    location = Path(path)
+    findings: List[Finding] = []
+    for rule in selected:
+        if not rule.applies(location):
+            continue
+        for raw in rule.check(tree, source):
+            source_line = (
+                lines[raw.line - 1] if 0 < raw.line <= len(lines) else ""
+            )
+            if _suppressed(source_line, rule.id):
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=raw.line,
+                    col=raw.col,
+                    rule=rule.id,
+                    severity=rule.severity,
+                    message=raw.message,
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: "Path | str", rules: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    location = Path(path)
+    return lint_source(
+        location.read_text(encoding="utf-8"),
+        path=location.as_posix(),
+        rules=rules,
+    )
+
+
+def iter_python_files(paths: Sequence["Path | str"]) -> List[Path]:
+    files: List[Path] = []
+    for entry in paths:
+        location = Path(entry)
+        if location.is_dir():
+            files.extend(sorted(location.rglob("*.py")))
+        elif location.suffix == ".py":
+            files.append(location)
+    return files
+
+
+def lint_paths(
+    paths: Sequence["Path | str"], rules: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under *paths* (files or directories)."""
+    findings: List[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_file(file, rules=rules))
+    return findings

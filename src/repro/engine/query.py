@@ -77,6 +77,13 @@ class Query:
         """The LMerge restriction class the output satisfies."""
         return classify(self.properties())
 
+    def property_map(self) -> "dict":
+        """Per-operator inferred properties over the whole reachable graph
+        (fixpoint dataflow; see :mod:`repro.analysis.propflow`)."""
+        from repro.analysis.propflow import analyze_graph
+
+        return analyze_graph(self.tail).properties
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -134,6 +141,7 @@ class Query:
         replicas: Sequence["Query"],
         policy=None,
         feedback: bool = False,
+        force: Optional[Restriction] = None,
         **lmerge_kwargs,
     ) -> LMergeBase:
         """Create the cheapest LMerge valid for all *replicas* (attached
@@ -143,9 +151,19 @@ class Query:
         (Section V-D) from the merge back into each replica plan: lagging
         replicas then *skip* work the output no longer needs.  Leave it
         off to reproduce plain LMerge behaviour.
+
+        ``force=Restriction.Rn`` overrides selection with an explicit
+        variant.  Nothing validates the override here — that is the
+        analyzer's job (``repro.analysis.propflow.check_plan`` errors when
+        a forced variant is unsound for the inferred input properties).
         """
-        properties = [query.properties() for query in replicas]
-        lmerge = create_lmerge(properties, policy=policy, **lmerge_kwargs)
+        if force is not None:
+            lmerge = create_lmerge(
+                Restriction(force), policy=policy, **lmerge_kwargs
+            )
+        else:
+            properties = [query.properties() for query in replicas]
+            lmerge = create_lmerge(properties, policy=policy, **lmerge_kwargs)
         for stream_id, query in enumerate(replicas):
             lmerge.attach(stream_id)
             query.tail.subscribe(_LMergeAdapter(lmerge, stream_id, feedback))
@@ -172,6 +190,9 @@ class _LMergeAdapter(Operator):
         super().__init__(f"lmerge-in[{stream_id}]")
         self.lmerge = lmerge
         self.stream_id = stream_id
+        adapters = getattr(lmerge, "input_adapters", None)
+        if adapters is not None:
+            adapters.append(self)
         if feedback:
             # Feedback raised by the merge flows back through this
             # adapter's upstreams via propagate_feedback.

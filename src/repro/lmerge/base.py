@@ -28,6 +28,7 @@ from typing import (
 )
 
 from repro.obs.trace import NULL_TRACER
+from repro.streams.properties import Restriction
 from repro.streams.stream import PhysicalStream
 from repro.temporal.elements import Adjust, Element, Insert, Stable
 from repro.temporal.event import Payload
@@ -141,6 +142,9 @@ class LMergeBase:
 
     #: Human-readable algorithm name (set by subclasses, e.g. "LMR3+").
     algorithm = "LM?"
+    #: The input restriction (``Restriction.R0`` … ``R4``) this algorithm
+    #: assumes, set by subclasses.  ``None`` on the abstract base.
+    restriction: "Optional[Restriction]" = None
     #: Whether the algorithm accepts adjust() elements.
     supports_adjust = True
     #: Observability tracer (class default: the shared no-op).  Hot paths
@@ -157,6 +161,10 @@ class LMergeBase:
         self._sink = sink
         self._inputs: Dict[StreamId, _InputState] = {}
         self._feedback_listeners: List[FeedbackListener] = []
+        #: Operator-graph bridges feeding this merge (adapters register
+        #: themselves here so the static analyzer can traverse *through*
+        #: the merge and see every replica of a plan from any root).
+        self.input_adapters: List[object] = []
         #: Largest stable() emitted on the output.
         self.max_stable: Timestamp = MINUS_INFINITY
         # Incrementally maintained leading-stream cache (Section V-A).

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.lmerge.base import LMergeBase, StreamId, _InputState
+from repro.streams.properties import Restriction
 from repro.temporal.elements import Adjust, Insert
 from repro.temporal.time import MINUS_INFINITY, Timestamp
 
@@ -20,6 +21,7 @@ class LMergeR0(LMergeBase):
     """Constant-state merge for strictly increasing insert-only inputs."""
 
     algorithm = "LMR0"
+    restriction = Restriction.R0
     supports_adjust = False
 
     def __init__(self, **kwargs):

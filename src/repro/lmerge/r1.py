@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.lmerge.base import LMergeBase, StreamId, _InputState
+from repro.streams.properties import Restriction
 from repro.structures.sizing import HASH_ENTRY_OVERHEAD
 from repro.temporal.elements import Adjust, Insert
 from repro.temporal.time import MINUS_INFINITY, Timestamp
@@ -23,6 +24,7 @@ class LMergeR1(LMergeBase):
     """Counter-per-input merge for deterministic same-Vs order."""
 
     algorithm = "LMR1"
+    restriction = Restriction.R1
     supports_adjust = False
 
     def __init__(self, **kwargs):

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.lmerge.base import LMergeBase, StreamId, _InputState
+from repro.streams.properties import Restriction
 from repro.structures.sizing import HASH_ENTRY_OVERHEAD, payload_bytes
 from repro.temporal.elements import Adjust, Insert
 from repro.temporal.event import Payload
@@ -25,6 +26,7 @@ class LMergeR2(LMergeBase):
     """Current-Vs hash merge for nondeterministic same-Vs order."""
 
     algorithm = "LMR2"
+    restriction = Restriction.R2
     supports_adjust = False
 
     def __init__(self, **kwargs):

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.lmerge.base import LMergeBase, StreamId, _InputState
+from repro.streams.properties import Restriction
 from repro.lmerge.policies import (
     DEFAULT_POLICY,
     AdjustPropagation,
@@ -37,6 +38,7 @@ class LMergeR3(LMergeBase):
     """General merge over the shared two-tier index (LMR3+)."""
 
     algorithm = "LMR3+"
+    restriction = Restriction.R3
     supports_adjust = True
 
     def __init__(self, policy: OutputPolicy = DEFAULT_POLICY, **kwargs):

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.lmerge.base import LMergeBase, StreamId, _InputState
+from repro.streams.properties import Restriction
 from repro.structures.in2t import OUTPUT
 from repro.structures.in3t import In3T, In3TNode
 from repro.temporal.elements import Adjust, Insert
@@ -35,6 +36,7 @@ class LMergeR4(LMergeBase):
     """Fully general merge over the three-tier index (LMR4)."""
 
     algorithm = "LMR4"
+    restriction = Restriction.R4
     supports_adjust = True
 
     def __init__(self, **kwargs):

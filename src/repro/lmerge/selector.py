@@ -60,6 +60,20 @@ def algorithm_for(
     return _ALGORITHMS[classify(merged)]
 
 
+def restriction_of(merge: object) -> Restriction:
+    """The restriction a concrete merge (or merge class) runs under.
+
+    Works for :class:`LMergeBase` subclasses/instances and for
+    :class:`~repro.lmerge.shard.ShardedLMerge` wrappers, which carry their
+    inner algorithm's restriction.  Raises :class:`TypeError` for objects
+    that declare none — the static analyzer refuses to certify those.
+    """
+    restriction = getattr(merge, "restriction", None)
+    if restriction is None:
+        raise TypeError(f"{merge!r} declares no LMerge restriction")
+    return Restriction(restriction)
+
+
 def create_lmerge(
     spec: Union[Restriction, StreamProperties, Iterable[StreamProperties]],
     policy: Optional[OutputPolicy] = None,

@@ -70,6 +70,8 @@ class ShardedLMerge:
             raise ValueError("need at least one shard")
         self.merge_cls = merge_cls
         self.algorithm = f"{merge_cls.algorithm}x{num_shards}[{backend}]"
+        self.restriction = merge_cls.restriction
+        self.input_adapters: List[object] = []
         self.num_shards = num_shards
         self.backend = backend
         self.key_fn: KeyFunction = key_fn or identity_key

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Iterable, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.temporal.elements import Adjust, Element, Insert, Stable
-from repro.temporal.time import MINUS_INFINITY
+from repro.temporal.event import Payload
+from repro.temporal.time import MINUS_INFINITY, Timestamp
 
 
 class Restriction(enum.IntEnum):
@@ -134,43 +135,198 @@ def classify(properties: StreamProperties) -> Restriction:
     return Restriction.R4
 
 
+#: Minimal property sets per restriction: the guarantees a stream must
+#: provide before the matching LMerge algorithm is sound on it.  These are
+#: exactly the clause conditions of :func:`classify`, so
+#: ``classify(required_properties(r)) is r`` for every restriction.
+_REQUIRED: Dict[Restriction, StreamProperties] = {
+    Restriction.R0: StreamProperties(
+        strictly_increasing=True, insert_only=True
+    ),
+    Restriction.R1: StreamProperties(
+        ordered=True, insert_only=True, deterministic_same_vs_order=True
+    ),
+    Restriction.R2: StreamProperties(
+        ordered=True, insert_only=True, key_vs_payload=True
+    ),
+    Restriction.R3: StreamProperties(key_vs_payload=True),
+    Restriction.R4: StreamProperties(),
+}
+
+
+def required_properties(restriction: Restriction) -> StreamProperties:
+    """The weakest guarantees that justify *restriction*.
+
+    Running algorithm R\\ *n* is sound on a stream iff the stream provides
+    (at least) ``required_properties(Rn)`` — this is the contract the
+    runtime :class:`repro.analysis.checked.PropertyChecker` enforces when a
+    variant is forced.
+    """
+    return _REQUIRED[restriction]
+
+
+class PropertyTracker:
+    """Incrementally measure which guarantees hold on a concrete stream.
+
+    Feed elements through :meth:`observe`; :meth:`current` reports the
+    guarantees the prefix seen so far still upholds.  Guarantees only ever
+    *break* (the observation lattice is monotone downward), so
+    :meth:`observe` returns the names of the flags the element just broke —
+    the hook :class:`repro.analysis.checked.PropertyChecker` uses to raise
+    on the first element that contradicts a declared property.
+
+    Pinned edge-case semantics (shared with :func:`measure_properties`,
+    which delegates here):
+
+    * an **empty** prefix upholds every guarantee
+      (``StreamProperties.strongest()``);
+    * a **single element** of any kind leaves order guarantees intact —
+      one ``adjust()`` breaks exactly ``insert_only`` (and nothing else);
+    * ``deterministic_same_vs_order`` cannot be established from a single
+      stream, so it is True exactly while no Vs is duplicated (making
+      same-Vs order vacuous) — see :func:`measure_joint_properties` for
+      the cross-replica measurement;
+    * ``key_vs_payload`` tracks the *prefix-TDB* key property: an insert
+      breaks it only while another event with the same ``(Vs, payload)``
+      is live, so cancel-then-reinsert sequences (speculative aggregates)
+      keep the key — adjusts alone never break it.
+    """
+
+    _FLAGS = (
+        "ordered",
+        "strictly_increasing",
+        "insert_only",
+        "deterministic_same_vs_order",
+        "key_vs_payload",
+    )
+
+    def __init__(self) -> None:
+        self._ordered = True
+        self._strictly = True
+        self._insert_only = True
+        self._key = True
+        self._vs_duplicated = False
+        self._last_vs: Timestamp = MINUS_INFINITY
+        self._live_keys: Set[Tuple[Timestamp, Payload]] = set()
+        self.elements_observed = 0
+
+    def current(self) -> StreamProperties:
+        """The guarantees the observed prefix still upholds."""
+        return StreamProperties(
+            ordered=self._ordered,
+            strictly_increasing=self._strictly and self._ordered,
+            insert_only=self._insert_only,
+            deterministic_same_vs_order=not self._vs_duplicated,
+            key_vs_payload=self._key,
+        )
+
+    def observe(self, element: Element) -> Tuple[str, ...]:
+        """Account one element; return the flags it newly broke."""
+        before = self.current()
+        self.elements_observed += 1
+        cls = element.__class__
+        if cls is Insert:
+            vs = element.vs
+            if vs < self._last_vs:
+                self._ordered = False
+                self._strictly = False
+            elif vs == self._last_vs:
+                self._strictly = False
+                self._vs_duplicated = True
+            else:
+                self._last_vs = vs
+            key = element.key
+            if key in self._live_keys:
+                self._key = False
+            else:
+                self._live_keys.add(key)
+        elif cls is Adjust:
+            self._insert_only = False
+            if element.is_cancel:
+                self._live_keys.discard(element.key)
+        elif cls is not Stable:
+            raise TypeError(f"not a stream element: {element!r}")
+        after = self.current()
+        return tuple(
+            flag
+            for flag in self._FLAGS
+            if getattr(before, flag) and not getattr(after, flag)
+        )
+
+    def observe_all(self, elements: Iterable[Element]) -> "PropertyTracker":
+        """Account a whole sequence (chainable)."""
+        for element in elements:
+            self.observe(element)
+        return self
+
+
 def measure_properties(elements: Iterable[Element]) -> StreamProperties:
     """Measure which guarantees actually hold on a concrete stream.
 
     Used by tests (generated workloads must exhibit the properties their
-    configuration promises) and available for runtime diagnostics.  The
-    ``deterministic_same_vs_order`` flag cannot be established from a single
-    stream, so it is reported as True exactly when no Vs is duplicated
-    (making same-Vs order vacuous).
+    configuration promises), by ``repro merge`` algorithm selection, and
+    for runtime diagnostics.  Delegates to :class:`PropertyTracker`, so the
+    offline measurement and the incremental checker agree element for
+    element — including on empty and single-element streams.
     """
-    ordered = True
-    strictly = True
-    insert_only = True
-    key = True
-    last_vs = MINUS_INFINITY
-    vs_duplicated = False
-    seen_keys: Set[Tuple] = set()
-    for element in elements:
-        if isinstance(element, Stable):
-            continue
-        if isinstance(element, Adjust):
-            insert_only = False
-            continue
-        assert isinstance(element, Insert)
-        if element.vs < last_vs:
-            ordered = False
-            strictly = False
-        elif element.vs == last_vs:
-            strictly = False
-            vs_duplicated = True
-        last_vs = max(last_vs, element.vs)
-        if element.key in seen_keys:
-            key = False
-        seen_keys.add(element.key)
-    return StreamProperties(
-        ordered=ordered,
-        strictly_increasing=strictly and ordered,
-        insert_only=insert_only,
-        deterministic_same_vs_order=not vs_duplicated,
-        key_vs_payload=key and insert_only,
+    return PropertyTracker().observe_all(elements).current()
+
+
+def measure_joint_properties(
+    streams: Sequence[Iterable[Element]],
+) -> StreamProperties:
+    """Measure the guarantees a *set* of replica streams jointly upholds.
+
+    Per-stream flags are measured with :class:`PropertyTracker` and met
+    (every input must satisfy the restriction LMerge runs under).  The one
+    flag a single stream cannot witness — ``deterministic_same_vs_order``
+    — is established *across* replicas: it holds when every stream
+    presents the inserts of each duplicated Vs in the same payload order.
+    This is the dynamic counterpart of the compile-time inference, used to
+    confirm static verdicts on live data.
+    """
+    materialized: List[List[Element]] = [list(stream) for stream in streams]
+    if not materialized:
+        return StreamProperties.strongest()
+    trackers = [
+        PropertyTracker().observe_all(elements) for elements in materialized
+    ]
+    merged = trackers[0].current()
+    for tracker in trackers[1:]:
+        merged = merged.meet(tracker.current())
+    return merged.weaken(
+        deterministic_same_vs_order=_same_vs_orders_agree(materialized)
     )
+
+
+def _same_vs_orders_agree(streams: Sequence[Sequence[Element]]) -> bool:
+    """True when all streams order same-Vs inserts identically.
+
+    Vacuously true when no Vs is duplicated anywhere.  Only Vs values with
+    several inserts matter, and only streams containing that Vs take part
+    in the comparison.
+    """
+    per_stream: List[Dict[Timestamp, List[Payload]]] = []
+    for elements in streams:
+        groups: Dict[Timestamp, List[Payload]] = {}
+        for element in elements:
+            if element.__class__ is Insert:
+                groups.setdefault(element.vs, []).append(element.payload)
+        per_stream.append(groups)
+    duplicated = {
+        vs
+        for groups in per_stream
+        for vs, payloads in groups.items()
+        if len(payloads) > 1
+    }
+    for vs in duplicated:
+        reference: List[Payload] = []
+        for groups in per_stream:
+            payloads = groups.get(vs)
+            if payloads is None:
+                continue
+            if not reference:
+                reference = payloads
+            elif payloads != reference:
+                return False
+    return True

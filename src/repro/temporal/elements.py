@@ -289,8 +289,8 @@ def _frozen_delattr(self, name):
 
 
 for _cls in (Insert, Adjust, Stable, Open, Close):
-    _cls.__setattr__ = _frozen_setattr
-    _cls.__delattr__ = _frozen_delattr
+    _cls.__setattr__ = _frozen_setattr  # type: ignore
+    _cls.__delattr__ = _frozen_delattr  # type: ignore
 del _cls
 
 
@@ -303,10 +303,8 @@ def element_sort_key(element: Element) -> Tuple[Timestamp, int]:
     that canonicalize streams.
     """
     cls = element.__class__
-    if cls is Insert:
-        return (element.vs, 0)
-    if cls is Adjust:
-        return (element.vs, 1)
+    if cls is Insert or cls is Adjust:
+        return (element.vs, 0 if cls is Insert else 1)  # type: ignore[union-attr]
     if cls is Stable:
-        return (element.vc, 2)
+        return (element.vc, 2)  # type: ignore[union-attr]
     raise TypeError(f"not a stream element: {element!r}")

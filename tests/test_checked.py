@@ -1,0 +1,191 @@
+"""Runtime property sanitization (PropertyChecker / MergeCheck)."""
+
+import pytest
+
+from repro.analysis.checked import (
+    JointOrderTracker,
+    MergeCheck,
+    PropertyChecker,
+    PropertyViolationError,
+)
+from repro.engine.operator import CollectorSink
+from repro.streams.properties import (
+    PropertyTracker,
+    Restriction,
+    StreamProperties,
+    classify,
+    measure_properties,
+    required_properties,
+)
+from repro.temporal.elements import Adjust, Insert, Stable
+from tests.conftest import small_stream
+
+
+def _checked(declared, elements):
+    checker = PropertyChecker(declared, name="t")
+    sink = CollectorSink()
+    checker.subscribe(sink)
+    for element in elements:
+        checker.receive(element)
+    return checker, sink
+
+
+class TestPropertyChecker:
+    def test_clean_stream_passes_through(self):
+        stream = small_stream(count=100, seed=1, disorder=0.0, min_gap=1)
+        checker, sink = _checked(
+            required_properties(Restriction.R0), stream
+        )
+        assert list(sink.stream) == list(stream)
+        assert checker.observed().strictly_increasing
+
+    def test_disorder_violates_ordered(self):
+        elements = [Insert("a", 5, 10), Insert("b", 3, 10)]
+        with pytest.raises(PropertyViolationError) as exc:
+            _checked(StreamProperties(ordered=True), elements)
+        assert "ordered" in str(exc.value)
+        assert exc.value.index == 1
+
+    def test_adjust_violates_insert_only(self):
+        elements = [Insert("a", 5, 10), Adjust("a", 5, 10, 5)]
+        with pytest.raises(PropertyViolationError, match="insert_only"):
+            _checked(StreamProperties(insert_only=True), elements)
+
+    def test_duplicate_key_violates_key_property(self):
+        elements = [Insert("a", 5, 10), Insert("a", 5, 10)]
+        with pytest.raises(PropertyViolationError, match="key_vs_payload"):
+            _checked(StreamProperties(key_vs_payload=True), elements)
+
+    def test_cancel_then_reinsert_keeps_key(self):
+        elements = [
+            Insert("a", 5, 10),
+            Adjust("a", 5, 10, 5),  # cancel
+            Insert("a", 5, 10),  # legal re-insert
+        ]
+        checker, _ = _checked(StreamProperties(key_vs_payload=True), elements)
+        assert checker.observed().key_vs_payload
+
+    def test_undeclared_flags_never_raise(self):
+        elements = [
+            Insert("a", 5, 10),
+            Insert("b", 3, 10),
+            Adjust("a", 5, 10, 5),
+        ]
+        checker, _ = _checked(StreamProperties.unknown(), elements)
+        assert not checker.observed().ordered
+
+    def test_batch_checks_before_emitting(self):
+        checker = PropertyChecker(StreamProperties(ordered=True))
+        sink = CollectorSink()
+        checker.subscribe(sink)
+        with pytest.raises(PropertyViolationError):
+            checker.receive_batch([Insert("a", 5, 9), Insert("b", 1, 9)])
+        assert len(sink.stream) == 0  # nothing emitted from a bad batch
+
+
+class TestCheckerMeasureAgreement:
+    """The incremental checker and measure_properties are one semantics.
+
+    Regression-pins the satellite fix: empty and single-element streams
+    must agree between the offline and incremental paths.
+    """
+
+    CASES = [
+        [],
+        [Insert("a", 1, 5)],
+        [Stable(3)],
+        [Adjust("a", 1, 5, 1)],
+        [Insert("a", 1, 5), Insert("b", 1, 6)],
+        [Insert("a", 5, 9), Insert("b", 3, 9)],
+        [Insert("a", 1, 5), Adjust("a", 1, 5, 1), Insert("a", 1, 5)],
+    ]
+
+    def test_agreement_on_edge_cases(self):
+        for elements in self.CASES:
+            offline = measure_properties(elements)
+            checker = PropertyChecker(StreamProperties.unknown())
+            for element in elements:
+                checker.receive(element)
+            assert checker.observed() == offline, elements
+
+    def test_empty_stream_upholds_everything(self):
+        assert measure_properties([]) == StreamProperties.strongest()
+        assert (
+            PropertyTracker().current() == StreamProperties.strongest()
+        )
+
+    def test_single_adjust_breaks_exactly_insert_only(self):
+        measured = measure_properties([Adjust("a", 1, 5, 1)])
+        assert measured == StreamProperties.strongest().weaken(
+            insert_only=False
+        )
+        broken = PropertyTracker().observe(Adjust("a", 1, 5, 1))
+        assert broken == ("insert_only",)
+
+    def test_agreement_on_generated_stream(self):
+        stream = small_stream(count=300, seed=9, disorder=0.25)
+        checker = PropertyChecker(StreamProperties.unknown())
+        for element in stream:
+            checker.receive(element)
+        assert checker.observed() == measure_properties(stream)
+
+
+class TestJointOrder:
+    def test_identical_orders_agree(self):
+        joint = JointOrderTracker()
+        for stream_index in (0, 1):
+            assert joint.observe_insert(stream_index, 5, "a")
+            assert joint.observe_insert(stream_index, 5, "b")
+        assert joint.agreed
+
+    def test_swapped_orders_disagree(self):
+        joint = JointOrderTracker()
+        joint.observe_insert(0, 5, "a")
+        joint.observe_insert(0, 5, "b")
+        assert not joint.observe_insert(1, 5, "b")
+        assert not joint.agreed
+
+    def test_distinct_vs_never_compared(self):
+        joint = JointOrderTracker()
+        joint.observe_insert(0, 5, "a")
+        assert joint.observe_insert(1, 6, "b")
+        assert joint.agreed
+
+
+class TestMergeCheck:
+    def test_rank_ordered_duplicates_check_clean_as_r1(self):
+        # Same same-Vs order on both replicas: R1's determinism holds
+        # even though a single stream would call the duplicate ambiguous.
+        streams = [
+            [Insert("gold", 10, 20), Insert("silver", 10, 20), Stable(30)]
+        ] * 2
+        check = MergeCheck.for_restriction(Restriction.R1, 2)
+        for index, stream in enumerate(streams):
+            check.wrap(index, stream)
+        assert check.observed_restriction() is Restriction.R1
+
+    def test_arrival_ordered_duplicates_fail_r1(self):
+        check = MergeCheck.for_restriction(Restriction.R1, 2)
+        check.wrap(0, [Insert("a", 10, 20), Insert("b", 10, 20)])
+        with pytest.raises(
+            PropertyViolationError, match="deterministic_same_vs_order"
+        ):
+            check.wrap(1, [Insert("b", 10, 20), Insert("a", 10, 20)])
+
+    def test_swapped_orders_pass_r2(self):
+        check = MergeCheck.for_restriction(Restriction.R2, 2)
+        check.wrap(0, [Insert("a", 10, 20), Insert("b", 10, 20)])
+        check.wrap(1, [Insert("b", 10, 20), Insert("a", 10, 20)])
+        assert check.observed_restriction() is Restriction.R2
+
+    def test_observed_restriction_is_meet_of_inputs(self):
+        check = MergeCheck(StreamProperties.unknown(), 2)
+        check.wrap(0, [Insert("a", 1, 5), Insert("b", 2, 5)])
+        check.wrap(1, [Insert("a", 1, 5), Adjust("a", 1, 5, 1)])
+        observed = check.observed_properties()
+        assert not observed.insert_only  # input 1's adjust dominates
+        assert observed.ordered
+
+    def test_required_properties_round_trip(self):
+        for restriction in Restriction:
+            assert classify(required_properties(restriction)) is restriction

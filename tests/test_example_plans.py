@@ -1,0 +1,54 @@
+"""Acceptance gate: static inference == dynamic observation per plan.
+
+For every plan in ``examples/plans.py`` the restriction the analyzer
+infers at each LMerge site must match what :class:`PropertyChecker`
+observes when the plan actually runs.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.cli import load_plan_catalog
+from repro.analysis.propflow import VERDICT_EXACT, check_plan
+
+PLANS_FILE = str(
+    pathlib.Path(__file__).resolve().parent.parent / "examples" / "plans.py"
+)
+
+_CATALOG = load_plan_catalog(PLANS_FILE)
+
+EXPECTED = {
+    "ordered_sources_r0": "R0",
+    "topk_r1": "R1",
+    "grouped_r2": "R2",
+    "speculative_r3": "R3",
+    "noninjective_r4": "R4",
+    "partitioned_r3": "R3",
+}
+
+
+def test_catalog_covers_every_restriction():
+    assert set(_CATALOG) == set(EXPECTED)
+
+
+@pytest.mark.parametrize("name", sorted(_CATALOG))
+def test_static_inference_matches_dynamic_observation(name):
+    plan = _CATALOG[name]()
+    try:
+        # Static: the selector's choice is exactly what propflow infers.
+        report = check_plan(*plan.replicas, plan=name)
+        assert report.sites, f"{name}: no merge sites discovered"
+        for site in report.sites:
+            assert site.verdict == VERDICT_EXACT, site.message
+            assert site.inferred.name == EXPECTED[name]
+        assert report.ok
+
+        # Dynamic: run through PropertyChecker wrappers; the live streams
+        # must exhibit the inferred restriction (checkers raise on any
+        # declared-property violation along the way).
+        observed = plan.run_checked()
+        assert observed is plan.inferred
+        assert observed.name == EXPECTED[name]
+    finally:
+        plan.close()

@@ -1,0 +1,336 @@
+"""Positive and negative fixtures for every repo lint rule."""
+
+import textwrap
+
+from repro.analysis.lint import (
+    RULES,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    lint_paths,
+    lint_source,
+)
+
+HOT = "src/repro/operators/example.py"
+COLD = "benchmarks/example.py"
+
+
+def _lint(source, path=HOT, rules=None):
+    return lint_source(textwrap.dedent(source), path=path, rules=rules)
+
+
+def _rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestWallClock:
+    def test_positive_time_time(self):
+        findings = _lint(
+            """
+            import time
+
+            def on_insert(self, element, port):
+                stamp = time.time()
+            """
+        )
+        assert _rule_ids(findings) == ["REP101"]
+        assert findings[0].severity == SEVERITY_ERROR
+
+    def test_positive_datetime_now_and_from_import(self):
+        findings = _lint(
+            """
+            import datetime
+            from time import time
+
+            def a():
+                return datetime.datetime.now()
+
+            def b():
+                return time()
+            """
+        )
+        assert _rule_ids(findings) == ["REP101", "REP101"]
+
+    def test_negative_perf_counter_allowed(self):
+        assert not _lint(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """
+        )
+
+    def test_negative_outside_hot_paths(self):
+        assert not _lint(
+            """
+            import time
+
+            def anywhere():
+                return time.time()
+            """,
+            path=COLD,
+        )
+
+
+class TestOnStable:
+    def test_positive_data_without_punctuation(self):
+        findings = _lint(
+            """
+            class Leaky(Operator):
+                def on_insert(self, element, port):
+                    self.emit(element)
+            """
+        )
+        assert _rule_ids(findings) == ["REP102"]
+
+    def test_negative_with_on_stable(self):
+        assert not _lint(
+            """
+            class Fine(Operator):
+                def on_insert(self, element, port):
+                    self.emit(element)
+
+                def on_stable(self, vc, port):
+                    self.emit_stable(vc)
+            """
+        )
+
+    def test_negative_receive_override(self):
+        assert not _lint(
+            """
+            class Bridge(Operator):
+                def receive(self, element, port=0):
+                    self.forward(element)
+            """
+        )
+
+    def test_negative_output_only_operator(self):
+        # Sources and output bridges never receive input: exempt.
+        assert not _lint(
+            """
+            class Source(Operator):
+                def play(self):
+                    pass
+            """
+        )
+
+
+class TestElementMutation:
+    def test_positive_annotated_param(self):
+        findings = _lint(
+            """
+            def on_insert(self, element: Insert, port: int) -> None:
+                element.vs = 0
+            """
+        )
+        assert _rule_ids(findings) == ["REP103"]
+
+    def test_positive_bare_element_param(self):
+        findings = _lint(
+            """
+            def receive(self, element, port=0):
+                element.payload = None
+            """
+        )
+        assert _rule_ids(findings) == ["REP103"]
+
+    def test_positive_augassign(self):
+        findings = _lint(
+            """
+            def on_adjust(self, element: Adjust, port: int) -> None:
+                element.ve += 1
+            """
+        )
+        assert _rule_ids(findings) == ["REP103"]
+
+    def test_negative_read_and_rebuild(self):
+        assert not _lint(
+            """
+            def on_insert(self, element: Insert, port: int) -> None:
+                fresh = Insert(element.payload, element.vs, element.ve)
+                self.emit(fresh)
+            """
+        )
+
+    def test_negative_other_attribute_targets(self):
+        assert not _lint(
+            """
+            def on_insert(self, element: Insert, port: int) -> None:
+                self.count = self.count + 1
+            """
+        )
+
+
+class TestSlotGrowth:
+    def test_positive_plain_store(self):
+        findings = _lint(
+            """
+            class Packed:
+                __slots__ = ("a", "b")
+
+                def __init__(self):
+                    self.a = 1
+                    self.c = 2
+            """
+        )
+        assert _rule_ids(findings) == ["REP104"]
+        assert "'c'" in findings[0].message
+
+    def test_positive_object_setattr(self):
+        findings = _lint(
+            """
+            class Frozen:
+                __slots__ = ("vs",)
+
+                def __init__(self):
+                    object.__setattr__(self, "vs", 0)
+                    object.__setattr__(self, "extra", 1)
+            """
+        )
+        assert _rule_ids(findings) == ["REP104"]
+
+    def test_positive_set_alias(self):
+        findings = _lint(
+            """
+            class Frozen:
+                __slots__ = ("vs",)
+
+                def __init__(self):
+                    _set(self, "sneaky", 1)
+            """
+        )
+        assert _rule_ids(findings) == ["REP104"]
+
+    def test_negative_inherited_slots_in_module(self):
+        assert not _lint(
+            """
+            class Base:
+                __slots__ = ("a",)
+
+            class Child(Base):
+                __slots__ = ("b",)
+
+                def __init__(self):
+                    self.a = 1
+                    self.b = 2
+            """
+        )
+
+    def test_negative_unslotted_class(self):
+        assert not _lint(
+            """
+            class Open:
+                def __init__(self):
+                    self.anything = 1
+            """
+        )
+
+    def test_negative_unknown_base_skipped(self):
+        # Base class from another module: layout unknown, no verdict.
+        assert not _lint(
+            """
+            class Child(External):
+                __slots__ = ("b",)
+
+                def __init__(self):
+                    self.mystery = 1
+            """
+        )
+
+
+class TestPrint:
+    def test_positive_in_src(self):
+        findings = _lint(
+            """
+            def debug(x):
+                print(x)
+            """,
+            path="src/repro/streams/thing.py",
+        )
+        assert _rule_ids(findings) == ["REP105"]
+
+    def test_negative_cli_modules_exempt(self):
+        for path in ("src/repro/__main__.py", "src/repro/analysis/cli.py"):
+            assert not _lint("print('status')\n", path=path)
+
+    def test_negative_outside_src(self):
+        assert not _lint("print('hi')\n", path="tests/helper.py")
+
+
+class TestMutableDefault:
+    def test_positive_literal_and_call(self):
+        findings = _lint(
+            """
+            def f(a=[], b=dict()):
+                return a, b
+            """
+        )
+        assert _rule_ids(findings) == ["REP106", "REP106"]
+        assert all(f.severity == SEVERITY_WARNING for f in findings)
+
+    def test_negative_none_default(self):
+        assert not _lint(
+            """
+            def f(a=None, b=()):
+                return a, b
+            """
+        )
+
+
+class TestSuppression:
+    def test_bare_noqa(self):
+        assert not _lint(
+            """
+            def f(a=[]):  # noqa
+                return a
+            """
+        )
+
+    def test_targeted_noqa(self):
+        assert not _lint(
+            """
+            def f(a=[]):  # noqa: REP106
+                return a
+            """
+        )
+
+    def test_wrong_code_does_not_suppress(self):
+        findings = _lint(
+            """
+            def f(a=[]):  # noqa: REP101
+                return a
+            """
+        )
+        assert _rule_ids(findings) == ["REP106"]
+
+
+class TestHarness:
+    def test_syntax_error_reported_not_raised(self):
+        findings = _lint("def broken(:\n", path=HOT)
+        assert _rule_ids(findings) == ["REP100"]
+
+    def test_rule_filter(self):
+        source = """
+        import time
+
+        def f(a=[]):
+            return time.time()
+        """
+        assert _rule_ids(_lint(source, rules=["REP106"])) == ["REP106"]
+
+    def test_rule_catalog_complete(self):
+        assert set(RULES) == {
+            "REP101",
+            "REP102",
+            "REP103",
+            "REP104",
+            "REP105",
+            "REP106",
+        }
+
+    def test_repo_is_clean(self):
+        findings = lint_paths(["src", "tests", "benchmarks", "examples"])
+        errors = [
+            f for f in findings if f.severity == SEVERITY_ERROR
+        ]
+        assert errors == [], "\n".join(f.render() for f in errors)

@@ -145,7 +145,7 @@ class TestLMergeObserver:
     def test_count_feedback_honored(self):
         registry = MetricRegistry()
 
-        class Upstream(Operator):
+        class Upstream(Operator):  # noqa: REP102 — feedback-only stub
             def on_insert(self, element, port):
                 self.emit(element)
 

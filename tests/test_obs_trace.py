@@ -128,7 +128,7 @@ class TestOperatorTracing:
     def test_receive_batch_records_summary(self):
         tracer = RingTracer(capacity=64)
 
-        class Probe(Operator):
+        class Probe(Operator):  # noqa: REP102 — trace-capture stub
             def on_insert(self, element, port):
                 self.emit(element)
 

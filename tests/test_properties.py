@@ -1,11 +1,14 @@
 """Tests for the stream-property lattice and R0-R4 classification."""
 
+import dataclasses
 
 from repro.streams.properties import (
     Restriction,
     StreamProperties,
     classify,
+    measure_joint_properties,
     measure_properties,
+    required_properties,
 )
 from repro.temporal.elements import Adjust, Insert, Stable
 
@@ -120,3 +123,162 @@ class TestMeasure:
     def test_empty_stream_measures_strong(self):
         properties = measure_properties([])
         assert properties.ordered and properties.insert_only
+
+
+class TestWeakenRoundTrips:
+    def test_weaken_nothing_is_identity(self):
+        for restriction in Restriction:
+            properties = required_properties(restriction)
+            assert properties.weaken() == properties
+
+    def test_weaken_then_restore_round_trips(self):
+        strong = StreamProperties.strongest()
+        for flag in (
+            "insert_only",
+            "deterministic_same_vs_order",
+            "key_vs_payload",
+        ):
+            weakened = strong.weaken(**{flag: False})
+            assert not getattr(weakened, flag)
+            restored = weakened.weaken(**{flag: True})
+            assert restored == strong
+
+    def test_weaken_ordered_requires_dropping_strictness(self):
+        strong = StreamProperties.strongest()
+        # strictly_increasing normalizes ordered back on: dropping ordered
+        # alone is a no-op from the strongest point.
+        assert strong.weaken(ordered=False).ordered
+        weakened = strong.weaken(ordered=False, strictly_increasing=False)
+        assert not weakened.ordered
+        restored = weakened.weaken(ordered=True, strictly_increasing=True)
+        assert restored == strong
+
+    def test_weaken_strictly_increasing_keeps_ordered(self):
+        weakened = StreamProperties.strongest().weaken(
+            strictly_increasing=False
+        )
+        assert weakened.ordered and not weakened.strictly_increasing
+        # Restoring the flag re-normalizes back to strongest.
+        assert (
+            weakened.weaken(strictly_increasing=True)
+            == StreamProperties.strongest()
+        )
+
+    def test_weaken_never_mutates(self):
+        original = required_properties(Restriction.R1)
+        original.weaken(ordered=False)
+        assert original == required_properties(Restriction.R1)
+
+
+class TestBoundaryFlips:
+    """Single flag flips that move a stream between adjacent variants."""
+
+    def test_r0_to_r1_on_strictness(self):
+        r0 = required_properties(Restriction.R0)
+        assert classify(r0) is Restriction.R0
+        relaxed = r0.weaken(
+            strictly_increasing=False, deterministic_same_vs_order=True
+        )
+        assert classify(relaxed) is Restriction.R1
+
+    def test_r1_to_r2_on_determinism_vs_key(self):
+        r1 = required_properties(Restriction.R1)
+        flipped = r1.weaken(
+            deterministic_same_vs_order=False, key_vs_payload=True
+        )
+        assert classify(flipped) is Restriction.R2
+        # And back: restoring determinism (key may stay) returns to R1.
+        assert classify(flipped.weaken(deterministic_same_vs_order=True)) is (
+            Restriction.R1
+        )
+
+    def test_r2_to_r3_on_order(self):
+        r2 = required_properties(Restriction.R2)
+        assert classify(r2.weaken(ordered=False)) is Restriction.R3
+        assert classify(r2) is Restriction.R2
+
+    def test_r2_to_r3_on_insert_only(self):
+        r2 = required_properties(Restriction.R2)
+        assert classify(r2.weaken(insert_only=False)) is Restriction.R3
+
+    def test_r3_to_r4_on_key(self):
+        r3 = required_properties(Restriction.R3)
+        assert classify(r3.weaken(key_vs_payload=False)) is Restriction.R4
+
+    def test_required_properties_classify_round_trip(self):
+        for restriction in Restriction:
+            assert classify(required_properties(restriction)) is restriction
+
+    def test_required_properties_are_minimal(self):
+        # Dropping any set flag must weaken the classification.
+        for restriction in Restriction:
+            properties = required_properties(restriction)
+            for field in dataclasses.fields(properties):
+                if not getattr(properties, field.name):
+                    continue
+                if (
+                    field.name == "ordered"
+                    and properties.strictly_increasing
+                ):
+                    # Normalization restores ordered: not independently
+                    # droppable while strictness holds.
+                    continue
+                weaker = properties.weaken(**{field.name: False})
+                assert classify(weaker) is not restriction, (
+                    restriction,
+                    field.name,
+                )
+
+
+class TestMeetEdgeCases:
+    def test_meet_unknown_is_absorbing(self):
+        unknown = StreamProperties.unknown()
+        for restriction in Restriction:
+            assert required_properties(restriction).meet(unknown) == unknown
+
+    def test_meet_strongest_is_identity(self):
+        strongest = StreamProperties.strongest()
+        for restriction in Restriction:
+            properties = required_properties(restriction)
+            assert properties.meet(strongest) == properties
+
+    def test_meet_classification_never_strengthens(self):
+        for left in Restriction:
+            for right in Restriction:
+                met = required_properties(left).meet(
+                    required_properties(right)
+                )
+                assert classify(met) >= max(left, right)
+
+    def test_meet_associative(self):
+        a = required_properties(Restriction.R0)
+        b = required_properties(Restriction.R2)
+        c = StreamProperties(key_vs_payload=True, ordered=True)
+        assert a.meet(b).meet(c) == a.meet(b.meet(c))
+
+
+class TestJointMeasure:
+    def test_no_duplicates_keeps_determinism_vacuously(self):
+        streams = [
+            [Insert("A", 1, 5), Insert("B", 2, 5)],
+            [Insert("A", 1, 5), Insert("B", 2, 5)],
+        ]
+        assert measure_joint_properties(streams).deterministic_same_vs_order
+
+    def test_agreeing_duplicate_orders_keep_determinism(self):
+        streams = [
+            [Insert("A", 1, 5), Insert("B", 1, 5)],
+            [Insert("A", 1, 5), Insert("B", 1, 5)],
+        ]
+        properties = measure_joint_properties(streams)
+        assert properties.deterministic_same_vs_order
+        assert classify(properties) is Restriction.R1
+
+    def test_disagreeing_duplicate_orders_break_determinism(self):
+        streams = [
+            [Insert("A", 1, 5), Insert("B", 1, 5)],
+            [Insert("B", 1, 5), Insert("A", 1, 5)],
+        ]
+        assert not measure_joint_properties(
+            streams
+        ).deterministic_same_vs_order
