@@ -8,11 +8,14 @@ reconcile consults per-input entries) and memory growing by one hash
 entry per node per input.
 """
 
+import json
 import os
+import platform
 import statistics
 
 import pytest
 
+from repro.lmerge.r1 import LMergeR1
 from repro.lmerge.r3 import LMergeR3
 from repro.lmerge.r4 import LMergeR4
 from repro.streams.divergence import diverge
@@ -20,8 +23,10 @@ from repro.streams.divergence import diverge
 from conftest import (
     disordered_workload,
     fmt_bytes,
+    ordered_workload,
     run_merge,
     run_merge_batched,
+    run_merge_columnar,
     run_merge_sharded,
     series_benchmark,
 )
@@ -29,6 +34,13 @@ from conftest import (
 INPUT_COUNTS = [2, 4, 8, 16, 32]
 SHARD_COUNTS = [1, 2, 4, 8]
 SHARD_BACKENDS = ["thread", "process"]
+#: Exchange envelope axis (the PR 6 ablation): ColumnBatch columns vs the
+#: PR 3 object-list micro-batches.
+SHARD_ENVELOPES = ["columnar", "object"]
+
+BENCH_PR6_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_PR6.json"
+)
 
 
 def available_cores() -> int:
@@ -134,5 +146,179 @@ def test_shard_sweep_benchmark(benchmark, backend):
         return run_merge_sharded(LMergeR3, inputs, 2, backend=backend)[
             "elements"
         ]
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# Envelope ablation (PR 6): columnar ColumnBatch exchange vs the PR 3
+# object-list envelopes that produced the parallel collapse.
+# ----------------------------------------------------------------------
+
+
+def _hotpath_entry(variant, inputs, reps=3):
+    """Best-of-*reps* elements/sec for the three ingestion modes."""
+    per_element = batched = columnar = 0.0
+    for _ in range(reps):
+        per_element = max(
+            per_element, run_merge(variant(), inputs)["throughput"]
+        )
+        batched = max(
+            batched, run_merge_batched(variant(), inputs)["throughput"]
+        )
+        columnar = max(
+            columnar, run_merge_columnar(variant(), inputs)["throughput"]
+        )
+    return {
+        "per_element_eps": round(per_element),
+        "batched_eps": round(batched),
+        "batched_speedup": round(batched / per_element, 2),
+        "columnar_eps": round(columnar),
+        "columnar_speedup": round(columnar / per_element, 2),
+    }
+
+
+@series_benchmark
+def test_columnar_envelope_series(report):
+    """Envelope ablation (the PR 6 tentpole figure): the shard sweep of
+    PR 3 rerun with the exchange currency as the axis — ColumnBatch
+    columns through shared-memory rings vs pickled object lists through
+    ``mp.Queue`` — plus the single-instance columnar hot path.  Writes
+    BENCH_PR6.json (same shape as BENCH_PR3.json with an ``envelope``
+    field per sweep config).
+
+    The process backend runs unguarded on purpose: a worker crash or a
+    ring deadlock must fail this bench, not skip it.
+    """
+    cores = available_cores()
+    count = 2500
+    inputs = build_inputs(4, count=count)
+    expected = sum(len(s) for s in inputs)
+    single_core_note = (
+        "single-core container: parallel backends cannot speed up "
+        "locally; the >=2x-at-4-shards acceptance bar arms only on "
+        ">=4-core hosts (see bench_ablation_scalability.py)"
+    )
+    multi_core_note = f"{cores}-core host: the 4-shard acceptance bar is armed"
+    results = {
+        "pr": 6,
+        "title": "Columnar batch exchange: envelope ablation",
+        "environment": {
+            "python": platform.python_version(),
+            "cores_visible": cores,
+            "note": single_core_note if cores < 4 else multi_core_note,
+        },
+        "workload": {
+            "elements_per_input": len(inputs[0]),
+            "inputs": len(inputs),
+            "disorder": 0.2,
+            "payload_blob_bytes": 200,
+            "batch_size": 64,
+        },
+        "hotpath": {},
+        "shard_sweep": {},
+    }
+
+    report(f"Envelope ablation: columnar vs object exchange "
+           f"({cores} core(s) visible)")
+    report("Hot path (single instance):")
+    report(f"{'variant':>9}{'per-elem':>11}{'batched':>11}{'columnar':>11}"
+           f"{'col/elem':>9}")
+    ordered = [ordered_workload(count=count, blob=200)] * 4
+    for name, variant, streams in (
+        ("LMR1", LMergeR1, ordered),
+        ("LMR3+", LMergeR3, inputs),
+        ("LMR4", LMergeR4, inputs),
+    ):
+        entry = _hotpath_entry(variant, streams)
+        results["hotpath"][name] = entry
+        report(f"{name:>9}{entry['per_element_eps'] / 1e3:>10.0f}k"
+               f"{entry['batched_eps'] / 1e3:>10.0f}k"
+               f"{entry['columnar_eps'] / 1e3:>10.0f}k"
+               f"{entry['columnar_speedup']:>9.2f}")
+
+    report("Shard sweep (LMR3+, speedup vs batched baseline):")
+    report(f"{'envelope':>10}{'backend':>9}{'shards':>8}"
+           f"{'kelem/s':>10}{'speedup':>9}")
+    baseline = statistics.median(
+        run_merge_batched(LMergeR3(), inputs)["throughput"] for _ in range(3)
+    )
+    sweep = {"batched_baseline_eps": round(baseline), "configs": []}
+    speedups = {}
+    for envelope in SHARD_ENVELOPES:
+        for backend in SHARD_BACKENDS:
+            for num_shards in SHARD_COUNTS:
+                stats = run_merge_sharded(
+                    LMergeR3,
+                    inputs,
+                    num_shards,
+                    backend=backend,
+                    envelope=envelope,
+                )
+                # Every configuration must process the full workload —
+                # a silently short run would fake a speedup.
+                assert stats["elements"] == expected, (envelope, backend,
+                                                      num_shards)
+                speedup = stats["throughput"] / baseline
+                speedups[(envelope, backend, num_shards)] = speedup
+                sweep["configs"].append({
+                    "envelope": envelope,
+                    "backend": backend,
+                    "shards": num_shards,
+                    "elements_per_sec": round(stats["throughput"]),
+                    "speedup_vs_batched": round(speedup, 2),
+                })
+                report(f"{envelope:>10}{backend:>9}{num_shards:>8}"
+                       f"{stats['throughput'] / 1e3:>10.1f}{speedup:>9.2f}")
+    results["shard_sweep"]["LMR3+"] = sweep
+
+    with open(BENCH_PR6_PATH, "w") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    report(f"(wrote {os.path.normpath(BENCH_PR6_PATH)})")
+
+    # Acceptance: the columnar envelope must not be slower than the
+    # object envelope where the object path collapsed — the process
+    # backend — at every shard count.  On a single core the comparison
+    # measures the scheduler, not the exchange: the ring's poll-based
+    # blocking spends time-slices the lone busy worker needs, while
+    # ``mp.Queue``'s semaphores park blocked processes for free.  The
+    # bar therefore arms only where workers can actually run in
+    # parallel; the JSON above records the honest numbers either way.
+    if cores >= 2:
+        for num_shards in SHARD_COUNTS:
+            columnar = speedups[("columnar", "process", num_shards)]
+            obj = speedups[("object", "process", num_shards)]
+            assert columnar >= 0.9 * obj, (
+                f"process backend at {num_shards} shards: columnar "
+                f"{columnar:.2f}x < object {obj:.2f}x"
+            )
+    else:
+        report("(envelope comparison assertion skipped: 1 core visible)")
+    # >=2x at 4 shards needs 4 workers actually running in parallel, so
+    # the bar arms only where the hardware exists (single-core honesty).
+    if cores >= 4:
+        best = speedups[("columnar", "process", 4)]
+        assert best >= 2.0, (
+            f"columnar process backend at 4 shards: {best:.2f}x < 2x"
+        )
+    else:
+        report(f"(speedup assertion skipped: {cores} core(s) < 4)")
+
+
+@pytest.mark.parametrize("envelope", SHARD_ENVELOPES)
+@pytest.mark.parametrize("backend", SHARD_BACKENDS)
+def test_envelope_smoke_benchmark(benchmark, backend, envelope):
+    """CI smoke: the N=2 sharded plan per envelope per backend.  The
+    process x columnar cell exercises the shared-memory rings end to
+    end; any worker crash fails the bench run loudly."""
+    inputs = build_inputs(3, count=1200)
+
+    def run():
+        stats = run_merge_sharded(
+            LMergeR3, inputs, 2, backend=backend, envelope=envelope
+        )
+        assert stats["elements"] == sum(len(s) for s in inputs)
+        return stats["elements"]
 
     benchmark.pedantic(run, rounds=3, iterations=1)

@@ -30,6 +30,15 @@ REP105   error     No bare ``print`` in library code under ``src/`` —
                    use the CLI surface or :mod:`repro.obs`.  CLI modules
                    (``__main__.py``, ``cli.py``) are exempt.
 REP106   warning   No mutable default arguments (``def f(x=[])``).
+REP107   error     Columnar hot paths must stay columnar: inside the
+                   batch handlers of engine/operators/lmerge code
+                   (``receive_columns``, ``process_columns``,
+                   ``_insert_columns``, ...), do not loop over a
+                   ``ColumnBatch`` row by row — no ``for e in batch``
+                   and no iteration over ``batch.to_elements()`` /
+                   ``batch.elements_slice(...)``.  Walk the columns
+                   (``batch.vs``/``batch.kinds``/``batch.runs()``) and
+                   materialize only surviving rows.
 =======  ========  ====================================================
 
 Suppression: append ``# noqa: REP104`` (or a bare ``# noqa``) to the
@@ -511,6 +520,90 @@ def _check_mutable_default(
     return findings
 
 
+# ---------------------------------------------------------------------------
+# REP107 — columnar hot paths must not fall back to per-element loops
+# ---------------------------------------------------------------------------
+
+#: Hot-path handler names whose bodies REP107 inspects.
+COLUMNAR_HOT_FUNCS = {
+    "receive_columns",
+    "process_columns",
+    "emit_columns",
+    "_insert_columns",
+    "_adjust_columns",
+    "_stable_columns",
+    "_insert_batch",
+    "_adjust_batch",
+    "_stable_batch",
+    "receive_batch",
+}
+
+#: ColumnBatch boundary converters whose results must not be looped over
+#: inside a hot handler.
+_BOUNDARY_CONVERTERS = {"to_elements", "elements_slice"}
+
+
+def _batch_params(
+    function: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> Set[str]:
+    """Parameters of *function* that carry a ColumnBatch: annotated
+    ``ColumnBatch``, or (in the columnar handlers) simply named ``batch``."""
+    names: Set[str] = set()
+    args = function.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        annotated = _annotation_name(arg.annotation)
+        if annotated == "ColumnBatch" or (
+            annotated is None and arg.arg == "batch"
+        ):
+            names.add(arg.arg)
+    return names
+
+
+def _check_columnar_loops(tree: ast.Module, _source: str) -> List[_RawFinding]:
+    findings: List[_RawFinding] = []
+    for function in ast.walk(tree):
+        if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if function.name not in COLUMNAR_HOT_FUNCS:
+            continue
+        params = _batch_params(function)
+        if not params:
+            continue
+        for node in ast.walk(function):
+            iterables: List[ast.expr] = []
+            if isinstance(node, ast.For):
+                iterables = [node.iter]
+            elif isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp),
+            ):
+                iterables = [generator.iter for generator in node.generators]
+            for iterable in iterables:
+                if isinstance(iterable, ast.Name) and iterable.id in params:
+                    what = f"for ... in {iterable.id}"
+                elif (
+                    isinstance(iterable, ast.Call)
+                    and isinstance(iterable.func, ast.Attribute)
+                    and iterable.func.attr in _BOUNDARY_CONVERTERS
+                    and _attr_root(iterable.func) in params
+                ):
+                    root = _attr_root(iterable.func)
+                    what = f"for ... in {root}.{iterable.func.attr}(...)"
+                else:
+                    continue
+                findings.append(
+                    _RawFinding(
+                        iterable.lineno,
+                        iterable.col_offset,
+                        f"per-element loop over a ColumnBatch ({what}) in "
+                        f"hot handler {function.name}(); walk the columns "
+                        f"(batch.vs/batch.kinds/batch.runs()) and "
+                        f"materialize only surviving rows",
+                    )
+                )
+    return findings
+
+
 RULES: Dict[str, Rule] = {
     rule.id: rule
     for rule in (
@@ -556,6 +649,14 @@ RULES: Dict[str, Rule] = {
             summary="no mutable default arguments",
             applies=_always,
             check=_check_mutable_default,
+        ),
+        Rule(
+            id="REP107",
+            severity=SEVERITY_ERROR,
+            summary="no per-element loops over ColumnBatch in columnar "
+            "hot handlers",
+            applies=_in_hot_path,
+            check=_check_columnar_loops,
         ),
     )
 }

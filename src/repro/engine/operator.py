@@ -165,11 +165,33 @@ class Operator:
         for element in elements:
             receive(element, port)
 
+    def receive_columns(self, batch, port: int = 0) -> None:
+        """Deliver a :class:`~repro.engine.columnar.ColumnBatch` to one
+        port.
+
+        Default: materialize through the batch's boundary converter and
+        fall back to :meth:`receive_batch`, so every operator accepts
+        columnar batches.  Operators on the columnar hot path override
+        to walk the columns without building element objects (exchange
+        ports, queued edges, the sharded LMerge plan).
+        """
+        self.receive_batch(batch.to_elements(), port)
+
     def emit(self, element: Element) -> None:
         """Push one element to every subscriber."""
         self.elements_out += 1
         for downstream, port in self._subscribers:
             downstream.receive(element, port)
+
+    def emit_columns(self, batch) -> None:
+        """Push a :class:`~repro.engine.columnar.ColumnBatch` to every
+        subscriber (columnar counterpart of :meth:`emit_batch`)."""
+        n = len(batch)
+        if not n:
+            return
+        self.elements_out += n
+        for downstream, port in self._subscribers:
+            downstream.receive_columns(batch, port)
 
     def emit_batch(self, elements: Sequence[Element]) -> None:
         """Push a slice of consecutive elements to every subscriber.

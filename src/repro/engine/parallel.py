@@ -14,29 +14,57 @@ its own worker, fed through bounded per-shard input queues:
   envelope to escape the GIL, which wins for CPU-bound R3/R4 merges on
   multicore hardware.
 
+Orthogonally to the backend, ``envelope`` selects the exchange currency:
+
+* ``envelope="object"`` — micro-batches travel as element lists (the
+  PR3-era path; the process backend pickles the object graph per hop);
+* ``envelope="columnar"`` — micro-batches travel as
+  :class:`~repro.engine.columnar.ColumnBatch`.  Serial and thread
+  backends pass the batch by reference and the worker runs the merge's
+  vectorized ``process_columns`` path; the process backend swaps the
+  pickled queues for :class:`~repro.engine.shm.ShmRing` shared-memory
+  rings and ships the batch's fixed-header binary encoding — a memcpy
+  per column instead of a pickle per element.  Control messages travel
+  the same ring, so per-shard ordering is preserved.
+
 Backpressure reuses the engine's semantics in the blocking world: a full
-bounded input queue blocks :meth:`ParallelRuntime.submit` — the threaded
-analogue of a :class:`~repro.engine.runtime.QueuedEdge` refusing elements
-— so an overwhelmed shard throttles the partitioner instead of buffering
-without bound.  Output queues are unbounded; callers drain them with
-:meth:`poll` between submissions (the partition/union loop in
-:mod:`repro.lmerge.shard` does), so output never deadlocks input.
+bounded input queue (or input ring) blocks :meth:`ParallelRuntime.submit`
+— the threaded analogue of a :class:`~repro.engine.runtime.QueuedEdge`
+refusing elements — so an overwhelmed shard throttles the partitioner
+instead of buffering without bound.  Queue-backed output is unbounded;
+the shm output rings are bounded, so ``submit`` drains them while it
+waits for input-ring room, which keeps the cycle deadlock-free.
+
+When a :class:`~repro.obs.registry.MetricRegistry` is attached, the shm
+exchange keeps per-shard gauges and counters current: bytes shipped per
+batch, encode/decode seconds, and ring occupancy (see docs/COLUMNAR.md).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import queue
+import sys
 import traceback
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.engine.columnar import ColumnBatch
+from repro.engine import shm as shm_rings
+from repro.engine.shm import RingClosedError, ShmRing
 from repro.temporal.elements import Element
 
 #: Builds one shard's merge; receives the sink callable capturing output.
 ShardFactory = Callable[[Callable[[Element], None]], Any]
 
 BACKENDS = ("serial", "thread", "process")
+ENVELOPES = ("object", "columnar")
+
+#: One poll()/submit() result: an element list (object envelope, or any
+#: queue-backed backend's output) or a ColumnBatch (shm exchange output).
+Batch = Union[List[Element], ColumnBatch]
 
 
 class ShardError(RuntimeError):
@@ -86,6 +114,15 @@ def _shard_loop(
                 if buffer:
                     put(("out", shard, buffer[:]))
                     buffer.clear()
+            elif kind == "cols":
+                # Columnar envelope on a queue backend: the batch arrives
+                # by reference and the merge walks its columns directly.
+                merge.process_columns(
+                    message[2], message[1], coalesce_stables=coalesce_stables
+                )
+                if buffer:
+                    put(("out", shard, buffer[:]))
+                    buffer.clear()
             elif kind == "attach":
                 merge.attach(message[1], message[2])
             elif kind == "detach":
@@ -94,6 +131,75 @@ def _shard_loop(
                 raise ValueError(f"unknown envelope kind {kind!r}")
     except BaseException:
         put(("error", shard, traceback.format_exc()))
+
+
+def _shm_shard_loop(
+    shard: int,
+    factory: ShardFactory,
+    in_ring: ShmRing,
+    out_ring: ShmRing,
+    coalesce_stables: bool,
+) -> None:
+    """The shm-exchange worker: decode :data:`~repro.engine.shm.BATCH`
+    frames straight out of the input ring, run the columnar merge path,
+    and encode any output back into the output ring.  Control frames
+    (attach/detach/shutdown) share the input ring, so they apply in
+    exactly the order the driver issued them."""
+    try:
+        in_ring.child_deregister()
+        out_ring.child_deregister()
+        buffer: List[Element] = []
+        merge = factory(buffer.append)
+        while True:
+            frame = in_ring.get()
+            assert frame is not None  # blocking get
+            kind, payload = frame
+            if kind == shm_rings.BATCH:
+                sid_len = int.from_bytes(payload[:2], "little")
+                stream_id = pickle.loads(payload[2 : 2 + sid_len])
+                batch = ColumnBatch.decode(
+                    memoryview(payload)[2 + sid_len :]
+                )
+                merge.process_columns(
+                    batch, stream_id, coalesce_stables=coalesce_stables
+                )
+                if buffer:
+                    out = ColumnBatch.from_elements(buffer[:])
+                    buffer.clear()
+                    size, prebuilt = out.encoded_size()
+                    out_ring.put_frame(
+                        shm_rings.OUT,
+                        size,
+                        lambda view: out.encode_into(view, prebuilt),
+                    )
+            elif kind == shm_rings.CTRL:
+                message = pickle.loads(payload)
+                if message is None:
+                    out_ring.put_pickle(shm_rings.DONE, merge.stats)
+                    return
+                if message[0] == "attach":
+                    merge.attach(message[1], message[2])
+                elif message[0] == "detach":
+                    merge.detach(message[1])
+                else:  # pragma: no cover - driver and worker in lockstep
+                    raise ValueError(f"unknown control {message!r}")
+            else:  # pragma: no cover - driver and worker in lockstep
+                raise ValueError(f"unexpected frame kind {kind}")
+    except RingClosedError:  # pragma: no cover - driver aborted first
+        pass
+    except BaseException:
+        details = traceback.format_exc()
+        delivered = False
+        try:
+            delivered = out_ring.put_pickle(
+                shm_rings.ERR, details, timeout=5.0
+            )
+        except Exception:  # pragma: no cover - ring torn down
+            pass
+        if not delivered:  # pragma: no cover - ERR frame could not land
+            # Last resort: the driver will only see "worker died without
+            # reporting stats", so leave the real cause on stderr.
+            sys.stderr.write(f"[shm shard {shard}] {details}\n")
 
 
 class ParallelRuntime:
@@ -123,17 +229,25 @@ class ParallelRuntime:
         queue_capacity: int = 64,
         coalesce_stables: bool = False,
         registry=None,
+        envelope: str = "columnar",
+        ring_capacity: int = 1 << 20,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected {BACKENDS}")
+        if envelope not in ENVELOPES:
+            raise ValueError(
+                f"unknown envelope {envelope!r}; expected {ENVELOPES}"
+            )
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be positive")
         self.factory = factory
         self.num_shards = num_shards
         self.backend = backend
+        self.envelope = envelope
         self.queue_capacity = queue_capacity
+        self.ring_capacity = ring_capacity
         self.coalesce_stables = coalesce_stables
         #: Optional :class:`repro.obs.registry.MetricRegistry`: when set,
         #: submit/poll keep per-shard queue-depth gauges and element
@@ -143,7 +257,7 @@ class ParallelRuntime:
         self.collected = 0
         self._started = False
         self._closed = False
-        self._pending: List[Tuple[int, List[Element]]] = []
+        self._pending: List[Tuple[int, Batch]] = []
         self._stats: List[Any] = []
         # Backend state, populated by start().
         self._inputs: List[Any] = []
@@ -152,6 +266,14 @@ class ParallelRuntime:
         self._processes: List[multiprocessing.Process] = []
         self._serial_shards: List[Any] = []
         self._serial_buffers: List[List[Element]] = []
+        # Shm-exchange state (process backend + columnar envelope).
+        self._in_rings: List[ShmRing] = []
+        self._out_rings: List[ShmRing] = []
+        self._final_stats: Dict[int, Any] = {}
+
+    @property
+    def _uses_shm(self) -> bool:
+        return self.backend == "process" and self.envelope == "columnar"
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -185,7 +307,31 @@ class ParallelRuntime:
                     self._output.put,
                     self.coalesce_stables,
                 )
-        else:  # process
+        elif self._uses_shm:
+            context = multiprocessing.get_context(
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            for shard in range(self.num_shards):
+                in_ring = ShmRing(self.ring_capacity)
+                out_ring = ShmRing(self.ring_capacity)
+                self._in_rings.append(in_ring)
+                self._out_rings.append(out_ring)
+                process = context.Process(
+                    target=_shm_shard_loop,
+                    args=(
+                        shard,
+                        self.factory,
+                        in_ring,
+                        out_ring,
+                        self.coalesce_stables,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                self._processes.append(process)
+        else:  # process backend, object envelope
             context = multiprocessing.get_context(
                 "fork"
                 if "fork" in multiprocessing.get_all_start_methods()
@@ -226,6 +372,8 @@ class ParallelRuntime:
         if self.backend == "serial":
             self._stats = [shard.stats for shard in self._serial_shards]
             return self._stats
+        if self._uses_shm:
+            return self._close_shm()
         stats: List[Any] = [None] * self.num_shards
         for shard_queue in self._inputs:
             shard_queue.put(None)
@@ -247,6 +395,79 @@ class ParallelRuntime:
         self._stats = stats
         return stats
 
+    def _close_shm(self) -> List[Any]:
+        """Shm-exchange shutdown: sentinel through each input ring, then
+        drain each output ring to its worker's DONE frame."""
+        for in_ring in self._in_rings:
+            while not in_ring.put_pickle(shm_rings.CTRL, None, timeout=0.05):
+                self._drain_shm_outputs()
+        stats: List[Any] = [None] * self.num_shards
+        for shard in range(self.num_shards):
+            while shard not in self._final_stats:
+                got = self._drain_shm_ring(shard, timeout=1.0)
+                if not got and not self._processes[shard].is_alive():
+                    self._abort()
+                    raise ShardError(
+                        shard, "worker died without reporting stats"
+                    )
+            stats[shard] = self._final_stats[shard]
+        for process in self._processes:
+            process.join(timeout=30)
+        # Every worker's DONE is in, so the rings are drained (per-shard
+        # FIFO puts all OUT frames before DONE); any remaining output now
+        # lives in _pending, which poll() keeps serving after close.
+        for ring in (*self._in_rings, *self._out_rings):
+            ring.destroy()
+        self._in_rings = []
+        self._out_rings = []
+        self._stats = stats
+        return stats
+
+    def _drain_shm_outputs(self) -> None:
+        """One non-blocking sweep over every shard's output ring."""
+        if not self._out_rings:  # rings already torn down by close()
+            return
+        for shard in range(self.num_shards):
+            while self._drain_shm_ring(shard, timeout=0):
+                pass
+
+    def _drain_shm_ring(self, shard: int, timeout: float) -> bool:
+        """Consume at most one frame from *shard*'s output ring.
+
+        OUT frames decode into pending batches, DONE frames park the
+        worker's final stats for :meth:`_close_shm`, ERR frames abort.
+        Returns True when a frame was consumed.
+        """
+        try:
+            frame = self._out_rings[shard].get(timeout=timeout)
+        except RingClosedError:  # pragma: no cover - abort already ran
+            return False
+        if frame is None:
+            return False
+        kind, payload = frame
+        if kind == shm_rings.OUT:
+            registry = self.registry
+            if registry is not None:
+                started = perf_counter()
+                batch = ColumnBatch.decode(payload)
+                labels = {"shard": shard}
+                registry.counter(
+                    "exchange_decode_seconds_total", labels
+                ).inc(perf_counter() - started)
+                registry.counter("exchange_bytes_total", labels).inc(
+                    len(payload)
+                )
+            else:
+                batch = ColumnBatch.decode(payload)
+            self._pending.append((shard, batch))
+        elif kind == shm_rings.DONE:
+            self._final_stats[shard] = pickle.loads(payload)
+        elif kind == shm_rings.ERR:
+            details = pickle.loads(payload)
+            self._abort()
+            raise ShardError(shard, details)
+        return True
+
     def _note_output(self, message: Tuple) -> None:
         """Stash an ``("out", shard, elements)`` message for :meth:`poll`."""
         if message[0] == "out":
@@ -261,8 +482,16 @@ class ParallelRuntime:
                 except queue.Full:
                     pass
             self._executor.shutdown(wait=False)
+        for ring in (*self._in_rings, *self._out_rings):
+            ring.close_ring()
         for process in self._processes:
             process.terminate()
+        for process in self._processes:
+            process.join(timeout=5)
+        for ring in (*self._in_rings, *self._out_rings):
+            ring.destroy()
+        self._in_rings = []
+        self._out_rings = []
 
     # ------------------------------------------------------------------
     # Element flow
@@ -280,26 +509,38 @@ class ParallelRuntime:
     def broadcast_detach(self, stream_id) -> None:
         self._broadcast(("detach", stream_id))
 
-    def _broadcast(self, envelope: Tuple) -> None:
+    def _broadcast(self, message: Tuple) -> None:
         self._require_open()
         if self.backend == "serial":
             for shard in self._serial_shards:
-                if envelope[0] == "attach":
-                    shard.attach(envelope[1], envelope[2])
+                if message[0] == "attach":
+                    shard.attach(message[1], message[2])
                 else:
-                    shard.detach(envelope[1])
+                    shard.detach(message[1])
+            return
+        if self._uses_shm:
+            for in_ring in self._in_rings:
+                while not in_ring.put_pickle(
+                    shm_rings.CTRL, message, timeout=0.05
+                ):
+                    self._drain_shm_outputs()
             return
         for shard_queue in self._inputs:
-            shard_queue.put(envelope)
+            shard_queue.put(message)
 
-    def submit(self, shard: int, stream_id, elements: Sequence[Element]) -> None:
+    def submit(
+        self, shard: int, stream_id, elements: Union[Sequence[Element], ColumnBatch]
+    ) -> None:
         """Feed one micro-batch from *stream_id* to *shard*.
 
-        Blocks while the shard's bounded input queue is full — the
+        *elements* may be an element sequence or a
+        :class:`~repro.engine.columnar.ColumnBatch`; either is converted
+        to the runtime's configured envelope at this boundary.  Blocks
+        while the shard's bounded input queue (or ring) is full — the
         backpressure path that throttles an overwhelming producer.
         """
         self._require_open()
-        if not elements:
+        if not len(elements):
             return
         self.submitted += len(elements)
         registry = self.registry
@@ -315,22 +556,84 @@ class ParallelRuntime:
                 peak = registry.gauge("shard_queue_peak", labels)
                 if depth > peak.value:
                     peak.set(depth)
+        is_batch = isinstance(elements, ColumnBatch)
+        if self.envelope == "columnar":
+            batch = (
+                elements
+                if is_batch
+                else ColumnBatch.from_elements(list(elements))
+            )
+            if self.backend == "serial":
+                merge = self._serial_shards[shard]
+                buffer = self._serial_buffers[shard]
+                merge.process_columns(
+                    batch, stream_id, coalesce_stables=self.coalesce_stables
+                )
+                if buffer:
+                    self._pending.append((shard, buffer[:]))
+                    buffer.clear()
+            elif self.backend == "thread":
+                self._inputs[shard].put(("cols", stream_id, batch))
+            else:
+                self._submit_shm(shard, stream_id, batch)
+            return
+        plain = elements.to_elements() if is_batch else list(elements)
         if self.backend == "serial":
             merge = self._serial_shards[shard]
             buffer = self._serial_buffers[shard]
             merge.process_batch(
-                list(elements), stream_id, coalesce_stables=self.coalesce_stables
+                list(plain), stream_id, coalesce_stables=self.coalesce_stables
             )
             if buffer:
                 self._pending.append((shard, buffer[:]))
                 buffer.clear()
             return
-        self._inputs[shard].put(("batch", stream_id, list(elements)))
+        self._inputs[shard].put(("batch", stream_id, list(plain)))
 
-    def poll(self) -> List[Tuple[int, List[Element]]]:
+    def _submit_shm(self, shard: int, stream_id, batch: ColumnBatch) -> None:
+        """Encode one batch straight into *shard*'s input ring.
+
+        While the ring is full, the driver drains the output rings — the
+        move that keeps bounded-in/bounded-out cycles deadlock-free.
+        """
+        registry = self.registry
+        started = perf_counter() if registry is not None else 0.0
+        size, prebuilt = batch.encoded_size()
+        sid_blob = pickle.dumps(stream_id, pickle.HIGHEST_PROTOCOL)
+        frame_size = 2 + len(sid_blob) + size
+
+        def fill(view: memoryview) -> None:
+            view[0:2] = len(sid_blob).to_bytes(2, "little")
+            view[2 : 2 + len(sid_blob)] = sid_blob
+            batch.encode_into(view[2 + len(sid_blob) :], prebuilt)
+
+        ring = self._in_rings[shard]
+        if registry is not None:
+            encode_seconds = perf_counter() - started
+            labels = {"shard": shard}
+            registry.counter("exchange_batches_total", labels).inc()
+            registry.counter("exchange_bytes_total", labels).inc(frame_size)
+            registry.counter("exchange_encode_seconds_total", labels).inc(
+                encode_seconds
+            )
+        while not ring.put_frame(shm_rings.BATCH, frame_size, fill, timeout=0.05):
+            self._drain_shm_outputs()
+        if registry is not None:
+            registry.gauge("exchange_ring_occupancy", {"shard": shard}).set(
+                ring.occupancy
+            )
+
+    def poll(self) -> List[Tuple[int, Batch]]:
         """All output micro-batches ready right now, as ``(shard,
-        elements)`` pairs in arrival order (per-shard order is FIFO)."""
+        batch)`` pairs in arrival order (per-shard order is FIFO).
+
+        A batch is an element list, except on the shm exchange where it
+        is a :class:`~repro.engine.columnar.ColumnBatch` (consumers
+        dispatch on type; ``len`` works on both).
+        """
         self._require_started()
+        if self._uses_shm:
+            self._drain_shm_outputs()
         ready = self._pending
         self._pending = []
         if self._output is not None:
@@ -364,6 +667,8 @@ class ParallelRuntime:
         platform's queues cannot report a size (``qsize`` is unsupported
         on some macOS multiprocessing queues).
         """
+        if self._uses_shm:
+            return self._in_rings[shard].frames if self._in_rings else 0
         if self.backend == "serial" or not self._inputs:
             return 0
         try:

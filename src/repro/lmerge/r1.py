@@ -95,6 +95,51 @@ class LMergeR1(LMergeBase):
             self.stats.inserts_out += len(out)
             self._emit_batch(out)
 
+    def _insert_columns(
+        self,
+        batch,
+        start: int,
+        stop: int,
+        stream_id: StreamId,
+        state: _InputState,
+    ) -> None:
+        # Columnar fast path: one descent over the Vs column per sorted
+        # sub-run — the counters move exactly as in _insert_batch, but no
+        # element object is touched until a row survives for emission
+        # (survivors come out of the batch in one boundary conversion).
+        self.stats.inserts_in += stop - start
+        counts = self._same_vs_count
+        max_vs = self._max_vs
+        vs_col = batch.vs
+        emit_rows: List[int] = []
+        keep = emit_rows.append
+        i = start
+        while i < stop:
+            vs = vs_col[i]
+            if vs < max_vs:
+                i += 1
+                continue
+            if vs > max_vs:
+                for key in counts:
+                    counts[key] = 0
+                max_vs = vs
+            own = counts[stream_id]
+            others_max = max(
+                (c for key, c in counts.items() if key != stream_id),
+                default=0,
+            )
+            while i < stop and vs_col[i] == vs:
+                if own >= others_max:
+                    keep(i)
+                own += 1
+                i += 1
+            counts[stream_id] = own
+        self._max_vs = max_vs
+        if emit_rows:
+            self.stats.inserts_out += len(emit_rows)
+            element_at = batch.element_at
+            self._emit_batch([element_at(i) for i in emit_rows])
+
     def _adjust(self, element: Adjust, stream_id: StreamId) -> None:
         raise AssertionError("unreachable: supports_adjust is False")
 

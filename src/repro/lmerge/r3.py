@@ -138,6 +138,58 @@ class LMergeR3(LMergeBase):
             self.stats.inserts_out += len(out)
             self._emit_batch(out)
 
+    def _insert_columns(
+        self,
+        batch,
+        start: int,
+        stop: int,
+        stream_id: StreamId,
+        state: _InputState,
+    ) -> None:
+        # Columnar fast path: the single-descent discipline of
+        # _insert_batch applied straight to the Vs/Ve columns and the
+        # payload list — no Insert object exists for a row unless it is
+        # emitted, and emission materializes survivors through the
+        # batch's boundary converter in one pass.
+        self.stats.inserts_in += stop - start
+        index = self._index
+        find = index.find
+        find_or_add_key = index.find_or_add_key
+        max_stable = self.max_stable
+        emit_first = self.policy.insert is InsertPropagation.FIRST
+        emit_now = self._emit_now
+        output_key = OUTPUT
+        vs_col = batch.vs
+        ve_col = batch.ve
+        payloads = batch.payloads
+        dropped = 0
+        emit_rows: List[int] = []
+        keep = emit_rows.append
+        for i in range(start, stop):
+            vs = vs_col[i]
+            payload = payloads[i]
+            if vs < max_stable:
+                node = find(vs, payload)
+                if node is None:
+                    dropped += 1
+                    continue
+            else:
+                node = find_or_add_key(vs, payload, ve_col[i])
+            ve = ve_col[i]
+            entries = node.entries
+            entries[stream_id] = ve
+            if output_key not in entries and (
+                emit_first or emit_now(node, stream_id)
+            ):
+                keep(i)
+                entries[output_key] = ve
+        if dropped:
+            self.dropped_frozen += dropped
+        if emit_rows:
+            self.stats.inserts_out += len(emit_rows)
+            element_at = batch.element_at
+            self._emit_batch([element_at(i) for i in emit_rows])
+
     # ------------------------------------------------------------------
     # Adjust (lines 11-14, plus the EAGER alternative of Section V-A)
     # ------------------------------------------------------------------

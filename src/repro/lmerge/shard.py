@@ -31,8 +31,9 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple, Type, Union
 
+from repro.engine.columnar import ColumnBatch
 from repro.engine.operator import CollectorSink
-from repro.engine.parallel import ParallelRuntime, merge_factory
+from repro.engine.parallel import ENVELOPES, ParallelRuntime, merge_factory
 from repro.lmerge.base import (
     InputStateError,
     LMergeBase,
@@ -45,6 +46,7 @@ from repro.operators.exchange import (
     ShardUnion,
     identity_key,
     partition_batch,
+    partition_columns,
 )
 from repro.streams.stream import PhysicalStream
 from repro.temporal.elements import Element
@@ -64,16 +66,25 @@ class ShardedLMerge:
         coalesce_stables: bool = False,
         name: str = "sharded-lmerge",
         registry=None,
+        envelope: str = "columnar",
         **merge_kwargs,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
+        if envelope not in ENVELOPES:
+            raise ValueError(
+                f"unknown envelope {envelope!r}; expected {ENVELOPES}"
+            )
         self.merge_cls = merge_cls
         self.algorithm = f"{merge_cls.algorithm}x{num_shards}[{backend}]"
         self.restriction = merge_cls.restriction
         self.input_adapters: List[object] = []
         self.num_shards = num_shards
         self.backend = backend
+        #: Exchange currency: ``"columnar"`` ships ColumnBatch slices end
+        #: to end (shared-memory rings on the process backend);
+        #: ``"object"`` is the PR3-era element-list path.
+        self.envelope = envelope
         self.key_fn: KeyFunction = key_fn or identity_key
         self.name = name
         #: Optional :class:`repro.obs.registry.MetricRegistry`: threads
@@ -94,6 +105,7 @@ class ShardedLMerge:
             queue_capacity=queue_capacity,
             coalesce_stables=coalesce_stables,
             registry=registry,
+            envelope=envelope,
         ).start()
         self._observer = None
         if registry is not None:
@@ -154,17 +166,37 @@ class ShardedLMerge:
         if stream_id not in self._attached:
             raise InputStateError(f"batch from unattached stream {stream_id!r}")
         runtime = self._runtime
-        for shard, bucket in enumerate(
-            partition_batch(elements, self.num_shards, self.key_fn)
-        ):
+        if self.envelope == "columnar":
+            batch = (
+                elements
+                if isinstance(elements, ColumnBatch)
+                else ColumnBatch.from_elements(list(elements))
+            )
+            buckets = partition_columns(batch, self.num_shards, self.key_fn)
+        else:
+            buckets = partition_batch(elements, self.num_shards, self.key_fn)
+        for shard, bucket in enumerate(buckets):
             if bucket:
                 runtime.submit(shard, stream_id, bucket)
         self._collect()
 
+    def process_columns(
+        self,
+        batch: ColumnBatch,
+        stream_id: StreamId,
+        *,
+        coalesce_stables: bool = False,
+    ) -> None:
+        """Columnar entry point mirroring ``LMergeBase.process_columns``."""
+        self.process_batch(batch, stream_id, coalesce_stables=coalesce_stables)
+
     def _collect(self) -> None:
         union = self._union
         for shard, outputs in self._runtime.poll():
-            union.receive_batch(outputs, shard)
+            if isinstance(outputs, ColumnBatch):
+                union.receive_columns(outputs, shard)
+            else:
+                union.receive_batch(outputs, shard)
         if self._observer is not None:
             self._observer.sample()
 
@@ -271,6 +303,7 @@ def shard(
     queue_capacity: int = 64,
     coalesce_stables: bool = False,
     registry=None,
+    envelope: str = "columnar",
     **merge_kwargs,
 ) -> ShardedLMerge:
     """Wrap an LMerge variant in an N-shard partition-parallel plan.
@@ -298,5 +331,6 @@ def shard(
         queue_capacity=queue_capacity,
         coalesce_stables=coalesce_stables,
         registry=registry,
+        envelope=envelope,
         **merge_kwargs,
     )

@@ -25,9 +25,16 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.columnar import ColumnBatch
 from repro.engine.operator import Operator
 from repro.streams.properties import StreamProperties
-from repro.temporal.elements import Adjust, Element, Insert, Stable
+from repro.temporal.elements import (
+    KIND_STABLE,
+    Adjust,
+    Element,
+    Insert,
+    Stable,
+)
 from repro.temporal.event import Payload
 from repro.temporal.time import MINUS_INFINITY, Timestamp
 
@@ -66,6 +73,48 @@ def partition_batch(
     return shards
 
 
+def partition_columns(
+    batch: ColumnBatch,
+    num_shards: int,
+    key_fn: KeyFunction = identity_key,
+) -> List[ColumnBatch]:
+    """Columnar :func:`partition_batch`: per-shard ``ColumnBatch`` slices.
+
+    Routing walks the batch's cached key-hash column (for the identity
+    key) or the payload list (custom keys) without materializing any
+    element; each shard's rows come out via :meth:`ColumnBatch.take` in
+    original order, stables replicated to every shard.  The hash column
+    never crosses a process boundary — ``hash`` is salted per
+    interpreter — so routing happens entirely in the driver.
+    """
+    if num_shards == 1:
+        return [batch]
+    n = len(batch)
+    kinds = batch.kinds
+    rows: List[List[int]] = [[] for _ in range(num_shards)]
+    if key_fn is identity_key:
+        hashes = batch.key_hashes()
+        for i in range(n):
+            if kinds[i] == KIND_STABLE:
+                for bucket in rows:
+                    bucket.append(i)
+            else:
+                rows[hashes[i] % num_shards].append(i)
+    else:
+        payloads = batch.payloads
+        for i in range(n):
+            if kinds[i] == KIND_STABLE:
+                for bucket in rows:
+                    bucket.append(i)
+            else:
+                rows[hash(key_fn(payloads[i])) % num_shards].append(i)
+    # A bucket holding every row (increasing indices, full length) is the
+    # whole batch; reuse it instead of copying the columns.
+    return [
+        batch if len(bucket) == n else batch.take(bucket) for bucket in rows
+    ]
+
+
 class ShardPort(Operator):
     """One output port of a :class:`HashPartition` — a pure passthrough
     that downstream shard sub-graphs subscribe to."""
@@ -86,6 +135,10 @@ class ShardPort(Operator):
     def receive_batch(self, elements: Sequence[Element], port: int = 0) -> None:
         self.elements_in += len(elements)
         self.emit_batch(elements)
+
+    def receive_columns(self, batch: ColumnBatch, port: int = 0) -> None:
+        self.elements_in += len(batch)
+        self.emit_columns(batch)
 
     def derive_properties(
         self, input_properties: List[StreamProperties]
@@ -169,6 +222,27 @@ class HashPartition(Operator):
             stables = sum(
                 1 for e in elements if e.__class__ is Stable
             )
+            if stables:
+                registry.counter("partition_stables_broadcast_total").inc(
+                    stables
+                )
+
+    def receive_columns(self, batch: ColumnBatch, port: int = 0) -> None:
+        """Columnar routing: per-shard slices leave as ``ColumnBatch``
+        objects; no element is materialized on the way through."""
+        self.elements_in += len(batch)
+        buckets = partition_columns(batch, self.num_shards, self.key_fn)
+        registry = self.registry
+        for shard, bucket in enumerate(buckets):
+            if bucket:
+                self.elements_out += len(bucket)
+                if registry is not None:
+                    registry.counter(
+                        "partition_routed_total", {"shard": shard}
+                    ).inc(len(bucket))
+                self.outputs[shard].receive_columns(bucket)
+        if registry is not None:
+            stables = batch.counts()[2]
             if stables:
                 registry.counter("partition_stables_broadcast_total").inc(
                     stables
@@ -266,6 +340,20 @@ class ShardUnion(Operator):
                 j += 1
             self.emit_batch(elements[i:j])
             i = j
+
+    def receive_columns(self, batch: ColumnBatch, port: int = 0) -> None:
+        """Columnar delivery from one shard: data runs leave as sliced
+        ``ColumnBatch`` views; stables update the frontier per row from
+        the Vs column, so CTI alignment is byte-for-byte the batched
+        path's."""
+        self.elements_in += len(batch)
+        vs = batch.vs
+        for kind, start, stop in batch.runs():
+            if kind == KIND_STABLE:
+                for i in range(start, stop):
+                    self.on_stable(vs[i], port)
+            else:
+                self.emit_columns(batch.slice(start, stop))
 
     def frontier(self, port: Optional[int] = None) -> Timestamp:
         """One shard's frontier, or (with no argument) the aligned

@@ -135,6 +135,23 @@ class In2T:
             tree_node.value = In2TNode(insert.to_event(), key)
         return tree_node.value, created
 
+    def find_or_add_key(
+        self, vs: Timestamp, payload: Payload, ve: Timestamp
+    ) -> In2TNode:
+        """Columnar variant of :meth:`find_or_add`: raw columns in, node out.
+
+        One tree descent; the :class:`Event` is materialized only when the
+        node is new, so a hit never allocates.  Used by the batch hot path
+        that reads ``(vs, payload, ve)`` straight out of a
+        :class:`~repro.engine.columnar.ColumnBatch` without ever building
+        an :class:`~repro.temporal.elements.Insert`.
+        """
+        key = (vs, PayloadKey(payload))
+        tree_node, created = self._tree.get_or_reserve(key)
+        if created:
+            tree_node.value = In2TNode(Event(vs, payload, ve), key)
+        return tree_node.value
+
     def delete(self, node: In2TNode) -> None:
         """``DeleteNode``: remove *node* from the top tier."""
         if not self._tree.delete(node._key):

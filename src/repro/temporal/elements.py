@@ -205,6 +205,24 @@ class Stable:
 #: A StreamInsight-model physical stream element.
 Element = Union[Insert, Adjust, Stable]
 
+#: Columnar kind codes — the one-byte element discriminator used by the
+#: struct-of-arrays batches (:mod:`repro.engine.columnar`) and their
+#: binary wire encoding.  Stable across versions: they are part of the
+#: wire format.
+KIND_INSERT = 0
+KIND_ADJUST = 1
+KIND_STABLE = 2
+
+_KIND_BY_CLASS = {Insert: KIND_INSERT, Adjust: KIND_ADJUST, Stable: KIND_STABLE}
+
+
+def kind_of(element: Element) -> int:
+    """The columnar kind code of *element* (raises for non-elements)."""
+    try:
+        return _KIND_BY_CLASS[element.__class__]
+    except KeyError:
+        raise TypeError(f"not a stream element: {element!r}")
+
 
 class Open:
     """``open(p, Vs)``: an event with payload *p* starts at ``Vs``.

@@ -277,6 +277,89 @@ class TestMutableDefault:
         )
 
 
+class TestColumnarLoops:
+    def test_positive_direct_iteration(self):
+        findings = _lint(
+            """
+            def receive_columns(self, batch, port=0):
+                for element in batch:
+                    self.receive(element, port)
+            """
+        )
+        assert _rule_ids(findings) == ["REP107"]
+        assert findings[0].severity == SEVERITY_ERROR
+
+    def test_positive_to_elements_loop(self):
+        findings = _lint(
+            """
+            def _insert_columns(self, batch, start, stop, stream_id, state):
+                for element in batch.to_elements():
+                    self._insert(element, stream_id)
+            """
+        )
+        assert _rule_ids(findings) == ["REP107"]
+
+    def test_positive_elements_slice_comprehension(self):
+        findings = _lint(
+            """
+            def process_columns(self, batch, stream_id):
+                out = [e for e in batch.elements_slice(0, batch.n)]
+                return out
+            """
+        )
+        assert _rule_ids(findings) == ["REP107"]
+
+    def test_positive_annotated_param(self):
+        findings = _lint(
+            """
+            def receive_columns(self, chunk: ColumnBatch, port=0):
+                for element in chunk.to_elements():
+                    self.receive(element, port)
+            """
+        )
+        assert _rule_ids(findings) == ["REP107"]
+
+    def test_negative_column_walk(self):
+        assert not _lint(
+            """
+            def _insert_columns(self, batch, start, stop, stream_id, state):
+                vs = batch.vs
+                for i in range(start, stop):
+                    self._note(vs[i])
+            """
+        )
+
+    def test_negative_survivor_materialization(self):
+        # Materializing only emitted rows is the sanctioned pattern.
+        assert not _lint(
+            """
+            def _insert_columns(self, batch, start, stop, stream_id, state):
+                element_at = batch.element_at
+                out = [element_at(i) for i in self._survivors]
+                self._emit_batch(out)
+            """
+        )
+
+    def test_negative_outside_hot_paths(self):
+        assert not _lint(
+            """
+            def receive_columns(self, batch, port=0):
+                for element in batch:
+                    self.receive(element, port)
+            """,
+            path=COLD,
+        )
+
+    def test_negative_non_batch_function(self):
+        assert not _lint(
+            """
+            def helper(self, batch):
+                for element in batch:
+                    self.receive(element)
+            """
+        )
+
+
 class TestSuppression:
     def test_bare_noqa(self):
         assert not _lint(
@@ -326,6 +409,7 @@ class TestHarness:
             "REP104",
             "REP105",
             "REP106",
+            "REP107",
         }
 
     def test_repo_is_clean(self):
