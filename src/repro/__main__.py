@@ -16,7 +16,11 @@ Commands operate on JSON-lines stream files (see
   property) of a stream file;
 * ``inspect`` — summarize a stream file (counts, properties, TDB size);
 * ``analysis`` — static analysis: repo lint, plan soundness checking,
-  lint rule catalog (delegates to :mod:`repro.analysis.cli`).
+  lint rule catalog (delegates to :mod:`repro.analysis.cli`);
+* ``chaos`` — run the seeded fault-injection matrix (supervised shard
+  workers under kills/stalls/drops/duplicates/delays) and check every
+  cell for TDB equivalence and no loss/duplication
+  (:mod:`repro.resilience.chaos`).
 
 ``merge --checked`` validates every input against the selected
 algorithm's assumed properties (:mod:`repro.analysis.checked`) before
@@ -248,6 +252,50 @@ def _cmd_analysis(args: argparse.Namespace) -> int:
     return analysis_main(args.rest)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.resilience.chaos import FAULT_KINDS, VARIANTS, run_fault_matrix
+
+    variants = [v.strip() for v in args.variants.split(",") if v.strip()]
+    faults = [f.strip() for f in args.faults.split(",") if f.strip()]
+    for variant in variants:
+        if variant not in VARIANTS:
+            print(f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}")
+            return 2
+    for fault in faults:
+        if fault not in FAULT_KINDS:
+            print(f"unknown fault {fault!r}; choose from {sorted(FAULT_KINDS)}")
+            return 2
+    started = time.perf_counter()
+    report = run_fault_matrix(
+        args.seed,
+        variants=variants,
+        fault_kinds=faults,
+        num_shards=args.shards,
+        count=args.count,
+        batch_size=args.batch_size,
+    )
+    report["wall_seconds"] = round(time.perf_counter() - started, 3)
+    if args.out:
+        with open(args.out, "w") as fp:
+            json.dump(report, fp, indent=2, sort_keys=True)
+        print(f"chaos report -> {args.out}")
+    for cell in report["cells"]:
+        verdict = "ok" if cell["ok"] else "FAILED"
+        print(
+            f"  {cell['variant']:>3} x {cell['fault']:<9} seed "
+            f"{cell['seed']}: {verdict} (restarts {cell['restarts']}, "
+            f"replayed {cell['replayed_elements']})"
+        )
+    status = "equivalent" if report["all_ok"] else "NOT EQUIVALENT"
+    print(
+        f"chaos matrix: {len(report['cells'])} cells, "
+        f"{report['total_restarts']} restarts, {status}"
+    )
+    return 0 if report["all_ok"] else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     report = RunReport.load(args.report)
     print(report.render())
@@ -392,6 +440,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analysis.add_argument("rest", nargs=argparse.REMAINDER)
     analysis.set_defaults(func=_cmd_analysis)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="seeded fault-injection matrix over supervised shard workers",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--variants",
+        default="r1,r3",
+        help="comma-separated LMerge variants (r1,r3,r4)",
+    )
+    chaos.add_argument(
+        "--faults",
+        default="kill,stall,drop,duplicate,delay",
+        help="comma-separated fault kinds to inject",
+    )
+    chaos.add_argument("--shards", type=int, default=2)
+    chaos.add_argument("--count", type=int, default=160)
+    chaos.add_argument("--batch-size", type=int, default=16)
+    chaos.add_argument(
+        "--out", metavar="PATH", help="write the JSON recovery report here"
+    )
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -53,7 +53,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.columnar import ColumnBatch
 from repro.engine import shm as shm_rings
-from repro.engine.shm import RingClosedError, ShmRing
+from repro.engine.shm import PeerDeadError, RingClosedError, ShmRing
 from repro.temporal.elements import Element
 
 #: Builds one shard's merge; receives the sink callable capturing output.
@@ -148,6 +148,13 @@ def _shm_shard_loop(
     try:
         in_ring.child_deregister()
         out_ring.child_deregister()
+        parent = multiprocessing.parent_process()
+        if parent is not None:
+            # A dead driver turns blocking ring waits into PeerDeadError
+            # (a RingClosedError), so the worker exits instead of
+            # spinning as an orphan on a ring nobody will ever drain.
+            in_ring.set_liveness(parent.is_alive)
+            out_ring.set_liveness(parent.is_alive)
         buffer: List[Element] = []
         merge = factory(buffer.append)
         while True:
@@ -255,6 +262,9 @@ class ParallelRuntime:
         self.registry = registry
         self.submitted = 0
         self.collected = 0
+        #: Grace period close() gives each worker before escalating to
+        #: terminate()/kill() (see :meth:`_join_or_escalate`).
+        self.close_join_timeout = 30.0
         self._started = False
         self._closed = False
         self._pending: List[Tuple[int, Batch]] = []
@@ -330,6 +340,10 @@ class ParallelRuntime:
                     daemon=True,
                 )
                 process.start()
+                # A dead worker turns blocking ring waits into
+                # PeerDeadError instead of an infinite spin.
+                in_ring.set_liveness(process.is_alive)
+                out_ring.set_liveness(process.is_alive)
                 self._processes.append(process)
         else:  # process backend, object envelope
             context = multiprocessing.get_context(
@@ -390,17 +404,24 @@ class ParallelRuntime:
                 self._note_output(message)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
-        for process in self._processes:
-            process.join(timeout=30)
+        self._join_or_escalate(stats)
         self._stats = stats
         return stats
 
     def _close_shm(self) -> List[Any]:
         """Shm-exchange shutdown: sentinel through each input ring, then
         drain each output ring to its worker's DONE frame."""
-        for in_ring in self._in_rings:
-            while not in_ring.put_pickle(shm_rings.CTRL, None, timeout=0.05):
-                self._drain_shm_outputs()
+        for shard, in_ring in enumerate(self._in_rings):
+            try:
+                while not in_ring.put_pickle(
+                    shm_rings.CTRL, None, timeout=0.05
+                ):
+                    self._drain_shm_outputs()
+            except PeerDeadError:
+                self._abort()
+                raise ShardError(
+                    shard, "worker died before shutdown"
+                ) from None
         stats: List[Any] = [None] * self.num_shards
         for shard in range(self.num_shards):
             while shard not in self._final_stats:
@@ -411,8 +432,7 @@ class ParallelRuntime:
                         shard, "worker died without reporting stats"
                     )
             stats[shard] = self._final_stats[shard]
-        for process in self._processes:
-            process.join(timeout=30)
+        self._join_or_escalate(stats)
         # Every worker's DONE is in, so the rings are drained (per-shard
         # FIFO puts all OUT frames before DONE); any remaining output now
         # lives in _pending, which poll() keeps serving after close.
@@ -473,6 +493,36 @@ class ParallelRuntime:
         if message[0] == "out":
             self._pending.append((message[1], message[2]))
 
+    def _join_or_escalate(self, stats: List[Any]) -> None:
+        """Join every worker, escalating join(30) -> terminate() ->
+        kill() for any that refuse to exit.
+
+        An escalation is recorded on the shard's
+        :attr:`~repro.lmerge.base.MergeStats.escalations` counter (when
+        the stats object carries one) and, with a registry attached, on
+        the ``shard_close_escalations_total`` counter — a hung worker at
+        shutdown is a bug signal, not business as usual.
+        """
+        for shard, process in enumerate(self._processes):
+            process.join(timeout=self.close_join_timeout)
+            if not process.is_alive():
+                continue
+            process.terminate()
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck in kernel
+                process.kill()
+                process.join(timeout=5)
+            if (
+                shard < len(stats)
+                and stats[shard] is not None
+                and hasattr(stats[shard], "escalations")
+            ):
+                stats[shard].escalations += 1
+            if self.registry is not None:
+                self.registry.counter(
+                    "shard_close_escalations_total", {"shard": shard}
+                ).inc()
+
     def _abort(self) -> None:
         """Tear workers down after a shard error."""
         if self._executor is not None:
@@ -483,13 +533,20 @@ class ParallelRuntime:
                     pass
             self._executor.shutdown(wait=False)
         for ring in (*self._in_rings, *self._out_rings):
-            ring.close_ring()
+            if ring is not None:
+                ring.close_ring()
         for process in self._processes:
-            process.terminate()
+            if process is not None and process.is_alive():
+                process.terminate()
         for process in self._processes:
-            process.join(timeout=5)
+            if process is not None:
+                process.join(timeout=5)
+                if process.is_alive():  # pragma: no cover - stuck in kernel
+                    process.kill()
+                    process.join(timeout=5)
         for ring in (*self._in_rings, *self._out_rings):
-            ring.destroy()
+            if ring is not None:
+                ring.destroy()
         self._in_rings = []
         self._out_rings = []
 
@@ -519,11 +576,19 @@ class ParallelRuntime:
                     shard.detach(message[1])
             return
         if self._uses_shm:
-            for in_ring in self._in_rings:
-                while not in_ring.put_pickle(
-                    shm_rings.CTRL, message, timeout=0.05
-                ):
-                    self._drain_shm_outputs()
+            for shard, in_ring in enumerate(self._in_rings):
+                try:
+                    while not in_ring.put_pickle(
+                        shm_rings.CTRL, message, timeout=0.05
+                    ):
+                        self._drain_shm_outputs()
+                except PeerDeadError:
+                    self._abort()
+                    raise ShardError(
+                        shard,
+                        f"worker process died (control {message[0]!r} "
+                        "undeliverable)",
+                    ) from None
             return
         for shard_queue in self._inputs:
             shard_queue.put(message)
@@ -616,8 +681,18 @@ class ParallelRuntime:
             registry.counter("exchange_encode_seconds_total", labels).inc(
                 encode_seconds
             )
-        while not ring.put_frame(shm_rings.BATCH, frame_size, fill, timeout=0.05):
-            self._drain_shm_outputs()
+        try:
+            while not ring.put_frame(
+                shm_rings.BATCH, frame_size, fill, timeout=0.05
+            ):
+                self._drain_shm_outputs()
+        except PeerDeadError:
+            exitcode = self._processes[shard].exitcode
+            self._abort()
+            raise ShardError(
+                shard,
+                f"worker process died mid-stream (exitcode {exitcode})",
+            ) from None
         if registry is not None:
             registry.gauge("exchange_ring_occupancy", {"shard": shard}).set(
                 ring.occupancy

@@ -59,7 +59,10 @@ __all__ = [
     "OUT",
     "DONE",
     "ERR",
+    "HB",
+    "CKPT",
     "RingClosedError",
+    "PeerDeadError",
     "ShmRing",
 ]
 
@@ -69,6 +72,8 @@ BATCH = 2  #: stream-id header + ColumnBatch wire frame (driver -> worker)
 OUT = 3  #: ColumnBatch wire frame of shard output (worker -> driver)
 DONE = 4  #: pickled final MergeStats (worker -> driver, last frame)
 ERR = 5  #: pickled worker traceback text (worker -> driver, last frame)
+HB = 6  #: pickled heartbeat/progress tuple (supervised worker -> driver)
+CKPT = 7  #: pickled checkpoint acknowledgement (supervised worker -> driver)
 
 _FRAME = Struct("<BI")
 _U64 = Struct("<Q")
@@ -96,8 +101,23 @@ _NAP_MAX = 0.002
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 
+#: A blocked put/get polls the liveness callback only once it has
+#: entered the nap stage, and then every this-many backoff iterations —
+#: `is_alive()` is a syscall, so don't pay it per 0.2ms nap.
+_LIVENESS_EVERY = 8
+
+
 class RingClosedError(RuntimeError):
     """The peer closed the ring; no further frames will flow."""
+
+
+class PeerDeadError(RingClosedError):
+    """The peer process died without closing the ring.
+
+    Raised from a blocking :meth:`ShmRing.put_frame`/:meth:`ShmRing.get`
+    when the optional liveness callback reports the other side gone —
+    the dead-peer detection that replaces spinning until timeout.
+    """
 
 
 class ShmRing:
@@ -107,12 +127,31 @@ class ShmRing:
         if capacity < 4096:
             raise ValueError("ring capacity must be at least 4096 bytes")
         self.capacity = capacity
+        #: Optional peer-liveness probe consulted by blocking loops (see
+        #: :meth:`set_liveness`).  Not part of the shared state: each side
+        #: installs its own probe for the *other* side.
+        self.liveness: Optional[Callable[[], bool]] = None
         self._shm = shared_memory.SharedMemory(
             create=True, size=_DATA_START + capacity
         )
         self.name = self._shm.name
         buf = self._shm.buf
         buf[:_DATA_START] = bytes(_DATA_START)
+
+    def set_liveness(self, probe: Optional[Callable[[], bool]]) -> None:
+        """Install a peer-liveness probe for this side's blocking loops.
+
+        *probe* returns True while the peer process is alive.  A blocked
+        ``put_frame``/``get`` polls it during backoff and raises
+        :class:`PeerDeadError` instead of spinning out its timeout when
+        the peer has exited without a DONE/ERR frame.  The driver installs
+        ``process.is_alive``; workers install a parent-process check.
+        """
+        self.liveness = probe
+
+    def _peer_dead(self) -> bool:
+        probe = self.liveness
+        return probe is not None and not probe()
 
     # ------------------------------------------------------------------
     # State block accessors (each field is written by exactly one side)
@@ -202,6 +241,10 @@ class ShmRing:
             if spins < _SPIN_YIELDS:
                 time.sleep(0)
             else:
+                if spins % _LIVENESS_EVERY == 0 and self._peer_dead():
+                    raise PeerDeadError(
+                        "ring consumer process died while the ring was full"
+                    )
                 nap = min(nap * 2 or _NAP_SECONDS, _NAP_MAX)
                 time.sleep(nap)
             spins += 1
@@ -262,6 +305,14 @@ class ShmRing:
             if spins < _SPIN_YIELDS:
                 time.sleep(0)
             else:
+                if spins % _LIVENESS_EVERY == 0 and self._peer_dead():
+                    # Re-check emptiness once: the peer may have published
+                    # a final frame between the empty check and its death.
+                    if self._tail() != head:
+                        break
+                    raise PeerDeadError(
+                        "ring producer process died with the ring empty"
+                    )
                 nap = min(nap * 2 or _NAP_SECONDS, _NAP_MAX)
                 time.sleep(nap)
             spins += 1
@@ -321,6 +372,9 @@ class ShmRing:
         # unlink).
         state = self.__dict__.copy()
         state["_unpickled"] = True
+        # Liveness probes are per-process closures (the driver's probe
+        # watches the worker and vice versa); never ship one across.
+        state["liveness"] = None
         return state
 
     def child_deregister(self) -> None:

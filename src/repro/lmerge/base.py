@@ -15,7 +15,7 @@ Responsibilities shared across R0-R4:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -71,6 +71,10 @@ class MergeStats:
     inserts_out: int = 0
     adjusts_out: int = 0
     stables_out: int = 0
+    #: Worker shutdowns that had to be escalated past ``join()`` to
+    #: ``terminate()``/``kill()`` (see ``ParallelRuntime.close``); 0 on a
+    #: clean run.
+    escalations: int = 0
 
     @property
     def elements_in(self) -> int:
@@ -97,6 +101,7 @@ class MergeStats:
         self.inserts_out += other.inserts_out
         self.adjusts_out += other.adjusts_out
         self.stables_out += other.stables_out
+        self.escalations += other.escalations
         return self
 
     def __add__(self, other: "MergeStats") -> "MergeStats":
@@ -109,6 +114,7 @@ class MergeStats:
             inserts_out=self.inserts_out + other.inserts_out,
             adjusts_out=self.adjusts_out + other.adjusts_out,
             stables_out=self.stables_out + other.stables_out,
+            escalations=self.escalations + other.escalations,
         )
 
     def __radd__(self, other) -> "MergeStats":
@@ -126,10 +132,19 @@ class MergeStats:
             "inserts_out": self.inserts_out,
             "adjusts_out": self.adjusts_out,
             "stables_out": self.stables_out,
+            "escalations": self.escalations,
             "elements_in": self.elements_in,
             "elements_out": self.elements_out,
             "chattiness": self.chattiness,
         }
+
+    def to_state(self) -> Dict[str, int]:
+        """The raw counter fields as a plain dict (snapshot payload)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, int]) -> "MergeStats":
+        return cls(**state)
 
 
 @dataclass
@@ -681,6 +696,71 @@ class LMergeBase:
     def memory_bytes(self) -> int:
         """Approximate bytes of merge state (see :mod:`repro.structures.sizing`)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Durable state (snapshot/restore; see repro.resilience)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture this merge's full operator state as plain, picklable
+        data.
+
+        The snapshot covers everything :meth:`restore_state` needs to
+        resume processing mid-stream with identical behaviour: the input
+        roster (guarantee/stable/leaving per input), the output frontier,
+        the leader cache, the statistics, and the variant's own state via
+        :meth:`_snapshot_extra` (scalars for R0-R2, full index contents
+        for R3/R4).  Past output *elements* are deliberately excluded —
+        replay is deterministic, so recovery re-derives them (see
+        docs/RESILIENCE.md).
+        """
+        return {
+            "algorithm": self.algorithm,
+            "max_stable": self.max_stable,
+            "inputs": {
+                stream_id: (state.guarantee_from, state.last_stable, state.leaving)
+                for stream_id, state in self._inputs.items()
+            },
+            "leader": self._leader,
+            "leader_stable": self._leader_stable,
+            "stats": self.stats.to_state(),
+            "extra": self._snapshot_extra(),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Restore the state captured by :meth:`snapshot_state`.
+
+        Must be called on a freshly constructed instance of the *same*
+        variant (same constructor arguments); raises ``ValueError`` on an
+        algorithm mismatch.
+        """
+        if snapshot["algorithm"] != self.algorithm:
+            raise ValueError(
+                f"snapshot is from {snapshot['algorithm']!r}, "
+                f"cannot restore into {self.algorithm!r}"
+            )
+        self._inputs.clear()
+        for stream_id, (guarantee, last_stable, leaving) in snapshot[
+            "inputs"
+        ].items():
+            self._inputs[stream_id] = _InputState(
+                stream_id, guarantee, last_stable, leaving
+            )
+            # Give the variant its per-input state (R1 counters); the
+            # snapshot's extra payload overwrites the values below.
+            self._on_attach(stream_id)
+        self.max_stable = snapshot["max_stable"]
+        self._leader = snapshot["leader"]
+        self._leader_stable = snapshot["leader_stable"]
+        self.stats = MergeStats.from_state(snapshot["stats"])
+        self._restore_extra(snapshot["extra"])
+
+    def _snapshot_extra(self) -> dict:
+        """Subclass hook: the variant's own state, as picklable data."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Subclass hook: restore what :meth:`_snapshot_extra` captured."""
 
     # ------------------------------------------------------------------
     # Offline driver

@@ -68,3 +68,9 @@ class LMergeR0(LMergeBase):
 
     def memory_bytes(self) -> int:
         return 16  # MaxVs + MaxStable
+
+    def _snapshot_extra(self) -> dict:
+        return {"max_vs": self._max_vs}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._max_vs = extra["max_vs"]

@@ -149,3 +149,10 @@ class LMergeR1(LMergeBase):
 
     def memory_bytes(self) -> int:
         return 16 + len(self._same_vs_count) * HASH_ENTRY_OVERHEAD
+
+    def _snapshot_extra(self) -> dict:
+        return {"max_vs": self._max_vs, "counts": dict(self._same_vs_count)}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._max_vs = extra["max_vs"]
+        self._same_vs_count = dict(extra["counts"])

@@ -93,3 +93,15 @@ class LMergeR2(LMergeBase):
 
     def memory_bytes(self) -> int:
         return 16 + self._hash_bytes + len(self._hash) * HASH_ENTRY_OVERHEAD
+
+    def _snapshot_extra(self) -> dict:
+        return {
+            "max_vs": self._max_vs,
+            "hash": dict(self._hash),
+            "hash_bytes": self._hash_bytes,
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._max_vs = extra["max_vs"]
+        self._hash = dict(extra["hash"])
+        self._hash_bytes = extra["hash_bytes"]

@@ -288,6 +288,18 @@ class LMergeR4(LMergeBase):
     def memory_bytes(self) -> int:
         return 16 + self._index.memory_bytes()
 
+    def _snapshot_extra(self) -> dict:
+        return {
+            "index": self._index.snapshot(),
+            "dropped_frozen": self.dropped_frozen,
+            "stable_scan_nodes": self.stable_scan_nodes,
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._index.restore(extra["index"])
+        self.dropped_frozen = extra["dropped_frozen"]
+        self.stable_scan_nodes = extra["stable_scan_nodes"]
+
     @property
     def live_keys(self) -> int:
         return len(self._index)

@@ -67,6 +67,10 @@ class ShardedLMerge:
         name: str = "sharded-lmerge",
         registry=None,
         envelope: str = "columnar",
+        supervised: bool = False,
+        durable_dir: Optional[str] = None,
+        fault_plan=None,
+        supervisor_options: Optional[dict] = None,
         **merge_kwargs,
     ):
         if num_shards < 1:
@@ -75,6 +79,18 @@ class ShardedLMerge:
             raise ValueError(
                 f"unknown envelope {envelope!r}; expected {ENVELOPES}"
             )
+        if supervised:
+            if backend != "process" or envelope != "columnar":
+                raise ValueError(
+                    "supervised plans require backend='process' and "
+                    "envelope='columnar' (the shm exchange carries the "
+                    "sequencing and heartbeat frames)"
+                )
+            if durable_dir is None:
+                raise ValueError(
+                    "supervised plans need durable_dir for their "
+                    "per-shard state stores"
+                )
         self.merge_cls = merge_cls
         self.algorithm = f"{merge_cls.algorithm}x{num_shards}[{backend}]"
         self.restriction = merge_cls.restriction
@@ -98,15 +114,29 @@ class ShardedLMerge:
         sink = CollectorSink(name=f"{name}.out")
         self._union.subscribe(sink)
         self.output = sink.stream
-        self._runtime = ParallelRuntime(
-            merge_factory(merge_cls, **merge_kwargs),
-            num_shards,
-            backend=backend,
-            queue_capacity=queue_capacity,
-            coalesce_stables=coalesce_stables,
-            registry=registry,
-            envelope=envelope,
-        ).start()
+        if supervised:
+            from repro.resilience.supervisor import SupervisedRuntime
+
+            self._runtime = SupervisedRuntime(
+                merge_factory(merge_cls, **merge_kwargs),
+                num_shards,
+                durable_dir=durable_dir,
+                fault_plan=fault_plan,
+                queue_capacity=queue_capacity,
+                coalesce_stables=coalesce_stables,
+                registry=registry,
+                **(supervisor_options or {}),
+            ).start()
+        else:
+            self._runtime = ParallelRuntime(
+                merge_factory(merge_cls, **merge_kwargs),
+                num_shards,
+                backend=backend,
+                queue_capacity=queue_capacity,
+                coalesce_stables=coalesce_stables,
+                registry=registry,
+                envelope=envelope,
+            ).start()
         self._observer = None
         if registry is not None:
             from repro.obs.lmerge_obs import ShardObserver
@@ -204,6 +234,14 @@ class ShardedLMerge:
         """Per-shard input-queue depths (see
         :meth:`~repro.engine.parallel.ParallelRuntime.queue_depths`)."""
         return self._runtime.queue_depths()
+
+    @property
+    def runtime(self) -> ParallelRuntime:
+        """The worker runtime driving the shards (a
+        :class:`~repro.resilience.supervisor.SupervisedRuntime` when the
+        plan was built with ``supervised=True`` — its ``recoveries`` and
+        ``restarts`` tell you what the supervisor had to do)."""
+        return self._runtime
 
     def close(self) -> MergeStats:
         """Drain the workers, fold per-shard statistics, and return the
@@ -304,6 +342,10 @@ def shard(
     coalesce_stables: bool = False,
     registry=None,
     envelope: str = "columnar",
+    supervised: bool = False,
+    durable_dir: Optional[str] = None,
+    fault_plan=None,
+    supervisor_options: Optional[dict] = None,
     **merge_kwargs,
 ) -> ShardedLMerge:
     """Wrap an LMerge variant in an N-shard partition-parallel plan.
@@ -332,5 +374,9 @@ def shard(
         coalesce_stables=coalesce_stables,
         registry=registry,
         envelope=envelope,
+        supervised=supervised,
+        durable_dir=durable_dir,
+        fault_plan=fault_plan,
+        supervisor_options=supervisor_options,
         **merge_kwargs,
     )

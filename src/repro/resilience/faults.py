@@ -1,0 +1,130 @@
+"""Deterministic, seeded fault injection for supervised merge runs.
+
+A :class:`FaultPlan` names, per shard, the input-journal sequence numbers
+at which something goes wrong.  The plan is plain frozen data — picklable
+(workers carry their slice across the fork) and seeded, so a chaos run is
+exactly reproducible from ``(seed, workload)``:
+
+* **kills** — the worker calls ``os._exit`` right after applying the
+  batch (a crash at a batch boundary: state since the last checkpoint is
+  lost, the supervisor must restore + replay);
+* **stalls** — the worker stops reading input and sending heartbeats (a
+  hang: detected by heartbeat timeout, not process death);
+* **drops** — the driver never delivers the frame (the worker detects the
+  sequence gap on the next frame and asks to be recovered);
+* **duplicates** — the driver delivers the frame twice (the worker's
+  sequence gate must absorb it);
+* **delays** — the driver delivers the frame *after* its successor (a
+  reorder; the early successor trips the same gap detection).
+
+Worker-side faults (kills/stalls) take a *floor*: a respawned worker
+ignores fault sites at or below the highest sequence the driver had
+already delivered when it respawned, so a deterministic replay does not
+re-trigger the crash that caused it.  Driver-side faults are applied
+only on first delivery, never during recovery replay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+__all__ = ["FaultPlan", "KILL_EXIT_CODE"]
+
+#: The exit code a fault-killed worker dies with (recognizable in logs).
+KILL_EXIT_CODE = 23
+
+Site = Tuple[int, int]  # (shard, seq)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded fault sites for one supervised run (all sets of
+    ``(shard, seq)`` pairs; seq is the per-shard journal sequence)."""
+
+    kills: FrozenSet[Site] = field(default_factory=frozenset)
+    stalls: FrozenSet[Site] = field(default_factory=frozenset)
+    drops: FrozenSet[Site] = field(default_factory=frozenset)
+    duplicates: FrozenSet[Site] = field(default_factory=frozenset)
+    delays: FrozenSet[Site] = field(default_factory=frozenset)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_shards: int,
+        horizon: int,
+        *,
+        kills: int = 1,
+        stalls: int = 0,
+        drops: int = 0,
+        duplicates: int = 0,
+        delays: int = 0,
+    ) -> "FaultPlan":
+        """Draw fault sites uniformly over ``shard x [1, horizon]``.
+
+        *horizon* is the expected number of batches each shard will see;
+        sites past the actual run length simply never fire.  Sites are
+        drawn without replacement so one batch suffers one fault.
+        """
+        if horizon < 1:
+            raise ValueError("horizon must be positive")
+        rng = random.Random(seed)
+        sites = [
+            (shard, seq)
+            for shard in range(num_shards)
+            for seq in range(1, horizon + 1)
+        ]
+        rng.shuffle(sites)
+        wanted = kills + stalls + drops + duplicates + delays
+        if wanted > len(sites):
+            raise ValueError(
+                f"{wanted} fault sites requested but only {len(sites)} "
+                f"(shard, seq) cells exist"
+            )
+        picked = iter(sites)
+        take = lambda n: frozenset(next(picked) for _ in range(n))  # noqa: E731
+        return cls(
+            kills=take(kills),
+            stalls=take(stalls),
+            drops=take(drops),
+            duplicates=take(duplicates),
+            delays=take(delays),
+        )
+
+    # -- worker side (floor-gated) --------------------------------------
+
+    def kill_after(self, shard: int, seq: int, floor: int = 0) -> bool:
+        return seq > floor and (shard, seq) in self.kills
+
+    def stall_after(self, shard: int, seq: int, floor: int = 0) -> bool:
+        return seq > floor and (shard, seq) in self.stalls
+
+    # -- driver side (first delivery only) ------------------------------
+
+    def drop_frame(self, shard: int, seq: int) -> bool:
+        return (shard, seq) in self.drops
+
+    def duplicate_frame(self, shard: int, seq: int) -> bool:
+        return (shard, seq) in self.duplicates
+
+    def delay_frame(self, shard: int, seq: int) -> bool:
+        return (shard, seq) in self.delays
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.kills or self.stalls or self.drops
+            or self.duplicates or self.delays
+        )
+
+    def describe(self) -> dict:
+        """JSON-ready summary (embedded in chaos reports)."""
+        return {
+            "kills": sorted(self.kills),
+            "stalls": sorted(self.stalls),
+            "drops": sorted(self.drops),
+            "duplicates": sorted(self.duplicates),
+            "delays": sorted(self.delays),
+        }

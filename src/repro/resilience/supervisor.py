@@ -1,0 +1,837 @@
+"""Supervised shard workers: crash detection, durable checkpoints, and
+restart-with-replay for the process-backend merge runtime.
+
+:class:`SupervisedRuntime` extends
+:class:`~repro.engine.parallel.ParallelRuntime` (process backend,
+columnar envelope, shared-memory rings) with the recovery path the paper
+assumes exists around LMerge (Section II — masking physical failure):
+
+* every frame the driver sends a shard carries a per-shard **sequence
+  number** and is retained in an in-memory journal until the worker
+  acknowledges a durable checkpoint covering it;
+* the worker **heartbeats** over the existing ring (``HB`` frames) when
+  idle and after every batch, and periodically persists a
+  :meth:`~repro.lmerge.base.LMergeBase.snapshot_state` into its own
+  :class:`~repro.resilience.store.StateStore` — preferentially right
+  after the merge's stable frontier (CTI) advances, so checkpoints sit
+  at CTI boundaries and the store compacts there;
+* the driver detects death three ways — ``process.is_alive()``,
+  :class:`~repro.engine.shm.PeerDeadError` from a ring operation, and a
+  stale heartbeat (hang detection) — and **recovers**: kill the
+  remnants, rebuild the rings, respawn the worker (which restores the
+  last durable snapshot), and replay the journal tail.  Restarts back
+  off exponentially and are bounded by ``max_restarts``, after which the
+  failure surfaces as the classic
+  :class:`~repro.engine.parallel.ShardError`;
+* worker **output dedup** makes recovery exact, not just equivalent:
+  each ``OUT`` frame carries the worker's cumulative emitted-count
+  before the batch, and replay is deterministic, so the driver slices
+  off exactly the rows it has already delivered.  The recovered output
+  is element-identical to the uninterrupted run's per-shard output.
+
+The sequence gate also subsumes transport faults: a dropped or reordered
+frame shows up as a gap (the worker reports it and asks to be
+recovered), a duplicated frame is skipped.  The seeded
+:class:`~repro.resilience.faults.FaultPlan` drives exactly these paths
+in the chaos tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+from time import monotonic, perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.engine import shm as shm_rings
+from repro.engine.columnar import ColumnBatch
+from repro.engine.parallel import (
+    ParallelRuntime,
+    ShardError,
+    ShardFactory,
+)
+from repro.engine.shm import RingClosedError, ShmRing
+from repro.resilience.faults import KILL_EXIT_CODE, FaultPlan
+from repro.resilience.snapshot import load_snapshot, save_snapshot
+from repro.resilience.store import StateStore
+from repro.temporal.elements import Element
+
+__all__ = ["SupervisedRuntime", "RecoveryRecord"]
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+@dataclass
+class RecoveryRecord:
+    """One completed shard recovery (``SupervisedRuntime.recoveries``)."""
+
+    shard: int
+    attempt: int
+    reason: str
+    resumed_seq: int
+    replayed_entries: int
+    replayed_elements: int
+    seconds: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "attempt": self.attempt,
+            "reason": self.reason.strip().splitlines()[-1] if self.reason else "",
+            "resumed_seq": self.resumed_seq,
+            "replayed_entries": self.replayed_entries,
+            "replayed_elements": self.replayed_elements,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class _WorkerConfig:
+    """Everything a supervised worker process needs (picklable)."""
+
+    shard: int
+    factory: ShardFactory
+    store_dir: str
+    coalesce_stables: bool
+    heartbeat_interval: float
+    checkpoint_every: int
+    fault_plan: Optional[FaultPlan]
+    fault_floor: int
+    fsync: bool
+
+
+def _supervised_shard_loop(
+    config: _WorkerConfig, in_ring: ShmRing, out_ring: ShmRing
+) -> None:
+    """One supervised worker incarnation.
+
+    Restores the last durable snapshot (if any), announces
+    ``("resumed", applied_seq, emitted)``, then applies sequenced frames
+    behind a duplicate/gap gate, checkpointing at CTI boundaries and
+    every *checkpoint_every* batches.
+    """
+    shard = config.shard
+    try:
+        in_ring.child_deregister()
+        out_ring.child_deregister()
+        parent = multiprocessing.parent_process()
+        if parent is not None:
+            in_ring.set_liveness(parent.is_alive)
+            out_ring.set_liveness(parent.is_alive)
+        store = StateStore(
+            config.store_dir, fsync=config.fsync, name=f"shard-{shard}"
+        )
+        buffer: List[Element] = []
+        merge = config.factory(buffer.append)
+        applied_seq = 0
+        emitted = 0
+        loaded = load_snapshot(store)
+        if loaded is not None:
+            merge_state, applied_seq, emitted = loaded
+            merge.restore_state(merge_state)
+        plan = config.fault_plan
+        floor = config.fault_floor
+        batches_since_ckpt = 0
+        last_ckpt_stable = merge.max_stable
+        out_ring.put_pickle(
+            shm_rings.HB, ("resumed", applied_seq, emitted)
+        )
+        while True:
+            frame = in_ring.get(timeout=config.heartbeat_interval)
+            if frame is None:
+                out_ring.put_pickle(
+                    shm_rings.HB, ("hb", applied_seq, emitted), timeout=0
+                )
+                continue
+            kind, payload = frame
+            if kind == shm_rings.BATCH:
+                seq = int.from_bytes(payload[:8], "little")
+                if seq <= applied_seq:
+                    continue  # duplicated delivery: already applied
+                if seq != applied_seq + 1:
+                    # A frame was lost or reordered in front of us; we
+                    # cannot apply out of order — ask to be recovered.
+                    out_ring.put_pickle(
+                        shm_rings.HB,
+                        ("gap", applied_seq + 1, seq),
+                        timeout=5.0,
+                    )
+                    return
+                sid_len = int.from_bytes(payload[8:10], "little")
+                stream_id = pickle.loads(payload[10 : 10 + sid_len])
+                batch = ColumnBatch.decode(
+                    memoryview(payload)[10 + sid_len :]
+                )
+                merge.process_columns(
+                    batch,
+                    stream_id,
+                    coalesce_stables=config.coalesce_stables,
+                )
+                applied_seq = seq
+                if buffer:
+                    out = ColumnBatch.from_elements(buffer[:])
+                    buffer.clear()
+                    size, prebuilt = out.encoded_size()
+                    header = emitted.to_bytes(8, "little")
+
+                    def fill(view: memoryview) -> None:
+                        view[0:8] = header
+                        out.encode_into(view[8:], prebuilt)
+
+                    out_ring.put_frame(shm_rings.OUT, 8 + size, fill)
+                    emitted += len(out)
+                # Fault sites fire at the batch boundary, *before* the
+                # checkpoint: the killed batch is never durable, so
+                # recovery always has a tail to replay.
+                if plan is not None and plan.kill_after(shard, seq, floor):
+                    os._exit(KILL_EXIT_CODE)
+                if plan is not None and plan.stall_after(shard, seq, floor):
+                    while True:  # simulated hang until the supervisor kills us
+                        time.sleep(0.05)
+                out_ring.put_pickle(
+                    shm_rings.HB, ("hb", applied_seq, emitted), timeout=0
+                )
+                batches_since_ckpt += 1
+                if batches_since_ckpt >= config.checkpoint_every or (
+                    merge.max_stable > last_ckpt_stable
+                ):
+                    save_snapshot(store, merge, applied_seq, emitted)
+                    store.maybe_compact(min_dead_bytes=64 << 10)
+                    batches_since_ckpt = 0
+                    last_ckpt_stable = merge.max_stable
+                    out_ring.put_pickle(
+                        shm_rings.CKPT,
+                        ("auto", applied_seq, emitted, store.total_bytes),
+                        timeout=5.0,
+                    )
+            elif kind == shm_rings.CTRL:
+                message = pickle.loads(payload)
+                if message is None:
+                    save_snapshot(store, merge, applied_seq, emitted)
+                    out_ring.put_pickle(shm_rings.DONE, merge.stats)
+                    store.close()
+                    return
+                tag = message[0]
+                if tag == "op":
+                    _, seq, op = message
+                    if seq <= applied_seq:
+                        continue
+                    if seq != applied_seq + 1:
+                        out_ring.put_pickle(
+                            shm_rings.HB,
+                            ("gap", applied_seq + 1, seq),
+                            timeout=5.0,
+                        )
+                        return
+                    if op[0] == "attach":
+                        merge.attach(op[1], op[2])
+                    else:
+                        merge.detach(op[1])
+                    applied_seq = seq
+                elif tag == "ckpt":
+                    save_snapshot(store, merge, applied_seq, emitted)
+                    store.maybe_compact(min_dead_bytes=64 << 10)
+                    batches_since_ckpt = 0
+                    last_ckpt_stable = merge.max_stable
+                    out_ring.put_pickle(
+                        shm_rings.CKPT,
+                        (message[1], applied_seq, emitted, store.total_bytes),
+                        timeout=5.0,
+                    )
+                else:  # pragma: no cover - driver and worker in lockstep
+                    raise ValueError(f"unknown control {message!r}")
+            else:  # pragma: no cover - driver and worker in lockstep
+                raise ValueError(f"unexpected frame kind {kind}")
+    except RingClosedError:
+        pass
+    except BaseException:
+        details = traceback.format_exc()
+        delivered = False
+        try:
+            delivered = out_ring.put_pickle(
+                shm_rings.ERR, details, timeout=5.0
+            )
+        except Exception:
+            pass
+        if not delivered:  # pragma: no cover - ERR frame could not land
+            sys.stderr.write(f"[supervised shard {shard}] {details}\n")
+
+
+#: Journal entries: ("batch", stream_id, ColumnBatch) or ("op", op_tuple).
+_JournalEntry = Tuple
+
+
+class SupervisedRuntime(ParallelRuntime):
+    """A crash-recovering :class:`ParallelRuntime` (process + columnar).
+
+    ::
+
+        runtime = SupervisedRuntime(
+            factory, num_shards=4, durable_dir="/var/lib/merge",
+            max_restarts=3, fault_plan=None,
+        ).start()
+
+    Durable state lives under ``durable_dir/shard-<i>/``; a later
+    ``SupervisedRuntime`` over the same directory resumes each shard
+    from its snapshot (the driver-restart story is the `repro.ha`
+    jumpstart seam — see docs/RESILIENCE.md).
+
+    *fault_plan* injects deterministic faults for chaos testing; see
+    :class:`~repro.resilience.faults.FaultPlan`.
+    """
+
+    def __init__(
+        self,
+        factory: ShardFactory,
+        num_shards: int,
+        *,
+        durable_dir: str,
+        checkpoint_every: int = 8,
+        heartbeat_interval: float = 0.05,
+        heartbeat_timeout: float = 2.0,
+        max_restarts: int = 5,
+        restart_backoff: float = 0.05,
+        restart_backoff_cap: float = 2.0,
+        resume_timeout: float = 30.0,
+        fault_plan: Optional[FaultPlan] = None,
+        fsync: bool = False,
+        queue_capacity: int = 64,
+        coalesce_stables: bool = False,
+        registry=None,
+        ring_capacity: int = 1 << 20,
+    ):
+        super().__init__(
+            factory,
+            num_shards,
+            backend="process",
+            queue_capacity=queue_capacity,
+            coalesce_stables=coalesce_stables,
+            registry=registry,
+            envelope="columnar",
+            ring_capacity=ring_capacity,
+        )
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        self.durable_dir = durable_dir
+        self.checkpoint_every = checkpoint_every
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_cap = restart_backoff_cap
+        self.resume_timeout = resume_timeout
+        self.fault_plan = fault_plan
+        self.fsync = fsync
+        #: Completed recoveries, for introspection and chaos reports.
+        self.recoveries: List[RecoveryRecord] = []
+        n = num_shards
+        self._journal: List[List[Tuple[int, _JournalEntry]]] = [
+            [] for _ in range(n)
+        ]
+        self._next_seq = [1] * n
+        self._delivered = [0] * n  # output elements handed downstream
+        self._last_beat = [0.0] * n
+        self._restarts = [0] * n
+        self._needs_recovery = [False] * n
+        self._recovery_reason = [""] * n
+        self._last_ckpt_ack: List[Optional[Tuple]] = [None] * n
+        self._delayed: List[Optional[Tuple[int, _JournalEntry]]] = [None] * n
+        self._worker_done = [False] * n
+        self._ckpt_ident = 0
+        self._context = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "SupervisedRuntime":
+        if self._started:
+            raise RuntimeError("runtime already started")
+        self._started = True
+        self._context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        os.makedirs(self.durable_dir, exist_ok=True)
+        self._in_rings = [None] * self.num_shards  # type: ignore[list-item]
+        self._out_rings = [None] * self.num_shards  # type: ignore[list-item]
+        self._processes = [None] * self.num_shards  # type: ignore[list-item]
+        for shard in range(self.num_shards):
+            self._spawn(shard)
+        for shard in range(self.num_shards):
+            resumed = self._await_resumed(shard)
+            if resumed is None:
+                self._abort()
+                raise ShardError(
+                    shard, "worker failed to announce itself at startup"
+                )
+            applied, emitted = resumed
+            # Resuming over an existing durable_dir (driver restart):
+            # pick the sequence numbering and output coordinate back up
+            # where the snapshot left them.
+            self._next_seq[shard] = applied + 1
+            self._delivered[shard] = emitted
+        return self
+
+    def _store_dir(self, shard: int) -> str:
+        return os.path.join(self.durable_dir, f"shard-{shard}")
+
+    def _spawn(self, shard: int) -> None:
+        """Create fresh rings and one worker process for *shard*."""
+        in_ring = ShmRing(self.ring_capacity)
+        out_ring = ShmRing(self.ring_capacity)
+        config = _WorkerConfig(
+            shard=shard,
+            factory=self.factory,
+            store_dir=self._store_dir(shard),
+            coalesce_stables=self.coalesce_stables,
+            heartbeat_interval=self.heartbeat_interval,
+            checkpoint_every=self.checkpoint_every,
+            fault_plan=self.fault_plan,
+            # A respawned worker must not re-trigger the fault that
+            # killed it while replaying: sites at or below the highest
+            # delivered sequence are spent.
+            fault_floor=self._next_seq[shard] - 1,
+            fsync=self.fsync,
+        )
+        process = self._context.Process(
+            target=_supervised_shard_loop,
+            args=(config, in_ring, out_ring),
+            daemon=True,
+        )
+        process.start()
+        in_ring.set_liveness(process.is_alive)
+        out_ring.set_liveness(process.is_alive)
+        self._in_rings[shard] = in_ring
+        self._out_rings[shard] = out_ring
+        self._processes[shard] = process
+        self._last_beat[shard] = monotonic()
+        self._last_ckpt_ack[shard] = None
+        self._delayed[shard] = None
+
+    def _await_resumed(self, shard: int) -> Optional[Tuple[int, int]]:
+        """Wait for the worker's ``("resumed", applied, emitted)``."""
+        deadline = monotonic() + self.resume_timeout
+        ring = self._out_rings[shard]
+        while monotonic() < deadline:
+            try:
+                frame = ring.get(timeout=0.05)
+            except RingClosedError:
+                return None
+            if frame is None:
+                continue
+            kind, payload = frame
+            if kind == shm_rings.HB:
+                message = pickle.loads(payload)
+                if message[0] == "resumed":
+                    self._last_beat[shard] = monotonic()
+                    return message[1], message[2]
+            elif kind == shm_rings.ERR:
+                self._recovery_reason[shard] = pickle.loads(payload)
+                return None
+        return None
+
+    # ------------------------------------------------------------------
+    # Health & recovery
+    # ------------------------------------------------------------------
+
+    def _shard_unhealthy(self, shard: int) -> bool:
+        if self._worker_done[shard]:
+            return False
+        process = self._processes[shard]
+        if process is None or not process.is_alive():
+            self._recovery_reason[shard] = self._recovery_reason[shard] or (
+                f"worker process died (exitcode {getattr(process, 'exitcode', None)})"
+            )
+            return True
+        if monotonic() - self._last_beat[shard] > self.heartbeat_timeout:
+            self._recovery_reason[shard] = (
+                f"heartbeat stalled for more than {self.heartbeat_timeout}s"
+            )
+            return True
+        return False
+
+    def _service(self) -> None:
+        """Recover every shard flagged unhealthy (called from poll and
+        the delivery wait loops)."""
+        for shard in range(self.num_shards):
+            if self._worker_done[shard]:
+                continue
+            if self._needs_recovery[shard] or self._shard_unhealthy(shard):
+                self._recover(shard)
+
+    def _recover(self, shard: int) -> None:
+        """Kill the remnants, respawn from the last durable checkpoint,
+        and replay the journal tail.  Raises :class:`ShardError` once
+        ``max_restarts`` is exhausted."""
+        started = perf_counter()
+        reason = self._recovery_reason[shard] or "unhealthy"
+        registry = self.registry
+        while True:
+            if self._restarts[shard] >= self.max_restarts:
+                self._abort()
+                raise ShardError(
+                    shard,
+                    f"exceeded max_restarts={self.max_restarts}; "
+                    f"last failure: {reason}",
+                )
+            self._restarts[shard] += 1
+            attempt = self._restarts[shard]
+            if registry is not None:
+                registry.counter(
+                    "restarts_total", {"shard": shard}
+                ).inc()
+            time.sleep(
+                min(
+                    self.restart_backoff_cap,
+                    self.restart_backoff * (2 ** (attempt - 1)),
+                )
+            )
+            # Salvage whatever the dying worker managed to publish (the
+            # output dedup makes re-delivery after replay harmless).
+            try:
+                while self._drain_shm_ring(shard, timeout=0):
+                    pass
+            except RingClosedError:  # pragma: no cover - ring torn down
+                pass
+            process = self._processes[shard]
+            if process is not None and process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+                if process.is_alive():  # pragma: no cover - stuck in kernel
+                    process.kill()
+                    process.join(timeout=5)
+            self._in_rings[shard].destroy()
+            self._out_rings[shard].destroy()
+            self._needs_recovery[shard] = False
+            self._recovery_reason[shard] = ""
+            self._spawn(shard)
+            resumed = self._await_resumed(shard)
+            if resumed is None:
+                reason = self._recovery_reason[shard] or (
+                    "respawned worker failed to resume"
+                )
+                continue
+            resumed_seq, _ = resumed
+            replayed_entries = 0
+            replayed_elements = 0
+            ok = True
+            for seq, entry in self._journal[shard]:
+                if seq <= resumed_seq:
+                    continue
+                if not self._put_entry(shard, seq, entry):
+                    reason = self._recovery_reason[shard] or (
+                        "worker died during journal replay"
+                    )
+                    ok = False
+                    break
+                replayed_entries += 1
+                if entry[0] == "batch":
+                    replayed_elements += len(entry[2])
+            if not ok:
+                continue
+            break
+        seconds = perf_counter() - started
+        record = RecoveryRecord(
+            shard=shard,
+            attempt=self._restarts[shard],
+            reason=reason,
+            resumed_seq=resumed_seq,
+            replayed_entries=replayed_entries,
+            replayed_elements=replayed_elements,
+            seconds=seconds,
+        )
+        self.recoveries.append(record)
+        if registry is not None:
+            registry.counter(
+                "replayed_elements_total", {"shard": shard}
+            ).inc(replayed_elements)
+            registry.histogram("recovery_seconds").observe(seconds)
+
+    # ------------------------------------------------------------------
+    # Sequenced delivery
+    # ------------------------------------------------------------------
+
+    def broadcast_attach(self, stream_id, guarantee_from=None) -> None:
+        from repro.temporal.time import MINUS_INFINITY
+
+        self._require_open()
+        if guarantee_from is None:
+            guarantee_from = MINUS_INFINITY
+        for shard in range(self.num_shards):
+            self._sequence(shard, ("op", ("attach", stream_id, guarantee_from)))
+
+    def broadcast_detach(self, stream_id) -> None:
+        self._require_open()
+        for shard in range(self.num_shards):
+            self._sequence(shard, ("op", ("detach", stream_id)))
+
+    def submit(self, shard: int, stream_id, elements) -> None:
+        self._require_open()
+        if not len(elements):
+            return
+        self.submitted += len(elements)
+        batch = (
+            elements
+            if isinstance(elements, ColumnBatch)
+            else ColumnBatch.from_elements(list(elements))
+        )
+        if self.registry is not None:
+            labels = {"shard": shard}
+            self.registry.counter(
+                "shard_elements_submitted_total", labels
+            ).inc(len(batch))
+        self._sequence(shard, ("batch", stream_id, batch))
+
+    def _sequence(self, shard: int, entry: _JournalEntry) -> None:
+        """Assign the next sequence number, journal, and deliver."""
+        seq = self._next_seq[shard]
+        self._next_seq[shard] = seq + 1
+        self._journal[shard].append((seq, entry))
+        if self._needs_recovery[shard] or self._shard_unhealthy(shard):
+            # The entry is journaled; recovery's replay delivers it.
+            self._recover(shard)
+            return
+        plan = self.fault_plan
+        if plan is not None:
+            if plan.drop_frame(shard, seq):
+                return
+            if plan.delay_frame(shard, seq):
+                self._delayed[shard] = (seq, entry)
+                return
+        ok = self._put_entry(shard, seq, entry)
+        if ok and plan is not None and plan.duplicate_frame(shard, seq):
+            ok = self._put_entry(shard, seq, entry)
+        if ok and self._delayed[shard] is not None:
+            late_seq, late_entry = self._delayed[shard]
+            self._delayed[shard] = None
+            ok = self._put_entry(shard, late_seq, late_entry)
+        if not ok:
+            self._recover(shard)
+
+    def _put_entry(
+        self, shard: int, seq: int, entry: _JournalEntry
+    ) -> bool:
+        """Encode one journal entry into *shard*'s input ring.
+
+        Returns False (instead of spinning) when the worker needs
+        recovery — dead, ring torn, heartbeat stalled with a full ring.
+        """
+        ring = self._in_rings[shard]
+        try:
+            if entry[0] == "batch":
+                _, stream_id, batch = entry
+                size, prebuilt = batch.encoded_size()
+                sid_blob = pickle.dumps(stream_id, _PICKLE_PROTOCOL)
+                frame_size = 10 + len(sid_blob) + size
+                seq_header = seq.to_bytes(8, "little")
+
+                def fill(view: memoryview) -> None:
+                    view[0:8] = seq_header
+                    view[8:10] = len(sid_blob).to_bytes(2, "little")
+                    view[10 : 10 + len(sid_blob)] = sid_blob
+                    batch.encode_into(view[10 + len(sid_blob) :], prebuilt)
+
+                while not ring.put_frame(
+                    shm_rings.BATCH, frame_size, fill, timeout=0.05
+                ):
+                    self._drain_shm_outputs()
+                    if self._needs_recovery[shard] or self._shard_unhealthy(
+                        shard
+                    ):
+                        return False
+            else:
+                message = ("op", seq, entry[1])
+                while not ring.put_pickle(
+                    shm_rings.CTRL, message, timeout=0.05
+                ):
+                    self._drain_shm_outputs()
+                    if self._needs_recovery[shard] or self._shard_unhealthy(
+                        shard
+                    ):
+                        return False
+        except RingClosedError:
+            return False
+        return True
+
+    def _put_control(self, shard: int, message) -> bool:
+        """Send an un-sequenced control frame (checkpoint request or the
+        shutdown sentinel)."""
+        ring = self._in_rings[shard]
+        try:
+            while not ring.put_pickle(shm_rings.CTRL, message, timeout=0.05):
+                self._drain_shm_outputs()
+                if self._needs_recovery[shard] or self._shard_unhealthy(shard):
+                    return False
+        except RingClosedError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Output path
+    # ------------------------------------------------------------------
+
+    def _drain_shm_ring(self, shard: int, timeout: float) -> bool:
+        if self._out_rings[shard] is None:  # pragma: no cover - torn down
+            return False
+        try:
+            frame = self._out_rings[shard].get(timeout=timeout)
+        except RingClosedError:
+            return False
+        if frame is None:
+            return False
+        self._last_beat[shard] = monotonic()
+        kind, payload = frame
+        if kind == shm_rings.OUT:
+            emitted_before = int.from_bytes(payload[:8], "little")
+            batch = ColumnBatch.decode(memoryview(payload)[8:])
+            count = len(batch)
+            skip = self._delivered[shard] - emitted_before
+            if skip < count:
+                self._pending.append(
+                    (shard, batch if skip <= 0 else batch.slice(skip, count))
+                )
+            self._delivered[shard] = max(
+                self._delivered[shard], emitted_before + count
+            )
+        elif kind == shm_rings.HB:
+            message = pickle.loads(payload)
+            if message[0] == "gap":
+                self._needs_recovery[shard] = True
+                self._recovery_reason[shard] = (
+                    f"sequence gap: worker expected {message[1]}, "
+                    f"got {message[2]}"
+                )
+        elif kind == shm_rings.CKPT:
+            message = pickle.loads(payload)
+            self._note_checkpoint(shard, message)
+        elif kind == shm_rings.DONE:
+            self._final_stats[shard] = pickle.loads(payload)
+        elif kind == shm_rings.ERR:
+            self._needs_recovery[shard] = True
+            self._recovery_reason[shard] = pickle.loads(payload)
+        return True
+
+    def _note_checkpoint(self, shard: int, message: Tuple) -> None:
+        """A durable checkpoint landed: trim the journal behind it."""
+        _, applied_seq, _emitted, store_bytes = message
+        self._last_ckpt_ack[shard] = message
+        journal = self._journal[shard]
+        cut = 0
+        while cut < len(journal) and journal[cut][0] <= applied_seq:
+            cut += 1
+        if cut:
+            del journal[:cut]
+        if self.registry is not None:
+            self.registry.gauge(
+                "state_store_bytes", {"store": f"shard-{shard}"}
+            ).set(store_bytes)
+
+    def poll(self):
+        self._require_started()
+        if not self._closed:
+            self._service()
+        return super().poll()
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def _flush_shard(self, shard: int) -> None:
+        """Checkpoint handshake guaranteeing the worker has applied (and
+        made durable) every journaled frame — this is what turns a
+        trailing dropped/delayed frame into a recovery instead of silent
+        loss."""
+        while True:
+            if self._needs_recovery[shard] or self._shard_unhealthy(shard):
+                self._recover(shard)
+                continue
+            target = self._next_seq[shard] - 1
+            self._ckpt_ident += 1
+            ident = f"flush-{self._ckpt_ident}"
+            if not self._put_control(shard, ("ckpt", ident)):
+                self._recover(shard)
+                continue
+            deadline = monotonic() + max(self.heartbeat_timeout, 10.0)
+            ack: Optional[Tuple] = None
+            while monotonic() < deadline:
+                self._drain_shm_ring(shard, timeout=0.05)
+                if self._needs_recovery[shard] or self._shard_unhealthy(shard):
+                    break
+                last = self._last_ckpt_ack[shard]
+                if last is not None and last[0] == ident:
+                    ack = last
+                    break
+            if ack is None:
+                self._recover(shard)
+                continue
+            if ack[1] == target:
+                return
+            # The worker never saw the journal's tail (a dropped or
+            # still-delayed final frame): force a replay.
+            self._needs_recovery[shard] = True
+            self._recovery_reason[shard] = (
+                f"flush found worker at seq {ack[1]}, journal at {target}"
+            )
+            self._recover(shard)
+
+    def close(self) -> List[Any]:
+        self._require_started()
+        if self._closed:
+            return self._stats
+        self._closed = True
+        stats: List[Any] = [None] * self.num_shards
+        for shard in range(self.num_shards):
+            while shard not in self._final_stats:
+                self._flush_shard(shard)
+                if not self._put_control(shard, None):
+                    self._recover(shard)
+                    continue
+                deadline = monotonic() + max(self.heartbeat_timeout, 10.0)
+                while (
+                    shard not in self._final_stats
+                    and monotonic() < deadline
+                ):
+                    self._drain_shm_ring(shard, timeout=0.05)
+                    if self._needs_recovery[shard]:
+                        break
+                if shard not in self._final_stats:
+                    # Died between flush and DONE; recover and retry the
+                    # shutdown handshake from the checkpoint.
+                    self._recover(shard)
+            stats[shard] = self._final_stats[shard]
+            self._worker_done[shard] = True
+        self._join_or_escalate(stats)
+        for ring in (*self._in_rings, *self._out_rings):
+            if ring is not None:
+                ring.destroy()
+        self._in_rings = []
+        self._out_rings = []
+        self._stats = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def restarts(self) -> List[int]:
+        """Restart count per shard."""
+        return list(self._restarts)
+
+    @property
+    def replayed_elements(self) -> int:
+        return sum(r.replayed_elements for r in self.recoveries)
+
+    def journal_depth(self, shard: int) -> int:
+        """Untrimmed journal entries for *shard* (drops to ~0 after each
+        checkpoint ack)."""
+        return len(self._journal[shard])

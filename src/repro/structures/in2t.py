@@ -31,9 +31,20 @@ class _Output:
     def __repr__(self) -> str:  # pragma: no cover
         return "OUTPUT"
 
+    def __reduce__(self):
+        # The sentinel is compared by identity (``key is not OUTPUT``), so
+        # pickling must resolve back to the module singleton — index
+        # snapshots round-trip through pickle in the durable state store.
+        return (_restore_output, ())
+
 
 #: Hash key under which each node records the Ve currently on the output.
 OUTPUT = _Output()
+
+
+def _restore_output() -> _Output:
+    """Unpickle hook returning the module's OUTPUT singleton."""
+    return OUTPUT
 
 #: Identifier of an input stream (any hashable; typically an int).
 StreamId = Hashable
@@ -171,6 +182,27 @@ class In2T:
 
     def memory_bytes(self) -> int:
         return sum(node.memory_bytes() for node in self._tree.values())
+
+    # -- durable state (repro.resilience) -------------------------------
+
+    def snapshot(self) -> List[tuple]:
+        """The whole index as plain picklable records, key-ordered.
+
+        Each record is ``(vs, payload, event_ve, entries)``; the OUTPUT
+        sentinel key inside ``entries`` survives pickling by identity
+        (see :meth:`_Output.__reduce__`).
+        """
+        return [
+            (node.vs, node.payload, node.event.ve, dict(node.entries))
+            for node in self._tree.values()
+        ]
+
+    def restore(self, records: List[tuple]) -> None:
+        """Rebuild the index from a :meth:`snapshot` (replaces contents)."""
+        self._tree = RedBlackTree()
+        for vs, payload, event_ve, entries in records:
+            node = self.add(Event(vs, payload, event_ve))
+            node.entries.update(entries)
 
 
 class _KeyFloor:

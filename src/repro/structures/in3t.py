@@ -184,3 +184,35 @@ class In3T:
 
     def memory_bytes(self) -> int:
         return sum(node.memory_bytes() for node in self._tree.values())
+
+    # -- durable state (repro.resilience) -------------------------------
+
+    def snapshot(self) -> List[tuple]:
+        """The whole index as plain picklable records, key-ordered.
+
+        Each record is ``(vs, payload, counts)`` where ``counts`` maps
+        stream id (or the OUTPUT sentinel, which pickles by identity) to
+        its Ve-ordered ``(Ve, count)`` pairs.
+        """
+        return [
+            (
+                node.vs,
+                node.payload,
+                {
+                    stream: list(tier.items())
+                    for stream, tier in node.counts.items()
+                },
+            )
+            for node in self._tree.values()
+        ]
+
+    def restore(self, records: List[tuple]) -> None:
+        """Rebuild the index from a :meth:`snapshot` (replaces contents)."""
+        self._tree = RedBlackTree()
+        for vs, payload, counts in records:
+            node = self.add(vs, payload)
+            for stream, pairs in counts.items():
+                tier = RedBlackTree()
+                for ve, count in pairs:
+                    tier.insert(ve, count)
+                node.counts[stream] = tier

@@ -1,0 +1,139 @@
+"""Merge state snapshot/restore: the worker-side half of crash recovery.
+
+For every variant R0-R4: interrupt a merge mid-stream, capture
+``snapshot_state()``, restore it into a *fresh* instance (optionally via
+pickle, as a respawned process would), feed both the identical remainder,
+and require element-identical continuations and equal final statistics.
+"""
+
+import pickle
+
+import pytest
+
+from repro.lmerge.base import interleave_batches
+from repro.lmerge.r0 import LMergeR0
+from repro.lmerge.r1 import LMergeR1
+from repro.lmerge.r2 import LMergeR2
+from repro.lmerge.r3 import LMergeR3
+from repro.lmerge.r4 import LMergeR4
+from repro.resilience.snapshot import load_snapshot, save_snapshot
+from repro.resilience.store import StateStore
+from repro.structures.in2t import OUTPUT
+
+from conftest import divergent_inputs, small_stream
+
+ALL_VARIANTS = [LMergeR0, LMergeR1, LMergeR2, LMergeR3, LMergeR4]
+
+
+def variant_inputs(variant, seed=5):
+    if variant in (LMergeR0, LMergeR1, LMergeR2):
+        reference = small_stream(count=120, seed=seed, disorder=0.0, min_gap=1)
+        return [reference, reference]
+    reference = small_stream(count=120, seed=seed, disorder=0.3)
+    return divergent_inputs(reference, n=2)
+
+
+def feed_plan(inputs, batch_size=16):
+    return list(
+        interleave_batches(inputs, "round_robin", 0, batch_size)
+    )
+
+
+def run_prefix(variant, feeds, upto):
+    out = []
+    merge = variant(sink=out.append)
+    for stream_id in range(2):
+        merge.attach(stream_id)
+    for chunk, stream_id in feeds[:upto]:
+        merge.process_batch(chunk, stream_id)
+    return merge, out
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+@pytest.mark.parametrize("through_pickle", [False, True])
+def test_snapshot_restore_identical_continuation(variant, through_pickle):
+    inputs = variant_inputs(variant)
+    feeds = feed_plan(inputs)
+    cut = len(feeds) // 2
+
+    # Uninterrupted run.
+    reference_out = []
+    continuous = variant(sink=reference_out.append)
+    for stream_id in range(2):
+        continuous.attach(stream_id)
+    for chunk, stream_id in feeds:
+        continuous.process_batch(chunk, stream_id)
+
+    # Interrupted at the cut: snapshot, restore into a fresh instance
+    # (optionally across a pickle boundary, as a respawn would), resume.
+    interrupted, early_out = run_prefix(variant, feeds, cut)
+    snapshot = interrupted.snapshot_state()
+    if through_pickle:
+        snapshot = pickle.loads(pickle.dumps(snapshot))
+    resumed_out = []
+    resumed = variant(sink=resumed_out.append)
+    resumed.restore_state(snapshot)
+    assert resumed.max_stable == interrupted.max_stable
+    assert resumed.input_ids == interrupted.input_ids
+    for chunk, stream_id in feeds[cut:]:
+        resumed.process_batch(chunk, stream_id)
+
+    assert early_out + resumed_out == reference_out
+    assert resumed.stats == continuous.stats
+    assert resumed.max_stable == continuous.max_stable
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_restore_rejects_wrong_algorithm(variant):
+    merge = variant(sink=lambda e: None)
+    snapshot = merge.snapshot_state()
+    snapshot["algorithm"] = "not-this-one"
+    other = variant(sink=lambda e: None)
+    with pytest.raises(ValueError):
+        other.restore_state(snapshot)
+
+
+def test_output_sentinel_identity_survives_pickle():
+    """In2T entries test ``key is OUTPUT`` by identity; a snapshot that
+    crosses a process boundary must preserve the singleton."""
+    clone = pickle.loads(pickle.dumps(OUTPUT))
+    assert clone is OUTPUT
+
+
+@pytest.mark.parametrize("variant", [LMergeR3, LMergeR4])
+def test_snapshot_round_trip_through_state_store(tmp_path, variant):
+    """The full worker persistence path: snapshot into a StateStore,
+    'crash' (reopen without close), restore, and continue identically."""
+    inputs = variant_inputs(variant)
+    feeds = feed_plan(inputs)
+    cut = len(feeds) // 2
+
+    reference_out = []
+    continuous = variant(sink=reference_out.append)
+    for stream_id in range(2):
+        continuous.attach(stream_id)
+    for chunk, stream_id in feeds:
+        continuous.process_batch(chunk, stream_id)
+
+    interrupted, early_out = run_prefix(variant, feeds, cut)
+    store = StateStore(str(tmp_path))
+    save_snapshot(store, interrupted, applied_seq=cut, emitted=len(early_out))
+    # kill -9: no close; a fresh open must see the synced snapshot.
+    reopened = StateStore(str(tmp_path))
+    merge_state, applied_seq, emitted = load_snapshot(reopened)
+    assert applied_seq == cut
+    assert emitted == len(early_out)
+
+    resumed_out = []
+    resumed = variant(sink=resumed_out.append)
+    resumed.restore_state(merge_state)
+    for chunk, stream_id in feeds[cut:]:
+        resumed.process_batch(chunk, stream_id)
+    assert early_out + resumed_out == reference_out
+    reopened.close()
+    store.close()
+
+
+def test_load_snapshot_empty_store(tmp_path):
+    with StateStore(str(tmp_path)) as store:
+        assert load_snapshot(store) is None

@@ -1,0 +1,202 @@
+"""StateStore: the log-structured store under the durable merge state.
+
+Covers the crash-safety story record by record: CRC'd appends, last
+record wins across reopen, torn-tail truncation (a kill mid-append),
+mid-log corruption detection, segment rotation, compaction (including a
+simulated crash *during* compaction, resolved by segment-id shadowing),
+tombstones, and the ``state_store_bytes`` gauge.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.obs.registry import MetricRegistry
+from repro.resilience.store import (
+    CorruptSegmentError,
+    StateStore,
+    StateStoreError,
+    _segment_path,
+)
+
+
+def test_put_get_round_trip(tmp_path):
+    with StateStore(str(tmp_path)) as store:
+        store.put("alpha", b"one")
+        store.put(b"beta", b"two")
+        assert store.get("alpha") == b"one"
+        assert store.get(b"beta") == b"two"
+        assert store.get("missing") is None
+        assert "alpha" in store
+        assert len(store) == 2
+        assert list(store.keys()) == [b"alpha", b"beta"]
+
+
+def test_last_record_wins_across_reopen(tmp_path):
+    store = StateStore(str(tmp_path))
+    for value in (b"v1", b"v2", b"v3"):
+        store.put("key", value)
+    store.sync()
+    store.close()
+    with StateStore(str(tmp_path)) as reopened:
+        assert reopened.get("key") == b"v3"
+        assert len(reopened) == 1
+
+
+def test_kill_and_reopen_without_close(tmp_path):
+    """After sync(), a second open over the same directory sees the
+    identical index even though the writer never closed — the kill -9
+    contract."""
+    writer = StateStore(str(tmp_path))
+    writer.put("snapshot", pickle.dumps({"state": [1, 2, 3]}))
+    writer.put("extra", b"x" * 100)
+    writer.sync()
+    reader = StateStore(str(tmp_path))
+    assert pickle.loads(reader.get("snapshot")) == {"state": [1, 2, 3]}
+    assert reader.get("extra") == b"x" * 100
+    reader.close()
+    writer.close()
+
+
+def test_tombstones_survive_reopen(tmp_path):
+    store = StateStore(str(tmp_path))
+    store.put("keep", b"yes")
+    store.put("drop", b"no")
+    store.delete("drop")
+    store.delete("never-existed")  # no-op, no tombstone
+    store.sync()
+    store.close()
+    with StateStore(str(tmp_path)) as reopened:
+        assert reopened.get("keep") == b"yes"
+        assert reopened.get("drop") is None
+        assert len(reopened) == 1
+
+
+def test_torn_tail_is_truncated_on_reopen(tmp_path):
+    store = StateStore(str(tmp_path))
+    store.put("whole", b"record")
+    store.sync()
+    path = _segment_path(str(tmp_path), store._active_id)
+    store.close()
+    with open(path, "ab") as handle:
+        handle.write(b"\x01\x02torn-partial-append")
+    with StateStore(str(tmp_path)) as reopened:
+        assert reopened.truncated_bytes > 0
+        assert reopened.get("whole") == b"record"
+        # The next append lands on a whole-record boundary.
+        reopened.put("after", b"ok")
+        reopened.sync()
+    with StateStore(str(tmp_path)) as again:
+        assert again.get("whole") == b"record"
+        assert again.get("after") == b"ok"
+        assert again.truncated_bytes == 0
+
+
+def test_mid_log_corruption_raises(tmp_path):
+    store = StateStore(str(tmp_path))
+    store.put("early", b"x" * 64)
+    store.rotate()  # seal segment 1; damage there is NOT a torn tail
+    store.put("late", b"y" * 64)
+    store.sync()
+    first = _segment_path(str(tmp_path), 1)
+    store.close()
+    with open(first, "r+b") as handle:
+        handle.seek(10)
+        handle.write(b"\xff\xff\xff")
+    with pytest.raises(CorruptSegmentError):
+        StateStore(str(tmp_path))
+
+
+def test_rotation_splits_segments(tmp_path):
+    with StateStore(str(tmp_path), segment_bytes=4096) as store:
+        for i in range(40):
+            store.put(f"key-{i}", bytes(256))
+        assert store.segments > 1
+        for i in range(40):
+            assert store.get(f"key-{i}") == bytes(256)
+
+
+def test_compaction_reclaims_and_preserves(tmp_path):
+    store = StateStore(str(tmp_path))
+    for round_ in range(20):
+        store.put("hot", bytes([round_]) * 512)
+    store.put("cold", b"untouched")
+    store.delete("hot2") if "hot2" in store else store.put("hot2", b"dead")
+    store.delete("hot2")
+    store.sync()
+    before = store.total_bytes
+    reclaimed = store.compact()
+    assert reclaimed > 0
+    assert store.total_bytes < before
+    assert store.get("hot") == bytes([19]) * 512
+    assert store.get("cold") == b"untouched"
+    assert store.get("hot2") is None
+    store.close()
+    with StateStore(str(tmp_path)) as reopened:
+        assert reopened.get("hot") == bytes([19]) * 512
+        assert reopened.get("cold") == b"untouched"
+
+
+def test_crash_mid_compaction_resolves_by_segment_id(tmp_path):
+    """A reopen that sees both the stale segments and the compacted one
+    (crash after the new segment flushed, before the unlinks) must
+    resolve every key to the compacted copy — higher id wins."""
+    store = StateStore(str(tmp_path))
+    store.put("key", b"old")
+    store.sync()
+    stale = _segment_path(str(tmp_path), store._active_id)
+    with open(stale, "rb") as handle:
+        stale_bytes = handle.read()
+    store.put("key", b"new")
+    store.sync()
+    store.compact()
+    store.close()
+    # Resurrect the pre-compaction segment under its old (lower) id.
+    with open(_segment_path(str(tmp_path), 1), "wb") as handle:
+        handle.write(stale_bytes)
+    with StateStore(str(tmp_path)) as reopened:
+        assert reopened.get("key") == b"new"
+
+
+def test_maybe_compact_thresholds(tmp_path):
+    with StateStore(str(tmp_path)) as store:
+        store.put("a", b"x" * 100)
+        assert store.maybe_compact(min_dead_bytes=1 << 20) == 0
+        for _ in range(50):
+            store.put("a", b"y" * 100)
+        assert store.dead_bytes > 1000
+        assert store.maybe_compact(min_dead_bytes=1000) > 0
+        assert store.get("a") == b"y" * 100
+
+
+def test_accounting_and_gauge(tmp_path):
+    registry = MetricRegistry()
+    with StateStore(
+        str(tmp_path), registry=registry, name="shard-7"
+    ) as store:
+        store.put("k", b"v" * 64)
+        assert store.live_bytes == 64
+        assert store.total_bytes > 64
+        gauge = registry.gauge("state_store_bytes", {"store": "shard-7"})
+        assert gauge.value == store.total_bytes
+
+
+def test_closed_store_refuses_io(tmp_path):
+    store = StateStore(str(tmp_path))
+    store.put("k", b"v")
+    store.close()
+    store.close()  # idempotent
+    with pytest.raises(StateStoreError):
+        store.get("k")
+    with pytest.raises(StateStoreError):
+        store.put("k", b"v2")
+
+
+def test_large_values_round_trip(tmp_path):
+    blob = os.urandom(300_000)
+    with StateStore(str(tmp_path), segment_bytes=65536) as store:
+        store.put("big", blob)
+        assert store.get("big") == blob
+    with StateStore(str(tmp_path)) as reopened:
+        assert reopened.get("big") == blob
