@@ -7,9 +7,14 @@ LMR3- much higher and growing linearly with the number of inputs.
 
 import pytest
 
+from repro.lmerge import ReclamationPolicy
+from repro.lmerge.r3 import LMergeR3
+from repro.streams.generator import GeneratorConfig, StreamGenerator
+
 from conftest import ALL_VARIANTS, fmt_bytes, ordered_workload, run_merge, series_benchmark
 
 INPUT_COUNTS = [2, 4, 6, 8, 10]
+STREAM_LENGTHS = [1000, 2000, 4000, 8000]
 
 
 def peak_memory(variant_cls, n_inputs, stream):
@@ -44,6 +49,57 @@ def test_fig2_memory_series(report):
     assert series["LMR3-"][-1] > 3 * series["LMR3-"][0]
     assert series["LMR3-"][-1] > 3 * series["LMR3+"][-1]
 
+
+
+def long_lived_workload(count):
+    """Figure 2's in-order shape with effectively unexpiring events: the
+    seed index only self-cleans when output Ve freezes, so nothing is
+    ever reclaimed and residency tracks the stream length."""
+    config = GeneratorConfig(
+        count=count,
+        seed=0,
+        disorder=0.0,
+        min_gap=1,
+        payload_blob_bytes=100,
+        stable_freq=0.01,
+        event_duration=1_000_000,
+    )
+    return StreamGenerator(config).generate()
+
+
+@series_benchmark
+def test_fig2_bounded_index_series(report):
+    """PR 8 arm: resident index size vs stream length for long-lived
+    events.
+
+    The Figure 2 workload is kind to the seed — events expire after one
+    duration, so the index self-cleans at the Ve-freeze horizon.  The HA
+    deployments the merge targets are not: with open-ended lifetimes the
+    seed retains every node forever (O(stream)), while CTI-driven
+    settled-run reclamation prunes at the stable cadence and stays flat.
+    """
+    report("Figure 2 arm: LMR3+ peak resident index nodes vs stream "
+           "length (long-lived events)")
+    report(f"{'elements':>10}{'seed':>10}{'reclaimed':>11}")
+    seed_peaks, reclaimed_peaks = [], []
+    for count in STREAM_LENGTHS:
+        stream = long_lived_workload(count)
+        inputs = [stream, stream]
+        seed = run_merge(LMergeR3(), inputs, memory_every=100)
+        reclaimed = run_merge(
+            LMergeR3(reclamation=ReclamationPolicy()),
+            inputs,
+            memory_every=100,
+        )
+        seed_peaks.append(seed["peak_index_nodes"])
+        reclaimed_peaks.append(reclaimed["peak_index_nodes"])
+        report(f"{count:>10}{seed_peaks[-1]:>10}{reclaimed_peaks[-1]:>11}")
+    # The seed retains every long-lived node: residency is O(stream).
+    assert seed_peaks[-1] > 4 * seed_peaks[0]
+    # Reclamation is bounded by the stable cadence, not the stream
+    # length: flat across an 8x length sweep and far below the seed.
+    assert max(reclaimed_peaks) < 2 * min(reclaimed_peaks)
+    assert max(reclaimed_peaks) * 3 < seed_peaks[-1]
 
 
 @pytest.mark.parametrize("name", list(ALL_VARIANTS))

@@ -185,6 +185,7 @@ def run_merge(
         if not merge.is_attached(stream_id):
             merge.attach(stream_id)
     peak_memory = 0
+    peak_nodes = 0
     processed = 0
     start = time.perf_counter()
     for element, stream_id in interleave(streams, schedule, 0):
@@ -194,14 +195,19 @@ def run_merge(
             memory = merge.memory_bytes()
             if memory > peak_memory:
                 peak_memory = memory
+            nodes = getattr(merge, "index_nodes", 0)
+            if nodes > peak_nodes:
+                peak_nodes = nodes
     elapsed = time.perf_counter() - start
     if memory_every:
         peak_memory = max(peak_memory, merge.memory_bytes())
+        peak_nodes = max(peak_nodes, getattr(merge, "index_nodes", 0))
     return {
         "elements": processed,
         "seconds": elapsed,
         "throughput": processed / elapsed if elapsed > 0 else float("inf"),
         "peak_memory": peak_memory,
+        "peak_index_nodes": peak_nodes,
         "adjusts_out": merge.stats.adjusts_out,
         "elements_out": merge.stats.elements_out,
     }

@@ -39,6 +39,11 @@ REP107   error     Columnar hot paths must stay columnar: inside the
                    ``batch.elements_slice(...)``.  Walk the columns
                    (``batch.vs``/``batch.kinds``/``batch.runs()``) and
                    materialize only surviving rows.
+REP108   error     Index node allocation is pooled: no bare
+                   ``_Node(...)`` / ``In2TNode(...)`` / ``In3TNode(...)``
+                   outside the module that defines the class — construct
+                   through the owning index (or the rbtree node pool) so
+                   reclamation can recycle what it retires.
 =======  ========  ====================================================
 
 Suppression: append ``# noqa: REP104`` (or a bare ``# noqa``) to the
@@ -604,6 +609,48 @@ def _check_columnar_loops(tree: ast.Module, _source: str) -> List[_RawFinding]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# REP108 — pooled index node classes are only constructed in their home module
+# ---------------------------------------------------------------------------
+
+#: Classes whose instances are recycled through freelists (see
+#: repro.structures.pool): constructing one elsewhere bypasses the pool
+#: and, worse, can alias an object the index later recycles.
+POOLED_NODE_CLASSES = {"_Node", "In2TNode", "In3TNode"}
+
+
+def _check_bare_node_alloc(tree: ast.Module, _source: str) -> List[_RawFinding]:
+    # The defining module is exempt: a file that holds `class In2TNode`
+    # IS the pool-aware home of that class (rbtree.py for _Node, etc.).
+    defined_here = {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef) and node.name in POOLED_NODE_CLASSES
+    }
+    findings: List[_RawFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in POOLED_NODE_CLASSES and name not in defined_here:
+            findings.append(
+                _RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    f"bare {name}(...) outside its defining module: index "
+                    f"nodes are pool-recycled — go through the owning "
+                    f"index's add/find_or_add (or NODE_POOL.acquire) "
+                    f"instead",
+                )
+            )
+    return findings
+
+
 RULES: Dict[str, Rule] = {
     rule.id: rule
     for rule in (
@@ -657,6 +704,14 @@ RULES: Dict[str, Rule] = {
             "hot handlers",
             applies=_in_hot_path,
             check=_check_columnar_loops,
+        ),
+        Rule(
+            id="REP108",
+            severity=SEVERITY_ERROR,
+            summary="pooled index node classes are only constructed in "
+            "their defining module",
+            applies=_always,
+            check=_check_bare_node_alloc,
         ),
     )
 }

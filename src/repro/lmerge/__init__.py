@@ -35,6 +35,7 @@ from repro.lmerge.r2 import LMergeR2
 from repro.lmerge.r3 import LMergeR3
 from repro.lmerge.r3_naive import LMergeR3Naive
 from repro.lmerge.r4 import LMergeR4
+from repro.lmerge.reclaim import ReclamationPolicy
 from repro.lmerge.selector import algorithm_for, create_lmerge
 from repro.lmerge.feedback import FeedbackSignal, FeedbackPolicy
 from repro.lmerge.counting import CountingMerge
@@ -52,6 +53,7 @@ __all__ = [
     "LMergeR3",
     "LMergeR3Naive",
     "LMergeR4",
+    "ReclamationPolicy",
     "algorithm_for",
     "create_lmerge",
     "FeedbackSignal",

@@ -42,6 +42,7 @@ from repro.temporal.elements import (
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.engine.columnar import ColumnBatch
+    from repro.lmerge.reclaim import ReclamationPolicy
 from repro.temporal.event import Payload
 from repro.temporal.time import MINUS_INFINITY, Timestamp
 
@@ -180,9 +181,22 @@ class LMergeBase:
     #: to record per-call spans.
     tracer = NULL_TRACER
 
-    def __init__(self, sink: Optional[Sink] = None, name: str = "lmerge"):
+    def __init__(
+        self,
+        sink: Optional[Sink] = None,
+        name: str = "lmerge",
+        reclamation: "Optional[ReclamationPolicy]" = None,
+    ):
         self.name = name
         self.stats = MergeStats()
+        #: Bounded-state opt-in (PR 8).  ``None`` keeps the seed
+        #: retain-everything behaviour; R0-R2 hold O(1) state and ignore
+        #: it.  See :mod:`repro.lmerge.reclaim` for the semantics traded.
+        self.reclamation = reclamation
+        #: Settled nodes bulk-retired by CTI-driven pruning.
+        self.pruned_nodes = 0
+        #: Cold-run spill (attached lazily by R3/R4 when the policy asks).
+        self._spiller = None
         self.output = PhysicalStream(name=f"{name}.out")
         self._sink = sink
         self._inputs: Dict[StreamId, _InputState] = {}
@@ -696,6 +710,55 @@ class LMergeBase:
     def memory_bytes(self) -> int:
         """Approximate bytes of merge state (see :mod:`repro.structures.sizing`)."""
         raise NotImplementedError
+
+    @property
+    def index_nodes(self) -> int:
+        """Resident index nodes (0 for the O(1)-state variants R0-R2)."""
+        return 0
+
+    @property
+    def index_bytes(self) -> int:
+        """Resident index bytes; same estimate as :meth:`memory_bytes`."""
+        try:
+            return self.memory_bytes()
+        except NotImplementedError:  # pragma: no cover - abstract base
+            return 0
+
+    @property
+    def spilled_runs(self) -> int:
+        spiller = self._spiller
+        return spiller.spilled_runs_total if spiller is not None else 0
+
+    @property
+    def faulted_runs(self) -> int:
+        spiller = self._spiller
+        return spiller.faulted_runs_total if spiller is not None else 0
+
+    @property
+    def dropped_runs(self) -> int:
+        spiller = self._spiller
+        return spiller.dropped_runs_total if spiller is not None else 0
+
+    @property
+    def spilled_nodes(self) -> int:
+        spiller = self._spiller
+        return spiller.spilled_nodes if spiller is not None else 0
+
+    def _setup_spill(self, index) -> None:
+        """Attach a :class:`~repro.structures.spill.RunSpill` per the
+        reclamation policy (no-op unless ``reclamation.spill``)."""
+        rec = self.reclamation
+        if rec is None or not rec.spill:
+            return
+        from repro.structures.spill import RunSpill  # lazy: optional path
+
+        self._spiller = RunSpill(
+            run_width=rec.run_width,
+            hot_runs=rec.hot_runs,
+            prefix=self.name,
+            directory=rec.store_dir,
+        )
+        index.enable_spill(self._spiller)
 
     # ------------------------------------------------------------------
     # Durable state (snapshot/restore; see repro.resilience)

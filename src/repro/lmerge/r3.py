@@ -49,8 +49,11 @@ class LMergeR3(LMergeBase):
         #: (the cheap path that speeds up merging lagging streams, Fig. 5).
         self.dropped_frozen = 0
         #: Nodes visited by stable() reconciliation scans (the per-stable
-        #: cost that grows with punctuation frequency, Fig. 6).
+        #: cost that grows with punctuation frequency, Fig. 6).  With
+        #: reclamation enabled, resolved spilled runs are not scanned and
+        #: do not count here.
         self.stable_scan_nodes = 0
+        self._setup_spill(self._index)
 
     # ------------------------------------------------------------------
     # Insert (Algorithm R3, lines 3-10)
@@ -229,19 +232,99 @@ class LMergeR3(LMergeBase):
             t = t - self.policy.stable_lag
         if t <= self.max_stable:
             return
-        affected = self._index.half_frozen(t)
-        self.stable_scan_nodes += len(affected)
-        for node in affected:
-            self._reconcile(node, t, stream_id)
-        self._output_stable(t)
+        spiller = self._spiller
+        if spiller is not None:
+            # Covered, fully-frozen spilled runs die in the store without
+            # faulting in; anything the summary cannot vouch for is
+            # re-materialized so the walk below sees the exact seed state.
+            self.pruned_nodes += spiller.resolve_stable(
+                self._index, t, stream_id
+            )
+        rec = self.reclamation
+        prune_settled = rec is not None and rec.prune_settled
+        prune_bound = t - rec.settle_lag if prune_settled else t
+        scanned = 0
+        pruned = 0
+        #: run id -> [min settle-Ve, max settle-Ve, covered streams], or
+        #: None once a non-agreed node poisons the run.
+        candidates = {} if spiller is not None else None
+        out_key = OUTPUT
+        inputs = self._inputs
+        reconcile = self._reconcile
 
-    def _reconcile(self, node: In2TNode, t: Timestamp, stream_id: StreamId) -> None:
+        def visit(node: In2TNode) -> bool:
+            nonlocal scanned, pruned
+            scanned += 1
+            if not reconcile(node, t, stream_id):
+                # Fully frozen on the freezing stream: output now matches
+                # it forever; retire the node (lines 26-27).
+                return False
+            if not prune_settled and candidates is None:
+                return True
+            # Half-frozen survivor: is it *output-agreed* (every present
+            # per-stream Ve equals the output's)?
+            entries = node.entries
+            out_ve = entries.get(out_key)
+            agreed = out_ve is not None
+            if agreed:
+                for key, ve in entries.items():
+                    if key is not out_key and ve != out_ve:
+                        agreed = False
+                        break
+            if agreed and prune_settled and node.vs < prune_bound:
+                # *Settled* additionally requires that a stream with no
+                # entry could never cancel the key: its silence must be
+                # covered by its joining guarantee.
+                settled = True
+                for sid, st in inputs.items():
+                    if sid not in entries and not (out_ve < st.guarantee_from):
+                        settled = False
+                        break
+                if settled:
+                    pruned += 1
+                    return False
+            if candidates is not None:
+                run = spiller.run_of(node.vs)
+                if run is not None and spiller.run_bounds(run)[1] <= t:
+                    if not agreed:
+                        candidates[run] = None
+                    else:
+                        meta = candidates.get(run, False)
+                        if meta is False:
+                            candidates[run] = [
+                                out_ve,
+                                out_ve,
+                                {k for k in entries if k is not out_key},
+                            ]
+                        elif meta is not None:
+                            if out_ve < meta[0]:
+                                meta[0] = out_ve
+                            if out_ve > meta[1]:
+                                meta[1] = out_ve
+                            meta[2].intersection_update(
+                                k for k in entries if k is not out_key
+                            )
+            return True
+
+        self._index.prune_below(t, visit)
+        self.stable_scan_nodes += scanned
+        self.pruned_nodes += pruned
+        self._output_stable(t)
+        if candidates:
+            spiller.evict(self._index, candidates)
+
+    def _reconcile(
+        self, node: In2TNode, t: Timestamp, stream_id: StreamId
+    ) -> bool:
         """Bring the output into line with input *stream_id* for *node*.
 
         Three compatibility violations are repaired (Section IV-D): the
         input lacks an event the output carries; the output event would
         fully freeze at a different Ve than the input's; the input event
         fully freezes while the output's diverges.
+
+        Returns False when the node is fully frozen on the freezing
+        stream and must be retired (the caller unlinks it).
         """
         out_ve = node.get_entry(OUTPUT)
         in_ve: Optional[Timestamp] = node.get_entry(stream_id)
@@ -265,10 +348,7 @@ class LMergeR3(LMergeBase):
         elif in_ve != out_ve and (in_ve < t or out_ve < t):
             self._output_adjust(node.payload, node.vs, out_ve, in_ve)
             node.update_entry(OUTPUT, in_ve)
-        if in_ve < t:
-            # Fully frozen on the freezing stream: output now matches it
-            # forever; retire the node (lines 26-27).
-            self._index.delete(node)
+        return not (in_ve < t)
 
     # ------------------------------------------------------------------
     # Lifecycle & accounting
@@ -288,14 +368,22 @@ class LMergeR3(LMergeBase):
             "index": self._index.snapshot(),
             "dropped_frozen": self.dropped_frozen,
             "stable_scan_nodes": self.stable_scan_nodes,
+            "pruned_nodes": self.pruned_nodes,
         }
 
     def _restore_extra(self, extra: dict) -> None:
         self._index.restore(extra["index"])
         self.dropped_frozen = extra["dropped_frozen"]
         self.stable_scan_nodes = extra["stable_scan_nodes"]
+        self.pruned_nodes = extra.get("pruned_nodes", 0)
 
     @property
     def live_keys(self) -> int:
-        """Number of ``(Vs, payload)`` keys currently indexed (w in Table IV)."""
+        """Number of ``(Vs, payload)`` keys currently indexed (w in Table
+        IV), spilled runs included."""
+        return self._index.live_nodes
+
+    @property
+    def index_nodes(self) -> int:
+        """Resident index nodes (the bounded-state gauge of PR 8)."""
         return len(self._index)

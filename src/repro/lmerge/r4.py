@@ -45,8 +45,11 @@ class LMergeR4(LMergeBase):
         #: Inserts dropped because their key was already frozen out
         #: (the cheap path that speeds up merging lagging streams, Fig. 5).
         self.dropped_frozen = 0
-        #: Nodes visited by stable() reconciliation scans (Fig. 6).
+        #: Nodes visited by stable() reconciliation scans (Fig. 6).  With
+        #: reclamation enabled, resolved spilled runs are not scanned and
+        #: do not count here.
         self.stable_scan_nodes = 0
+        self._setup_spill(self._index)
 
     # ------------------------------------------------------------------
     # Insert (Algorithm R4, lines 3-11)
@@ -129,27 +132,115 @@ class LMergeR4(LMergeBase):
     def _stable(self, t: Timestamp, stream_id: StreamId) -> None:
         if t <= self.max_stable:
             return
+        spiller = self._spiller
+        if spiller is not None:
+            # Covered, fully-frozen spilled runs die in the store without
+            # faulting in; anything the summary cannot vouch for is
+            # re-materialized so the walk below sees the exact seed state.
+            self.pruned_nodes += spiller.resolve_stable(
+                self._index, t, stream_id
+            )
         guarantee = self.guarantee_of(stream_id)
-        affected = self._index.half_frozen(t)
-        self.stable_scan_nodes += len(affected)
-        for node in affected:
+        rec = self.reclamation
+        prune_settled = rec is not None and rec.prune_settled
+        prune_bound = t - rec.settle_lag if prune_settled else t
+        # max_stable is only advanced by _output_stable at the end, so the
+        # transition test below reads the same value the seed loop would.
+        max_stable_before = self.max_stable
+        scanned = 0
+        pruned = 0
+        #: run id -> [min settle-Ve, max settle-Ve, covered streams], or
+        #: None once a non-agreed node poisons the run.
+        candidates = {} if spiller is not None else None
+        inputs = self._inputs
+
+        def visit(node: In3TNode) -> bool:
+            nonlocal scanned, pruned
+            scanned += 1
             if (
                 node.total_count(stream_id) == 0
                 and node.max_ve(OUTPUT) < guarantee
             ):
-                # A late joiner is silent about history entirely before its
-                # guarantee point; other inputs will freeze this key.
-                continue
-            if node.vs >= self.max_stable:
-                # The key is transitioning unfrozen -> half frozen now:
-                # pin the output's event *count* to the freezing input's.
-                self._adjust_output_count(node, stream_id)
-            self._adjust_output(node, t, stream_id)
-            if node.max_ve(stream_id) < t:
-                # Every version on the freezing input is now fully frozen
-                # and mirrored on the output; retire the key.
-                self._index.delete(node)
+                # A late joiner is silent about history entirely before
+                # its guarantee point; other inputs will freeze this key.
+                pass
+            else:
+                if node.vs >= max_stable_before:
+                    # The key is transitioning unfrozen -> half frozen now:
+                    # pin the output's event *count* to the freezing input's.
+                    self._adjust_output_count(node, stream_id)
+                self._adjust_output(node, t, stream_id)
+                if node.max_ve(stream_id) < t:
+                    # Every version on the freezing input is now fully
+                    # frozen and mirrored on the output; retire the key.
+                    return False
+            if not prune_settled and candidates is None:
+                return True
+            agreement = self._agreement(node)
+            agreed = agreement is not None
+            if agreed and prune_settled and node.vs < prune_bound:
+                out_pairs, covered_here = agreement
+                max_out = out_pairs[-1][0]
+                settled = True
+                for sid, st in inputs.items():
+                    if sid not in covered_here and not (
+                        max_out < st.guarantee_from
+                    ):
+                        settled = False
+                        break
+                if settled:
+                    pruned += 1
+                    return False
+            if candidates is not None:
+                run = spiller.run_of(node.vs)
+                if run is not None and spiller.run_bounds(run)[1] <= t:
+                    if not agreed:
+                        candidates[run] = None
+                    else:
+                        out_pairs, covered_here = agreement
+                        min_out = out_pairs[0][0]
+                        max_out = out_pairs[-1][0]
+                        meta = candidates.get(run, False)
+                        if meta is False:
+                            candidates[run] = [
+                                min_out, max_out, set(covered_here)
+                            ]
+                        elif meta is not None:
+                            if min_out < meta[0]:
+                                meta[0] = min_out
+                            if max_out > meta[1]:
+                                meta[1] = max_out
+                            meta[2].intersection_update(covered_here)
+            return True
+
+        self._index.prune_below(t, visit)
+        self.stable_scan_nodes += scanned
+        self.pruned_nodes += pruned
         self._output_stable(t)
+        if candidates:
+            spiller.evict(self._index, candidates)
+
+    def _agreement(self, node: In3TNode):
+        """``(out_pairs, covered_streams)`` when every nonempty per-stream
+        multiset equals the output's, else None.
+
+        Such a node is *output-agreed*: a stable() from a covered stream
+        reconciles to a no-op (all versions unfrozen) or a silent delete
+        (all versions frozen) — the basis of both settled pruning and the
+        spill's per-run summary.
+        """
+        out_tier = node.counts.get(OUTPUT)
+        if out_tier is None or not out_tier:
+            return None
+        out_pairs = list(out_tier.items())
+        covered = []
+        for sid, tier in node.counts.items():
+            if sid is OUTPUT or not tier:
+                continue
+            if len(tier) != len(out_tier) or list(tier.items()) != out_pairs:
+                return None
+            covered.append(sid)
+        return out_pairs, covered
 
     # ------------------------------------------------------------------
     # AdjustOutputCount: equalize totals at the half-freeze transition
@@ -293,13 +384,21 @@ class LMergeR4(LMergeBase):
             "index": self._index.snapshot(),
             "dropped_frozen": self.dropped_frozen,
             "stable_scan_nodes": self.stable_scan_nodes,
+            "pruned_nodes": self.pruned_nodes,
         }
 
     def _restore_extra(self, extra: dict) -> None:
         self._index.restore(extra["index"])
         self.dropped_frozen = extra["dropped_frozen"]
         self.stable_scan_nodes = extra["stable_scan_nodes"]
+        self.pruned_nodes = extra.get("pruned_nodes", 0)
 
     @property
     def live_keys(self) -> int:
+        """Indexed ``(Vs, payload)`` keys, spilled runs included."""
+        return self._index.live_nodes
+
+    @property
+    def index_nodes(self) -> int:
+        """Resident index nodes (the bounded-state gauge of PR 8)."""
         return len(self._index)

@@ -1,0 +1,70 @@
+"""Reclamation policy for bounded merge state (PR 8).
+
+The seed R3/R4 merges retain every *half-frozen* node — ``Vs < MaxStable
+<= Ve`` — forever, because a legal input may still adjust such an event's
+Ve.  On revision-free workloads (``Ve = +inf`` everywhere, the common
+"point event" case) that is the entire stream: state grows O(stream
+length) even when the inputs are element-identical replicas.
+
+:class:`ReclamationPolicy` opts a merge into CTI-driven pruning: when the
+stable point advances, the contiguous prefix of index nodes on which every
+attached input already *agrees with the output* (each per-stream Ve entry
+equals the OUTPUT entry) is bulk-deleted in one amortized tree walk
+(:meth:`~repro.structures.in2t.In2T.prune_below`).  Such *settled* nodes
+carry no information the output does not: re-inserts of their key are
+frozen (below stable) and therefore dropped on both the seed and the
+reclaiming path.
+
+This is a **semantic relaxation**, which is why it is opt-in
+(``reclamation=None`` keeps seed behaviour bit-for-bit): a physically
+legal input may adjust an event *after* all replicas agreed on it, and a
+merge that pruned the node can no longer detect the disagreement (under
+the default LAZY adjust policy the divergence only surfaces at a later
+``stable()``).  ``settle_lag`` trades memory for that window — nodes are
+pruned only below ``MaxStable - settle_lag``, so any adjust arriving
+within the lag behaves exactly as on the seed.
+
+``spill=True`` additionally evicts cold *unsettled* runs (delivered by
+the leader, not yet confirmed by a laggard) to the durable
+:class:`~repro.resilience.store.StateStore` — see
+:mod:`repro.structures.spill`.  Spilling is transparent: touched runs
+fault back in, and snapshots stay element-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.temporal.time import Timestamp
+
+
+@dataclass(frozen=True)
+class ReclamationPolicy:
+    """Opt-in bounded-state configuration for R3/R4 merges.
+
+    Picklable (plain frozen dataclass) so it crosses the process-backend
+    boundary of :func:`repro.lmerge.shard.shard` unchanged.
+    """
+
+    #: Prune settled (all-inputs-agree-with-output) nodes below stable.
+    prune_settled: bool = True
+    #: Hold pruning back to ``MaxStable - settle_lag``: adjusts arriving
+    #: within the lag window behave exactly as on the seed path.
+    settle_lag: Timestamp = 0
+    #: Evict cold, output-agreed runs to the durable state store.
+    spill: bool = False
+    #: Width (in Vs units) of one spill run bucket.
+    run_width: Timestamp = 1024
+    #: Most-recently-touched candidate runs kept resident.
+    hot_runs: int = 4
+    #: Directory for the spill store; None uses a private tempdir.
+    store_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.settle_lag < 0:
+            raise ValueError(f"settle_lag must be >= 0, got {self.settle_lag}")
+        if self.run_width <= 0:
+            raise ValueError(f"run_width must be > 0, got {self.run_width}")
+        if self.hot_runs < 0:
+            raise ValueError(f"hot_runs must be >= 0, got {self.hot_runs}")

@@ -67,7 +67,13 @@ class LMergeObserver:
       dropped / inserts in);
     * ``lmerge_output_frontier`` gauge — the merged stable point;
     * ``lmerge_feedback_emitted_total{input=}`` counter — fast-forward
-      signals raised toward each lagging input (Section V-D).
+      signals raised toward each lagging input (Section V-D);
+    * ``lmerge_index_nodes`` / ``lmerge_index_bytes`` gauges — resident
+      merge-index size (the bounded-state signal of PR 8: flat under
+      reclamation, O(stream) on the seed path);
+    * ``lmerge_pruned_nodes_total`` / ``lmerge_spilled_runs_total`` /
+      ``lmerge_faulted_runs_total`` counters — settled-prefix reclamation
+      and cold-run spill traffic, from merge-counter deltas.
     """
 
     def __init__(
@@ -82,6 +88,9 @@ class LMergeObserver:
         self._labels = {"merge": getattr(merge, "name", "lmerge")}
         self._last_inserts_in = merge.stats.inserts_in
         self._last_inserts_out = merge.stats.inserts_out
+        self._last_pruned = getattr(merge, "pruned_nodes", 0)
+        self._last_spilled = getattr(merge, "spilled_runs", 0)
+        self._last_faulted = getattr(merge, "faulted_runs", 0)
         self.samples = 0
         if hasattr(merge, "add_feedback_listener"):
             merge.add_feedback_listener(self._on_feedback_emitted)
@@ -140,6 +149,34 @@ class LMergeObserver:
                 registry.counter(
                     "lmerge_duplicates_dropped_total", self._labels
                 ).inc(dropped)
+
+        # Bounded-state accounting (PR 8): resident index size as gauges,
+        # reclamation/spill traffic as counter deltas (registry counters
+        # are increase-only, the merge counters are cumulative).
+        registry.gauge("lmerge_index_nodes", self._labels).set(
+            getattr(merge, "index_nodes", 0)
+        )
+        registry.gauge("lmerge_index_bytes", self._labels).set(
+            getattr(merge, "index_bytes", 0)
+        )
+        pruned = getattr(merge, "pruned_nodes", 0)
+        if pruned > self._last_pruned:
+            registry.counter(
+                "lmerge_pruned_nodes_total", self._labels
+            ).inc(pruned - self._last_pruned)
+        self._last_pruned = pruned
+        spilled = getattr(merge, "spilled_runs", 0)
+        if spilled > self._last_spilled:
+            registry.counter(
+                "lmerge_spilled_runs_total", self._labels
+            ).inc(spilled - self._last_spilled)
+        self._last_spilled = spilled
+        faulted = getattr(merge, "faulted_runs", 0)
+        if faulted > self._last_faulted:
+            registry.counter(
+                "lmerge_faulted_runs_total", self._labels
+            ).inc(faulted - self._last_faulted)
+        self._last_faulted = faulted
         return lags
 
     def duplicate_hit_rate(self) -> float:

@@ -36,7 +36,7 @@ from __future__ import annotations
 import os
 import struct
 import zlib
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 __all__ = ["StateStore", "StateStoreError", "CorruptSegmentError"]
 
@@ -240,6 +240,17 @@ class StateStore:
 
     def keys(self) -> Iterator[bytes]:
         return iter(sorted(self._index))
+
+    def keys_with_prefix(self, prefix: Key) -> List[bytes]:
+        """All live keys starting with *prefix*, sorted.
+
+        The cold-run spill namespaces its runs as ``<merge>:run:<id>`` in
+        a store it may share with checkpoints; this is how it enumerates
+        (and clears) its own keys without trusting in-memory metadata —
+        which a crash-restart has lost.
+        """
+        raw = _as_bytes(prefix)
+        return sorted(key for key in self._index if key.startswith(raw))
 
     def items(self) -> Iterator[Tuple[bytes, bytes]]:
         for key in self.keys():

@@ -14,9 +14,11 @@ from-scratch CLRS-style red-black tree (no third-party ordered containers
 are used anywhere in this repository).
 """
 
-from repro.structures.rbtree import RedBlackTree
+from repro.structures.rbtree import RedBlackTree, node_pool_stats
+from repro.structures.pool import FreeList
 from repro.structures.in2t import In2T, In2TNode, OUTPUT
 from repro.structures.in3t import In3T, In3TNode
+from repro.structures.spill import RunSpill
 from repro.structures.sizing import (
     HASH_ENTRY_OVERHEAD,
     TREE_NODE_OVERHEAD,
@@ -25,6 +27,9 @@ from repro.structures.sizing import (
 
 __all__ = [
     "RedBlackTree",
+    "FreeList",
+    "RunSpill",
+    "node_pool_stats",
     "In2T",
     "In2TNode",
     "In3T",

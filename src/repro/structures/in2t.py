@@ -5,12 +5,19 @@ event (payload shared across all inputs) and points to a second-tier hash
 table.  The hash table maps each input stream id to the current Ve that
 stream has reported for this event, plus one entry under the sentinel key
 :data:`OUTPUT` holding the Ve most recently placed on the output.
+
+Reclamation (PR 8): :meth:`In2T.prune_below` bulk-retires a frozen/settled
+prefix in one tree walk, recycling both the rbtree nodes and the
+second-tier dicts through freelists; :meth:`In2T.enable_spill` attaches a
+:class:`~repro.structures.spill.RunSpill` that evicts cold, output-agreed
+runs to a durable store and faults them back in on touch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, Iterator, List, Optional
 
+from repro.structures.pool import FreeList
 from repro.structures.rbtree import RedBlackTree
 from repro.structures.sizing import (
     HASH_ENTRY_OVERHEAD,
@@ -21,6 +28,13 @@ from repro.structures.sizing import (
 )
 from repro.temporal.event import Event, Payload
 from repro.temporal.time import Timestamp
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.structures.spill import RunSpill
+
+#: Freelist of second-tier Ve dicts: a pruned node's entries dict becomes
+#: the next inserted node's, so settled churn allocates no dicts.
+_ENTRY_DICTS = FreeList(dict, dict.clear)
 
 
 class _Output:
@@ -58,7 +72,7 @@ class In2TNode:
     def __init__(self, event: Event, key: tuple):
         self.event = event
         #: stream id (or OUTPUT) -> current Ve on that stream.
-        self.entries: Dict[StreamId, Timestamp] = {}
+        self.entries: Dict[StreamId, Timestamp] = _ENTRY_DICTS.acquire()
         self._key = key
 
     @property
@@ -100,23 +114,43 @@ class In2TNode:
 class In2T:
     """The two-tier merge index of Algorithm R3."""
 
-    __slots__ = ("_tree",)
+    __slots__ = ("_tree", "_spill")
 
     def __init__(self) -> None:
         self._tree = RedBlackTree()
+        self._spill: "Optional[RunSpill]" = None
 
     def __len__(self) -> int:
+        """Resident node count (spilled runs excluded; see live_nodes)."""
         return len(self._tree)
 
     def __bool__(self) -> bool:
-        return bool(self._tree)
+        return bool(self._tree) or (
+            self._spill is not None and self._spill.spilled_nodes > 0
+        )
+
+    @property
+    def live_nodes(self) -> int:
+        """Logical node count: resident plus spilled."""
+        spill = self._spill
+        return len(self._tree) + (spill.spilled_nodes if spill else 0)
 
     @staticmethod
     def _key(vs: Timestamp, payload: Payload) -> tuple:
         return (vs, PayloadKey(payload))
 
+    def enable_spill(self, spill: "RunSpill") -> None:
+        """Attach a cold-run spill; keyed operations fault runs back in."""
+        self._spill = spill
+
+    @property
+    def spill(self) -> "Optional[RunSpill]":
+        return self._spill
+
     def find(self, vs: Timestamp, payload: Payload) -> Optional[In2TNode]:
         """``SameVsPayload``: the node for ``(vs, payload)``, or None."""
+        if self._spill is not None:
+            self._spill.touch(self, vs)
         return self._tree.get(self._key(vs, payload))
 
     def add(self, event: Event) -> In2TNode:
@@ -124,6 +158,8 @@ class In2T:
 
         The caller guarantees no node exists for the event's key.
         """
+        if self._spill is not None:
+            self._spill.touch(self, event.vs)
         key = self._key(event.vs, event.payload)
         node = In2TNode(event, key)
         created = self._tree.insert(key, node)
@@ -140,6 +176,8 @@ class In2T:
         argument is anything with ``vs``/``payload``/``to_event()`` — in
         practice an :class:`~repro.temporal.elements.Insert`.
         """
+        if self._spill is not None:
+            self._spill.touch(self, insert.vs)
         key = (insert.vs, PayloadKey(insert.payload))
         tree_node, created = self._tree.get_or_reserve(key)
         if created:
@@ -157,6 +195,8 @@ class In2T:
         :class:`~repro.engine.columnar.ColumnBatch` without ever building
         an :class:`~repro.temporal.elements.Insert`.
         """
+        if self._spill is not None:
+            self._spill.touch(self, vs)
         key = (vs, PayloadKey(payload))
         tree_node, created = self._tree.get_or_reserve(key)
         if created:
@@ -164,24 +204,87 @@ class In2T:
         return tree_node.value
 
     def delete(self, node: In2TNode) -> None:
-        """``DeleteNode``: remove *node* from the top tier."""
+        """``DeleteNode``: remove *node* from the top tier.
+
+        The node object (and its entries dict) is *not* recycled — the
+        caller may still hold it; only :meth:`prune_below` recycles.
+        """
         if not self._tree.delete(node._key):
             raise KeyError(f"in2t node not present: {node!r}")
+
+    def prune_below(self, t: Timestamp, keep=None) -> int:
+        """Bulk-retire nodes with ``Vs < t`` in one ordered walk.
+
+        ``keep(node)`` returning True retains a node; it runs before any
+        tree mutation, so it may reconcile/emit but must not touch the
+        index.  Deleted nodes have their second-tier dicts recycled into
+        the entry freelist (callers must not retain references to them).
+        Spilled runs are deliberately *not* faulted in — the merge
+        resolves them via :meth:`RunSpill.resolve_stable` first.
+
+        Returns the number of nodes removed.
+        """
+        release = _ENTRY_DICTS.release
+
+        def _recycle(node: In2TNode) -> None:
+            release(node.entries)
+
+        if keep is None:
+            return self._tree.delete_below(
+                (t, _KEY_FLOOR), on_delete=_recycle
+            )
+
+        def _keep(_key: tuple, node: In2TNode) -> bool:
+            return keep(node)
+
+        return self._tree.delete_below(
+            (t, _KEY_FLOOR), keep=_keep, on_delete=_recycle
+        )
 
     def half_frozen(self, t: Timestamp) -> List[In2TNode]:
         """``FindHalfFrozen``: nodes with ``Vs < t``, in key order.
 
         Materialized as a list so callers may delete nodes while
-        processing (Algorithm R3, lines 26-27).
+        processing (Algorithm R3, lines 26-27).  Faults in any spilled
+        run below *t* first — every returned node is resident.
         """
+        if self._spill is not None:
+            self._spill.fault_in_below(self, t)
         return [node for _, node in self._tree.items_below((t, _KEY_FLOOR))]
 
     def nodes(self) -> Iterator[In2TNode]:
-        """All nodes in ``(Vs, payload)`` order."""
+        """All *resident* nodes in ``(Vs, payload)`` order."""
         return self._tree.values()
 
     def memory_bytes(self) -> int:
+        """Resident state bytes (spilled runs live in the store's gauge)."""
         return sum(node.memory_bytes() for node in self._tree.values())
+
+    # -- spill record protocol (repro.structures.spill) ------------------
+
+    @staticmethod
+    def _record_key(record: tuple) -> tuple:
+        return (record[0], PayloadKey(record[1]))
+
+    def _extract_records(self, lo: Timestamp, hi: Timestamp) -> List[tuple]:
+        """Remove nodes with ``lo <= Vs < hi``; return them as records."""
+        pairs = self._tree.extract_range((lo, _KEY_FLOOR), (hi, _KEY_FLOOR))
+        return [
+            (node.vs, node.payload, node.event.ve, node.entries)
+            for _, node in pairs
+        ]
+
+    def _insert_records(self, records: List[tuple]) -> None:
+        """Re-materialize extracted/snapshot records (keys must be absent)."""
+        for vs, payload, event_ve, entries in records:
+            key = self._key(vs, payload)
+            node = In2TNode(Event(vs, payload, event_ve), key)
+            node.entries.update(entries)
+            if not self._tree.insert(key, node):
+                raise KeyError(
+                    f"in2t record collides with resident node: "
+                    f"({vs}, {payload!r})"
+                )
 
     # -- durable state (repro.resilience) -------------------------------
 
@@ -190,16 +293,25 @@ class In2T:
 
         Each record is ``(vs, payload, event_ve, entries)``; the OUTPUT
         sentinel key inside ``entries`` survives pickling by identity
-        (see :meth:`_Output.__reduce__`).
+        (see :meth:`_Output.__reduce__`).  Spilled runs are merged in
+        *without* faulting them back into the tree, so a snapshot is
+        element-identical whether or not the spill is engaged.
         """
-        return [
+        records = [
             (node.vs, node.payload, node.event.ve, dict(node.entries))
             for node in self._tree.values()
         ]
+        spill = self._spill
+        if spill is not None and spill.has_spilled:
+            records.extend(spill.peek_records())
+            records.sort(key=self._record_key)
+        return records
 
     def restore(self, records: List[tuple]) -> None:
         """Rebuild the index from a :meth:`snapshot` (replaces contents)."""
-        self._tree = RedBlackTree()
+        self._tree.clear()
+        if self._spill is not None:
+            self._spill.clear()
         for vs, payload, event_ve, entries in records:
             node = self.add(Event(vs, payload, event_ve))
             node.entries.update(entries)

@@ -6,13 +6,19 @@ values, and exact duplicates may occur.  So each second-tier hash entry
 holds, instead of a single Ve, a small red-black tree mapping ``Ve ->
 count``.  The output's multiset is tracked under the sentinel key
 :data:`~repro.structures.in2t.OUTPUT`.
+
+Reclamation (PR 8): :meth:`In3T.prune_below` bulk-retires a settled
+prefix in one tree walk, recycling the counts dicts and Ve-tier trees
+through freelists; :meth:`In3T.enable_spill` attaches a
+:class:`~repro.structures.spill.RunSpill` for cold, output-agreed runs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from repro.structures.in2t import OUTPUT, StreamId, _KeyFloor
+from repro.structures.pool import FreeList
 from repro.structures.rbtree import RedBlackTree
 from repro.structures.sizing import (
     HASH_ENTRY_OVERHEAD,
@@ -24,7 +30,16 @@ from repro.structures.sizing import (
 from repro.temporal.event import Event, Payload
 from repro.temporal.time import MINUS_INFINITY, Timestamp
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.structures.spill import RunSpill
+
 _KEY_FLOOR = _KeyFloor()
+
+#: Freelist of second-tier counts dicts (stream id -> Ve tier).
+_COUNT_DICTS = FreeList(dict, dict.clear)
+#: Freelist of third-tier Ve -> count trees; clearing one also returns its
+#: rbtree nodes to the shared node pool.
+_VE_TIERS = FreeList(RedBlackTree, RedBlackTree.clear)
 
 
 class In3TNode:
@@ -40,7 +55,7 @@ class In3TNode:
     def __init__(self, vs: Timestamp, payload: Payload, key: tuple):
         self.vs = vs
         self.payload = payload
-        self.counts: Dict[StreamId, RedBlackTree] = {}
+        self.counts: Dict[StreamId, RedBlackTree] = _COUNT_DICTS.acquire()
         self._key = key
 
     # -- multiset maintenance -------------------------------------------
@@ -49,7 +64,7 @@ class In3TNode:
         """``IncrementCount``: add *by* events ``<payload, vs, ve)``."""
         tier = self.counts.get(stream)
         if tier is None:
-            tier = RedBlackTree()
+            tier = _VE_TIERS.acquire()
             self.counts[stream] = tier
         tier.insert(ve, tier.get(ve, 0) + by)
 
@@ -126,27 +141,49 @@ class In3TNode:
 class In3T:
     """The three-tier merge index of Algorithm R4."""
 
-    __slots__ = ("_tree",)
+    __slots__ = ("_tree", "_spill")
 
     def __init__(self) -> None:
         self._tree = RedBlackTree()
+        self._spill: "Optional[RunSpill]" = None
 
     def __len__(self) -> int:
+        """Resident node count (spilled runs excluded; see live_nodes)."""
         return len(self._tree)
 
     def __bool__(self) -> bool:
-        return bool(self._tree)
+        return bool(self._tree) or (
+            self._spill is not None and self._spill.spilled_nodes > 0
+        )
+
+    @property
+    def live_nodes(self) -> int:
+        """Logical node count: resident plus spilled."""
+        spill = self._spill
+        return len(self._tree) + (spill.spilled_nodes if spill else 0)
 
     @staticmethod
     def _key(vs: Timestamp, payload: Payload) -> tuple:
         return (vs, PayloadKey(payload))
 
+    def enable_spill(self, spill: "RunSpill") -> None:
+        """Attach a cold-run spill; keyed operations fault runs back in."""
+        self._spill = spill
+
+    @property
+    def spill(self) -> "Optional[RunSpill]":
+        return self._spill
+
     def find(self, vs: Timestamp, payload: Payload) -> Optional[In3TNode]:
         """``SameVsPayload``: the node for ``(vs, payload)``, or None."""
+        if self._spill is not None:
+            self._spill.touch(self, vs)
         return self._tree.get(self._key(vs, payload))
 
     def add(self, vs: Timestamp, payload: Payload) -> In3TNode:
         """``AddNode``: create (and return) the node for ``(vs, payload)``."""
+        if self._spill is not None:
+            self._spill.touch(self, vs)
         key = self._key(vs, payload)
         node = In3TNode(vs, payload, key)
         created = self._tree.insert(key, node)
@@ -164,6 +201,8 @@ class In3T:
         :class:`~repro.temporal.event.Event` or an
         :class:`~repro.temporal.elements.Insert`.
         """
+        if self._spill is not None:
+            self._spill.touch(self, event.vs)
         key = (event.vs, PayloadKey(event.payload))
         tree_node, created = self._tree.get_or_reserve(key)
         if created:
@@ -171,19 +210,109 @@ class In3T:
         return tree_node.value
 
     def delete(self, node: In3TNode) -> None:
-        """``Delete``: remove *node* from the top tier."""
+        """``Delete``: remove *node* from the top tier.
+
+        The node object (and its tiers) is *not* recycled — the caller
+        may still hold it; only :meth:`prune_below` recycles.
+        """
         if not self._tree.delete(node._key):
             raise KeyError(f"in3t node not present: {node!r}")
 
+    def prune_below(self, t: Timestamp, keep=None) -> int:
+        """Bulk-retire nodes with ``Vs < t`` in one ordered walk.
+
+        ``keep(node)`` returning True retains a node; it runs before any
+        tree mutation, so it may reconcile/emit but must not touch the
+        index.  Deleted nodes return their Ve tiers and counts dicts to
+        the freelists (callers must not retain references to them).
+
+        Returns the number of nodes removed.
+        """
+        release_dict = _COUNT_DICTS.release
+        release_tier = _VE_TIERS.release
+
+        def _recycle(node: In3TNode) -> None:
+            for tier in node.counts.values():
+                release_tier(tier)
+            release_dict(node.counts)
+
+        if keep is None:
+            return self._tree.delete_below(
+                (t, _KEY_FLOOR), on_delete=_recycle
+            )
+
+        def _keep(_key: tuple, node: In3TNode) -> bool:
+            return keep(node)
+
+        return self._tree.delete_below(
+            (t, _KEY_FLOOR), keep=_keep, on_delete=_recycle
+        )
+
     def half_frozen(self, t: Timestamp) -> List[In3TNode]:
-        """Nodes with ``Vs < t`` in key order (materialized for deletion)."""
+        """Nodes with ``Vs < t`` in key order (materialized for deletion).
+
+        Faults in any spilled run below *t* first — every returned node
+        is resident.
+        """
+        if self._spill is not None:
+            self._spill.fault_in_below(self, t)
         return [node for _, node in self._tree.items_below((t, _KEY_FLOOR))]
 
     def nodes(self) -> Iterator[In3TNode]:
+        """All *resident* nodes in ``(Vs, payload)`` order."""
         return self._tree.values()
 
     def memory_bytes(self) -> int:
+        """Resident state bytes (spilled runs live in the store's gauge)."""
         return sum(node.memory_bytes() for node in self._tree.values())
+
+    # -- spill record protocol (repro.structures.spill) ------------------
+
+    @staticmethod
+    def _record_key(record: tuple) -> tuple:
+        return (record[0], PayloadKey(record[1]))
+
+    @staticmethod
+    def _to_record(node: In3TNode) -> tuple:
+        return (
+            node.vs,
+            node.payload,
+            {
+                stream: list(tier.items())
+                for stream, tier in node.counts.items()
+            },
+        )
+
+    def _extract_records(self, lo: Timestamp, hi: Timestamp) -> List[tuple]:
+        """Remove nodes with ``lo <= Vs < hi``; return them as records.
+
+        The extracted nodes' tiers and counts dicts go back to the
+        freelists — the records carry plain lists/dicts instead.
+        """
+        pairs = self._tree.extract_range((lo, _KEY_FLOOR), (hi, _KEY_FLOOR))
+        records = []
+        for _, node in pairs:
+            records.append(self._to_record(node))
+            for tier in node.counts.values():
+                _VE_TIERS.release(tier)
+            _COUNT_DICTS.release(node.counts)
+        return records
+
+    def _insert_records(self, records: List[tuple]) -> None:
+        """Re-materialize extracted/snapshot records (keys must be absent)."""
+        for vs, payload, counts in records:
+            key = self._key(vs, payload)
+            node = In3TNode(vs, payload, key)
+            for stream, pairs in counts.items():
+                tier = _VE_TIERS.acquire()
+                for ve, count in pairs:
+                    tier.insert(ve, count)
+                node.counts[stream] = tier
+            if not self._tree.insert(key, node):
+                raise KeyError(
+                    f"in3t record collides with resident node: "
+                    f"({vs}, {payload!r})"
+                )
 
     # -- durable state (repro.resilience) -------------------------------
 
@@ -192,27 +321,19 @@ class In3T:
 
         Each record is ``(vs, payload, counts)`` where ``counts`` maps
         stream id (or the OUTPUT sentinel, which pickles by identity) to
-        its Ve-ordered ``(Ve, count)`` pairs.
+        its Ve-ordered ``(Ve, count)`` pairs.  Spilled runs are merged in
+        without faulting them back into the tree.
         """
-        return [
-            (
-                node.vs,
-                node.payload,
-                {
-                    stream: list(tier.items())
-                    for stream, tier in node.counts.items()
-                },
-            )
-            for node in self._tree.values()
-        ]
+        records = [self._to_record(node) for node in self._tree.values()]
+        spill = self._spill
+        if spill is not None and spill.has_spilled:
+            records.extend(spill.peek_records())
+            records.sort(key=self._record_key)
+        return records
 
     def restore(self, records: List[tuple]) -> None:
         """Rebuild the index from a :meth:`snapshot` (replaces contents)."""
-        self._tree = RedBlackTree()
-        for vs, payload, counts in records:
-            node = self.add(vs, payload)
-            for stream, pairs in counts.items():
-                tier = RedBlackTree()
-                for ve, count in pairs:
-                    tier.insert(ve, count)
-                node.counts[stream] = tier
+        self._tree.clear()
+        if self._spill is not None:
+            self._spill.clear()
+        self._insert_records(records)

@@ -1,0 +1,84 @@
+"""Bounded freelists for the merge-index second tiers.
+
+The rbtree keeps its own node pool (:data:`repro.structures.rbtree.NODE_POOL`
+— nodes need key/value/color re-initialization, so they get a specialized
+pool).  This module provides the generic counterpart for the *container*
+objects hanging off index nodes: the per-stream Ve dict of an in2t node,
+and the counts dict / Ve-tier trees of an in3t node.  Together with node
+pooling, pruning a settled run returns every object it held to a freelist,
+so steady-state merging (insert rate == reclaim rate) allocates ~zero
+objects per settled event.
+
+Freelists are module-level and shared across merges; ``list.append`` /
+``list.pop`` are single bytecodes, so sharing between threads is safe
+under the GIL (a race can overshoot the cap by an object, nothing worse).
+
+Recycling contract: an object may only be released when the index owns the
+last reference — the prune/evict paths qualify, public ``delete`` does not
+(callers may still hold the node) and deliberately skips recycling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class FreeList:
+    """A capped freelist over ``factory()``-made objects.
+
+    ``reset(obj)`` (when given) restores a released object to its pristine
+    state before it is pooled; objects past the cap are dropped to the
+    garbage collector.
+    """
+
+    __slots__ = ("_factory", "_reset", "_free", "limit",
+                 "allocated", "reused", "released")
+
+    def __init__(
+        self,
+        factory: Callable[[], Any],
+        reset: Optional[Callable[[Any], None]] = None,
+        limit: int = 65536,
+    ):
+        self._factory = factory
+        self._reset = reset
+        self._free: List[Any] = []
+        self.limit = limit
+        #: Objects constructed because the freelist was empty.
+        self.allocated = 0
+        #: Objects served from the freelist instead of the allocator.
+        self.reused = 0
+        #: Objects returned to the freelist (drops past the cap excluded).
+        self.released = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self) -> Any:
+        try:
+            obj = self._free.pop()
+        except IndexError:
+            self.allocated += 1
+            return self._factory()
+        self.reused += 1
+        return obj
+
+    def release(self, obj: Any) -> None:
+        if len(self._free) >= self.limit:
+            return
+        if self._reset is not None:
+            self._reset(obj)
+        self.released += 1
+        self._free.append(obj)
+
+    def drain(self) -> None:
+        """Drop every pooled object (tests use this to isolate counters)."""
+        self._free.clear()
+
+    def stats(self) -> dict:
+        return {
+            "free": len(self._free),
+            "allocated": self.allocated,
+            "reused": self.reused,
+            "released": self.released,
+        }

@@ -9,11 +9,19 @@ iteration, and bounded iteration (``items_below`` drives the
 Keys must be mutually orderable; values are arbitrary.  Duplicate keys are
 not stored — inserting an existing key replaces its value (callers that
 need multiplicity, like in3t's Ve tier, store counts as values).
+
+Node allocation is routed through a module-level freelist
+(:data:`NODE_POOL`): every node detached by ``delete``/``delete_below``/
+``extract_range``/``clear`` is recycled into the next insert, so
+steady-state merging — where the settled-prefix pruning of PR 8 retires
+nodes at the same rate inserts create them — allocates no node objects at
+all.  Lint rule REP108 enforces that structures code never constructs a
+bare ``_Node`` outside this module.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 RED = True
 BLACK = False
@@ -57,6 +65,80 @@ class _Sentinel(_Node):
 
 _NIL = _Sentinel.__new__(_Sentinel)
 _Sentinel.__init__(_NIL)
+
+
+class _NodePool:
+    """Freelist of detached ``_Node`` objects.
+
+    ``acquire`` pops a recycled node (or constructs one when the list is
+    empty); ``release`` clears a detached node's references and pushes it
+    back, capped at ``limit`` so a transient spike cannot pin memory
+    forever.  The list operations are single bytecode appends/pops, so the
+    pool is safe to share between threads under the GIL; at worst a race
+    overshoots the cap by a node or two.
+    """
+
+    __slots__ = ("_free", "limit", "allocated", "reused", "released")
+
+    def __init__(self, limit: int = 65536):
+        self._free: List[_Node] = []
+        self.limit = limit
+        #: Nodes constructed because the freelist was empty.
+        self.allocated = 0
+        #: Nodes served from the freelist instead of the allocator.
+        self.reused = 0
+        #: Nodes returned to the freelist (drops past the cap excluded).
+        self.released = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self, key: Any, value: Any, color: bool) -> _Node:
+        try:
+            node = self._free.pop()
+        except IndexError:
+            self.allocated += 1
+            return _Node(key, value, color)
+        self.reused += 1
+        node.key = key
+        node.value = value
+        node.color = color
+        node.left = _NIL
+        node.right = _NIL
+        node.parent = _NIL
+        return node
+
+    def release(self, node: _Node) -> None:
+        if len(self._free) >= self.limit:
+            return
+        node.key = None
+        node.value = None
+        node.left = _NIL
+        node.right = _NIL
+        node.parent = _NIL
+        self.released += 1
+        self._free.append(node)
+
+    def drain(self) -> None:
+        """Drop every pooled node (tests use this to isolate counters)."""
+        self._free.clear()
+
+    def stats(self) -> dict:
+        return {
+            "free": len(self._free),
+            "allocated": self.allocated,
+            "reused": self.reused,
+            "released": self.released,
+        }
+
+
+#: The process-wide node freelist shared by every RedBlackTree.
+NODE_POOL = _NodePool()
+
+
+def node_pool_stats() -> dict:
+    """Allocation/reuse counters of the shared node pool (JSON-clean)."""
+    return NODE_POOL.stats()
 
 
 class RedBlackTree:
@@ -167,6 +249,106 @@ class RedBlackTree:
             else:
                 return
 
+    def _range_nodes(self, lo: Any, hi: Any) -> Iterator[_Node]:
+        """Nodes with ``lo <= key < hi`` in order (``lo=None`` = no floor,
+        ``hi=None`` = no ceiling).
+
+        The descent skips subtrees entirely below *lo*, so cost is
+        O(lg n + k) for k yielded nodes.  The tree must not be mutated
+        while the iterator is live — callers materialize first.
+        """
+        stack: List[_Node] = []
+        node = self._root
+        while node is not _NIL:
+            if lo is not None and node.key < lo:
+                node = node.right
+            else:
+                stack.append(node)
+                node = node.left
+        while stack:
+            node = stack.pop()
+            if hi is not None and not (node.key < hi):
+                return
+            yield node
+            node = node.right
+            while node is not _NIL:
+                if lo is not None and node.key < lo:
+                    node = node.right
+                else:
+                    stack.append(node)
+                    node = node.left
+
+    def items_between(self, lo: Any, hi: Any) -> Iterator[Tuple[Any, Any]]:
+        """In-order ``(key, value)`` pairs with ``lo <= key < hi``."""
+        return ((n.key, n.value) for n in self._range_nodes(lo, hi))
+
+    # ------------------------------------------------------------------
+    # Bulk range deletion (PR 8: CTI-driven settled-run reclamation)
+    # ------------------------------------------------------------------
+
+    def delete_below(
+        self,
+        bound: Any,
+        keep: Optional[Callable[[Any, Any], bool]] = None,
+        on_delete: Optional[Callable[[Any], None]] = None,
+    ) -> int:
+        """Bulk-delete every entry with ``key < bound``; returns the count.
+
+        One in-order walk over the doomed prefix collects the condemned
+        node objects, then each is unlinked directly by node pointer — no
+        per-key root-to-leaf search, so reclaiming k settled keys costs
+        O(lg n + k) walk steps plus amortized O(1) fixups per unlink,
+        versus k full ``delete(key)`` descents.
+
+        ``keep(key, value)`` (called during the walk, before any
+        mutation) returning True retains an entry — this is where the
+        merge's reconciliation/settlement predicate runs; it may mutate
+        values and emit output but must not touch the tree.
+        ``on_delete(value)`` is called once per removed entry after it is
+        unlinked (the hook that lets in2t/in3t recycle second-tier
+        containers); it must not mutate the tree either.
+        """
+        doomed: List[_Node] = []
+        for node in self._range_nodes(None, bound):
+            if keep is None or not keep(node.key, node.value):
+                doomed.append(node)
+        for node in doomed:
+            value = node.value
+            self._delete_node(node)
+            if on_delete is not None:
+                on_delete(value)
+        return len(doomed)
+
+    def extract_range(self, lo: Any, hi: Any) -> List[Tuple[Any, Any]]:
+        """Remove and return all ``(key, value)`` with ``lo <= key < hi``.
+
+        Same collect-then-unlink discipline as :meth:`delete_below`; the
+        pairs come back in key order.  This is the eviction primitive of
+        the cold-run spill: a run's nodes leave the tree in one walk.
+        """
+        doomed = list(self._range_nodes(lo, hi))
+        pairs = [(node.key, node.value) for node in doomed]
+        for node in doomed:
+            self._delete_node(node)
+        return pairs
+
+    def clear(self) -> None:
+        """Detach every node, recycling all of them into the pool."""
+        stack: List[_Node] = []
+        if self._root is not _NIL:
+            stack.append(self._root)
+        release = NODE_POOL.release
+        while stack:
+            node = stack.pop()
+            left, right = node.left, node.right
+            if left is not _NIL:
+                stack.append(left)
+            if right is not _NIL:
+                stack.append(right)
+            release(node)
+        self._root = _NIL
+        self._size = 0
+
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
@@ -187,7 +369,7 @@ class RedBlackTree:
             else:
                 node.value = value
                 return False
-        fresh = _Node(key, value, RED)
+        fresh = NODE_POOL.acquire(key, value, RED)
         fresh.parent = parent
         if parent is _NIL:
             self._root = fresh
@@ -233,7 +415,7 @@ class RedBlackTree:
                 node = node.right
             else:
                 return node, False
-        fresh = _Node(key, None, RED)
+        fresh = NODE_POOL.acquire(key, None, RED)
         fresh.parent = parent
         if parent is _NIL:
             self._root = fresh
@@ -334,6 +516,9 @@ class RedBlackTree:
         if removed_color == BLACK:
             self._delete_fixup(fixup_at)
         _NIL.parent = _NIL  # undo any temporary sentinel wiring
+        # The detached object is always *node* (in the two-child case the
+        # successor was relocated into its place); recycle it.
+        NODE_POOL.release(node)
 
     def _transplant(self, old: _Node, new: _Node) -> None:
         if old.parent is _NIL:

@@ -1,0 +1,293 @@
+"""Cold-run spill for the in2t/in3t merge indexes (PR 8, tentpole part 3).
+
+Settled-prefix pruning (see :mod:`repro.lmerge.reclaim`) reclaims keys
+every attached input has agreed on.  What it cannot reclaim is the *lag
+window*: keys the leader has delivered and the output carries, but a
+trailing replica has not confirmed yet.  On R3/R4 workloads with long
+out-of-order tails that window is exactly the working set that blows past
+RAM — and it is cold: nothing touches those nodes until the laggard
+replays them or a stable() passes their Ve.
+
+:class:`RunSpill` evicts such runs to the PR 7
+:class:`~repro.resilience.store.StateStore`.  A *run* is the bucket of
+index nodes with ``run_id = floor(Vs / run_width)``; a run qualifies for
+eviction only when every node in it is **output-agreed** — each per-stream
+Ve entry equals the OUTPUT entry — because then the per-run summary
+``(count, min_ve, max_ve, covered_streams)`` is enough to answer the next
+stable() without deserializing:
+
+* ``stable(t)`` from a covered stream with ``min_ve >= t`` is a no-op for
+  the whole run (every entry equals OUTPUT and stays unfrozen);
+* ``stable(t)`` from a covered stream with ``max_ve < t`` retires the
+  whole run silently (the seed path would emit nothing: input and output
+  already agree, the keys die fully frozen) — the run is dropped from the
+  store without ever faulting in;
+* anything else — an uncovered freezing stream (which may cancel keys it
+  never produced), or a run straddling ``t`` — faults the run back in and
+  takes the exact seed reconciliation path.
+
+Inserts/adjusts/lookups that touch a spilled key fault its run back in
+first (``touch``), so merge behaviour is unchanged; the eviction policy
+keeps the ``hot_runs`` most-recently-faulted candidate runs resident (an
+LRU over run ids) and spills the rest.
+
+Snapshots remain element-identical: the index merges spilled records into
+``snapshot()`` without faulting them in, and ``restore()`` clears the
+spill namespace via the store's prefix scan (robust even when a crash
+lost this object's in-memory metadata).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import shutil
+import tempfile
+import weakref
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Per-run metadata: (node count, min settle-Ve, max settle-Ve, covered
+#: stream ids).  "Settle-Ve" is the OUTPUT Ve of an in2t node / the max
+#: OUTPUT Ve of an in3t node — the timestamp at which a stable() silently
+#: retires the node.  ``covered`` holds every stream id with an entry on
+#: *all* nodes of the run (runs are only spilled when those entries agree
+#: with OUTPUT).
+RunMeta = Tuple[int, Any, Any, frozenset]
+
+
+class RunSpill:
+    """Evict cold, output-agreed index runs to a durable StateStore."""
+
+    def __init__(
+        self,
+        store=None,
+        *,
+        run_width: float = 1024.0,
+        hot_runs: int = 4,
+        prefix: str = "lmerge",
+        directory: Optional[str] = None,
+    ):
+        if run_width <= 0:
+            raise ValueError(f"run_width must be positive, got {run_width}")
+        if hot_runs < 0:
+            raise ValueError(f"hot_runs must be >= 0, got {hot_runs}")
+        self.run_width = run_width
+        self.hot_runs = hot_runs
+        self._prefix = f"{prefix}:run:"
+        self._owned_dir: Optional[str] = None
+        if store is None:
+            from repro.resilience.store import StateStore  # lazy: avoid cycle
+
+            if directory is None:
+                directory = tempfile.mkdtemp(prefix="repro-spill-")
+                self._owned_dir = directory
+                # The store only appends; reclaim the scratch directory
+                # when the spill (and therefore its merge) is collected.
+                self._cleanup = weakref.finalize(
+                    self, shutil.rmtree, directory, True
+                )
+            else:
+                os.makedirs(directory, exist_ok=True)
+            store = StateStore(directory, name=f"{prefix}-spill")
+        self._store = store
+        self._meta: Dict[int, RunMeta] = {}
+        self._touched: Dict[int, int] = {}
+        self._clock = 0
+        #: Runs written to the store over this spill's lifetime.
+        self.spilled_runs_total = 0
+        #: Runs deserialized back into the index (touch or stable).
+        self.faulted_runs_total = 0
+        #: Runs retired directly from the store (fully frozen, agreed).
+        self.dropped_runs_total = 0
+        #: Nodes inside runs currently resident in the store.
+        self.spilled_nodes = 0
+        #: Bytes of pickled records currently resident in the store.
+        self.spilled_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Bucketing
+    # ------------------------------------------------------------------
+
+    def run_of(self, vs) -> Optional[int]:
+        """The run bucket of *vs*; None for non-finite timestamps."""
+        if isinstance(vs, float) and not math.isfinite(vs):
+            return None
+        return int(vs // self.run_width)
+
+    def run_bounds(self, run: int) -> Tuple[float, float]:
+        width = self.run_width
+        return run * width, (run + 1) * width
+
+    def _key(self, run: int) -> bytes:
+        return f"{self._prefix}{run}".encode()
+
+    @property
+    def has_spilled(self) -> bool:
+        return bool(self._meta)
+
+    @property
+    def spilled_run_ids(self) -> List[int]:
+        return sorted(self._meta)
+
+    # ------------------------------------------------------------------
+    # Fault-in
+    # ------------------------------------------------------------------
+
+    def touch(self, index, vs) -> None:
+        """Fault the run holding *vs* back in if it is spilled.
+
+        Called by the index at the top of every keyed operation; a miss
+        is one dict lookup.
+        """
+        run = self.run_of(vs)
+        if run is not None and run in self._meta:
+            self._fault(index, run)
+
+    def fault_in_below(self, index, bound) -> int:
+        """Fault in every spilled run intersecting ``Vs < bound``."""
+        width = self.run_width
+        doomed = [run for run in self._meta if run * width < bound]
+        for run in sorted(doomed):
+            self._fault(index, run)
+        return len(doomed)
+
+    def fault_in_all(self, index) -> int:
+        return self.fault_in_below(index, math.inf)
+
+    def _fault(self, index, run: int) -> None:
+        key = self._key(run)
+        raw = self._store.get(key)
+        count, _, _, _ = self._meta.pop(run)
+        self._store.delete(key)
+        self.spilled_nodes -= count
+        if raw is not None:
+            self.spilled_bytes -= len(raw)
+            index._insert_records(pickle.loads(raw))
+        self.faulted_runs_total += 1
+        self._clock += 1
+        self._touched[run] = self._clock
+
+    # ------------------------------------------------------------------
+    # Stable-time resolution
+    # ------------------------------------------------------------------
+
+    def resolve_stable(self, index, t, stream_id) -> int:
+        """Prepare spilled runs for a ``stable(t)`` from *stream_id*.
+
+        Runs entirely above *t* are untouched.  For the rest: covered,
+        fully-frozen runs are dropped from the store (returning the node
+        count reclaimed — the seed path would delete those nodes without
+        emitting anything); covered, fully-unfrozen runs stay spilled (the
+        reconciliation is a no-op for them); everything else faults in so
+        the merge's walk sees the exact seed state.
+        """
+        width = self.run_width
+        reclaimed = 0
+        for run in sorted(r for r in self._meta if r * width < t):
+            count, min_ve, max_ve, covered = self._meta[run]
+            if stream_id in covered:
+                if not (min_ve < t):
+                    continue  # entirely unfrozen: reconcile is a no-op
+                if max_ve < t:
+                    self._drop(run)
+                    reclaimed += count
+                    continue
+            self._fault(index, run)
+        return reclaimed
+
+    def _drop(self, run: int) -> None:
+        key = self._key(run)
+        raw = self._store.get(key)
+        count, _, _, _ = self._meta.pop(run)
+        self._store.delete(key)
+        self._touched.pop(run, None)
+        self.spilled_nodes -= count
+        if raw is not None:
+            self.spilled_bytes -= len(raw)
+        self.dropped_runs_total += 1
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+
+    def evict(self, index, candidates: Dict[int, Optional[list]]) -> int:
+        """Spill qualifying cold runs, keeping an LRU of ``hot_runs``.
+
+        *candidates* maps run id -> ``[min_ve, max_ve, covered_set]``
+        gathered by the merge during its reconciliation walk (None marks a
+        run poisoned by a non-agreed node).  Runs already spilled are not
+        candidates (their nodes were not resident to walk).  Returns the
+        number of runs written.
+        """
+        eligible = [run for run, meta in candidates.items() if meta is not None]
+        if len(eligible) <= self.hot_runs:
+            return 0
+        touched = self._touched
+        eligible.sort(key=lambda run: (touched.get(run, 0), run))
+        spilled = 0
+        for run in eligible[: len(eligible) - self.hot_runs]:
+            min_ve, max_ve, covered = candidates[run]
+            lo, hi = self.run_bounds(run)
+            records = index._extract_records(lo, hi)
+            if not records:
+                continue
+            raw = pickle.dumps(records, protocol=pickle.HIGHEST_PROTOCOL)
+            self._store.put(self._key(run), raw)
+            self._meta[run] = (
+                len(records), min_ve, max_ve, frozenset(covered)
+            )
+            self.spilled_nodes += len(records)
+            self.spilled_bytes += len(raw)
+            self.spilled_runs_total += 1
+            spilled += 1
+        if spilled:
+            self._store.maybe_compact()
+        return spilled
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore support
+    # ------------------------------------------------------------------
+
+    def peek_records(self) -> List[tuple]:
+        """Every spilled record, without faulting anything in.
+
+        The index merges these into ``snapshot()`` so durable state stays
+        element-identical whether or not runs are spilled at capture time.
+        """
+        records: List[tuple] = []
+        for run in sorted(self._meta):
+            raw = self._store.get(self._key(run))
+            if raw is not None:
+                records.extend(pickle.loads(raw))
+        return records
+
+    def clear(self) -> None:
+        """Forget all spilled runs and delete them from the store.
+
+        Uses the store's prefix scan rather than ``self._meta`` so a
+        restore into a fresh process also clears runs spilled by a
+        previous incarnation sharing the directory.
+        """
+        for key in self._store.keys_with_prefix(self._prefix):
+            self._store.delete(key)
+        self._meta.clear()
+        self._touched.clear()
+        self._clock = 0
+        self.spilled_nodes = 0
+        self.spilled_bytes = 0
+
+    def close(self) -> None:
+        self._store.close()
+        if self._owned_dir is not None:
+            self._cleanup()
+
+    def stats(self) -> dict:
+        return {
+            "spilled_runs_total": self.spilled_runs_total,
+            "faulted_runs_total": self.faulted_runs_total,
+            "dropped_runs_total": self.dropped_runs_total,
+            "resident_spilled_runs": len(self._meta),
+            "spilled_nodes": self.spilled_nodes,
+            "spilled_bytes": self.spilled_bytes,
+        }

@@ -360,6 +360,77 @@ class TestColumnarLoops:
         )
 
 
+class TestBareNodeAlloc:
+    def test_positive_in2t_node_outside_home(self):
+        findings = _lint(
+            """
+            from repro.structures.in2t import In2TNode
+
+            def rebuild(event, key):
+                return In2TNode(event, key)
+            """,
+            path="src/repro/structures/other.py",
+        )
+        assert _rule_ids(findings) == ["REP108"]
+
+    def test_positive_rbtree_node_in_tests(self):
+        findings = _lint(
+            """
+            from repro.structures.rbtree import _Node
+
+            def make():
+                return _Node(1, None, "red")
+            """,
+            path="tests/test_something.py",
+        )
+        assert _rule_ids(findings) == ["REP108"]
+
+    def test_positive_attribute_call(self):
+        findings = _lint(
+            """
+            import repro.structures.in3t as in3t
+
+            def make(vs, payload, key):
+                return in3t.In3TNode(vs, payload, key)
+            """,
+            path=COLD,
+        )
+        assert _rule_ids(findings) == ["REP108"]
+
+    def test_negative_defining_module(self):
+        # The module that defines the class IS its pool-aware home.
+        assert not _lint(
+            """
+            class In2TNode:
+                def __init__(self, event, key):
+                    self.event = event
+
+            def add(event, key):
+                return In2TNode(event, key)
+            """,
+            path="src/repro/structures/in2t.py",
+        )
+
+    def test_negative_other_calls(self):
+        assert not _lint(
+            """
+            def f(index, event):
+                return index.add(event)
+            """
+        )
+
+    def test_noqa_suppresses(self):
+        assert not _lint(
+            """
+            from repro.structures.in2t import In2TNode
+
+            def rebuild(event, key):
+                return In2TNode(event, key)  # noqa: REP108
+            """,
+            path=COLD,
+        )
+
+
 class TestSuppression:
     def test_bare_noqa(self):
         assert not _lint(
@@ -410,6 +481,7 @@ class TestHarness:
             "REP105",
             "REP106",
             "REP107",
+            "REP108",
         }
 
     def test_repo_is_clean(self):

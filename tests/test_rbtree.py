@@ -180,3 +180,162 @@ def test_items_below_matches_filter(keys, bound):
     assert [k for k, _ in tree.items_below(bound)] == expected
     expected_inc = sorted(k for k in keys if k <= bound)
     assert [k for k, _ in tree.items_below(bound, inclusive=True)] == expected_inc
+
+
+class TestDeleteBelow:
+    """The PR 8 range-delete: one ordered walk, not N single deletes."""
+
+    def test_deletes_prefix(self):
+        tree = RedBlackTree()
+        for key in range(20):
+            tree.insert(key, key * 10)
+        assert tree.delete_below(7) == 7
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(7, 20))
+
+    def test_bound_is_exclusive(self):
+        tree = RedBlackTree()
+        for key in (1, 2, 3):
+            tree.insert(key, None)
+        assert tree.delete_below(2) == 1
+        assert list(tree.keys()) == [2, 3]
+
+    def test_keep_predicate_retains(self):
+        tree = RedBlackTree()
+        for key in range(10):
+            tree.insert(key, key)
+        kept = tree.delete_below(10, keep=lambda k, v: k % 3 == 0)
+        assert kept == 6  # 1,2,4,5,7,8 deleted; 0,3,6,9 kept
+        tree.check_invariants()
+        assert list(tree.keys()) == [0, 3, 6, 9]
+
+    def test_on_delete_sees_every_victim(self):
+        tree = RedBlackTree()
+        for key in range(8):
+            tree.insert(key, f"v{key}")
+        seen = []
+        tree.delete_below(5, on_delete=seen.append)
+        assert seen == ["v0", "v1", "v2", "v3", "v4"]
+
+    def test_empty_and_out_of_range(self):
+        tree = RedBlackTree()
+        assert tree.delete_below(100) == 0
+        tree.insert(50, None)
+        assert tree.delete_below(10) == 0
+        assert len(tree) == 1
+
+
+class TestExtractRangeAndBetween:
+    def test_extract_range(self):
+        tree = RedBlackTree()
+        for key in range(10):
+            tree.insert(key, key * 2)
+        pairs = tree.extract_range(3, 7)
+        assert pairs == [(3, 6), (4, 8), (5, 10), (6, 12)]
+        tree.check_invariants()
+        assert list(tree.keys()) == [0, 1, 2, 7, 8, 9]
+
+    def test_items_between(self):
+        tree = RedBlackTree()
+        for key in range(10):
+            tree.insert(key, None)
+        assert [k for k, _ in tree.items_between(2, 6)] == [2, 3, 4, 5]
+        assert [k for k, _ in tree.items_between(None, 3)] == [0, 1, 2]
+
+    def test_clear_empties_and_reuses(self):
+        tree = RedBlackTree()
+        for key in range(100):
+            tree.insert(key, None)
+        tree.clear()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        tree.insert(1, "back")
+        assert tree.get(1) == "back"
+        tree.check_invariants()
+
+
+class TestNodePool:
+    def test_steady_state_reuses_nodes(self):
+        from repro.structures.rbtree import NODE_POOL
+
+        tree = RedBlackTree()
+        for key in range(64):
+            tree.insert(key, key)
+        tree.delete_below(64)
+        before = NODE_POOL.stats()
+        for key in range(64):
+            tree.insert(key, key)
+        after = NODE_POOL.stats()
+        # Every re-insert should have come from the freelist.
+        assert after["reused"] - before["reused"] == 64
+        assert after["allocated"] == before["allocated"]
+        tree.check_invariants()
+
+    def test_recycled_nodes_carry_no_stale_state(self):
+        tree = RedBlackTree()
+        for key in range(32):
+            tree.insert(key, f"old{key}")
+        tree.clear()
+        for key in range(32, 0, -1):
+            tree.insert(key, f"new{key}")
+        tree.check_invariants()
+        assert [v for _, v in tree.items()] == [
+            f"new{k}" for k in range(1, 33)
+        ]
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["ins", "del", "below", "extract"]),
+            st.integers(0, 60),
+        ),
+        max_size=100,
+    )
+)
+def test_range_ops_model_equivalence(ops):
+    """Property: interleaved inserts, deletes, delete_below and
+    extract_range behave exactly like a sorted dict, with invariants and
+    node pooling in play throughout."""
+    tree = RedBlackTree()
+    model = {}
+    for op, key in ops:
+        if op == "ins":
+            tree.insert(key, key)
+            model[key] = key
+        elif op == "del":
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        elif op == "below":
+            expected = sorted(k for k in model if k < key)
+            assert tree.delete_below(key) == len(expected)
+            for k in expected:
+                del model[k]
+        else:  # extract [key, key+10)
+            expected_pairs = sorted(
+                (k, v) for k, v in model.items() if key <= k < key + 10
+            )
+            assert tree.extract_range(key, key + 10) == expected_pairs
+            for k, _ in expected_pairs:
+                del model[k]
+    tree.check_invariants()
+    assert list(tree.items()) == sorted(model.items())
+    assert len(tree) == len(model)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    keys=st.sets(st.integers(-100, 100), max_size=60),
+    bound=st.integers(-100, 100),
+    mod=st.integers(2, 5),
+)
+def test_delete_below_keep_matches_filter(keys, bound, mod):
+    tree = RedBlackTree()
+    for key in keys:
+        tree.insert(key, key)
+    deleted = tree.delete_below(bound, keep=lambda k, v: k % mod == 0)
+    expected_gone = sorted(k for k in keys if k < bound and k % mod != 0)
+    assert deleted == len(expected_gone)
+    tree.check_invariants()
+    assert list(tree.keys()) == sorted(k for k in keys if k not in expected_gone)
