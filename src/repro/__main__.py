@@ -12,6 +12,9 @@ Commands operate on JSON-lines stream files (see
   :class:`~repro.obs.export.RunReport` / trace JSONL / Prometheus text
   behind;
 * ``report`` — render a saved RunReport JSON as a human-readable table;
+* ``top`` — scrape a live ``--serve-metrics`` endpoint and render the
+  per-shard telemetry as a refreshing terminal table
+  (:mod:`repro.obs.top`);
 * ``validate`` — check the element contract (and optionally the key
   property) of a stream file;
 * ``inspect`` — summarize a stream file (counts, properties, TDB size);
@@ -140,6 +143,13 @@ def _instrumented_merge(args: argparse.Namespace, merge, inputs) -> None:
     leaving the requested report/trace/Prometheus artifacts behind."""
     total = sum(len(stream) for stream in inputs)
     registry = MetricRegistry()
+    server = None
+    if args.serve_metrics is not None:
+        from repro.obs.http import MetricsServer
+
+        server = MetricsServer(registry, port=args.serve_metrics).start()
+        print(f"serving metrics at {server.url}/metrics (repro top "
+              f"{server.host}:{server.port})")
     tracer = (
         RingTracer(capacity=args.trace_capacity)
         if args.trace_out
@@ -194,6 +204,15 @@ def _instrumented_merge(args: argparse.Namespace, merge, inputs) -> None:
         with open(args.prom_out, "w") as fp:
             fp.write(prometheus_text(registry))
         print(f"prometheus metrics -> {args.prom_out}")
+    if server is not None:
+        if args.serve_hold > 0:
+            print(f"holding /metrics open {args.serve_hold:.0f}s for "
+                  f"final scrapes (ctrl-c to stop early)")
+            try:
+                time.sleep(args.serve_hold)
+            except KeyboardInterrupt:
+                pass
+        server.stop()
 
 
 def _checked_inputs(merge, inputs) -> int:
@@ -229,7 +248,10 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         merge = create_lmerge(properties)
     if args.checked and _checked_inputs(merge, inputs):
         return 1
-    instrumented = args.metrics_out or args.trace_out or args.prom_out
+    instrumented = (
+        args.metrics_out or args.trace_out or args.prom_out
+        or args.serve_metrics is not None
+    )
     if instrumented:
         _instrumented_merge(args, merge, inputs)
         output = merge.output
@@ -300,6 +322,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     report = RunReport.load(args.report)
     print(report.render())
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import top
+
+    return top(
+        args.url, interval=args.interval, iterations=args.iterations
+    )
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -412,6 +442,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=65536,
         help="trace ring-buffer capacity (oldest events drop beyond it)",
     )
+    merge.add_argument(
+        "--serve-metrics",
+        type=int,
+        metavar="PORT",
+        help="serve live /metrics + /health on this port during the run "
+        "(scrape with `repro top 127.0.0.1:PORT`)",
+    )
+    merge.add_argument(
+        "--serve-hold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the /metrics endpoint up this long after the merge "
+        "finishes (default 0: stop immediately)",
+    )
     merge.set_defaults(func=_cmd_merge)
 
     report = commands.add_parser(
@@ -419,6 +464,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("report", help="path to a --metrics-out JSON file")
     report.set_defaults(func=_cmd_report)
+
+    top = commands.add_parser(
+        "top", help="live terminal view of a --serve-metrics endpoint"
+    )
+    top.add_argument(
+        "url",
+        nargs="?",
+        default="127.0.0.1:9464",
+        help="metrics endpoint (host:port or full URL; default "
+        "127.0.0.1:9464)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, help="refresh seconds"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="render this many frames then exit (0: until interrupted)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     validate = commands.add_parser("validate", help="check stream contract")
     validate.add_argument("input")

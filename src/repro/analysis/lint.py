@@ -44,6 +44,13 @@ REP108   error     Index node allocation is pooled: no bare
                    outside the module that defines the class — construct
                    through the owning index (or the rbtree node pool) so
                    reclamation can recycle what it retires.
+REP109   error     Registry instrument lookups stay out of hot loops: a
+                   ``registry.counter/gauge/histogram/timeseries(...)``
+                   call inside a ``for``/``while`` body (or a
+                   comprehension) in engine/lmerge/structures code pays a
+                   dict lookup + label-key build per iteration — resolve
+                   the handle once before the loop and call
+                   ``.inc()``/``.set()``/``.observe()`` on it inside.
 =======  ========  ====================================================
 
 Suppression: append ``# noqa: REP104`` (or a bare ``# noqa``) to the
@@ -651,6 +658,93 @@ def _check_bare_node_alloc(tree: ast.Module, _source: str) -> List[_RawFinding]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# REP109 — registry instrument lookups stay out of hot loops
+# ---------------------------------------------------------------------------
+
+#: Module path fragments REP109 patrols: the merge hot paths that meet
+#: the <5% disabled-overhead budget.  obs/ and resilience/ are exempt —
+#: observers and recovery code run at sampling cadence, not per element.
+REGISTRY_LOOP_PARTS = (
+    ("repro", "engine"),
+    ("repro", "lmerge"),
+    ("repro", "structures"),
+)
+
+#: MetricRegistry factory methods: each call is a labels-key build plus a
+#: dict lookup (get-or-create), cheap once but not per loop iteration.
+REGISTRY_FACTORY_METHODS = {"counter", "gauge", "histogram", "timeseries"}
+
+
+def _in_registry_loop_scope(path: Path) -> bool:
+    parts = _parts(path)
+    for fragment in REGISTRY_LOOP_PARTS:
+        for i in range(len(parts) - len(fragment) + 1):
+            if parts[i : i + len(fragment)] == fragment:
+                return True
+    return False
+
+
+def _is_registry_receiver(node: ast.expr) -> bool:
+    """True when *node* is the object a factory call is made on and it
+    looks like a registry (``registry.counter``, ``self.registry.gauge``,
+    ``self._registry.histogram``)."""
+    if isinstance(node, ast.Name):
+        return "registry" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "registry" in node.attr.lower()
+    return False
+
+
+def _registry_factory_calls(root: ast.AST) -> List[ast.Call]:
+    calls: List[ast.Call] = []
+    for node in ast.walk(root):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in REGISTRY_FACTORY_METHODS
+            and _is_registry_receiver(node.func.value)
+        ):
+            calls.append(node)
+    return calls
+
+
+def _check_registry_in_loop(
+    tree: ast.Module, _source: str
+) -> List[_RawFinding]:
+    findings: List[_RawFinding] = []
+    seen: Set[tuple] = set()  # nested loops: report each call once
+
+    def report(call: ast.Call, where: str) -> None:
+        key = (call.lineno, call.col_offset)
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(
+            _RawFinding(
+                call.lineno,
+                call.col_offset,
+                f"registry.{call.func.attr}(...) inside {where}: the "  # type: ignore[union-attr]
+                f"get-or-create lookup rebuilds the labels key every "
+                f"iteration — resolve the instrument handle before the "
+                f"loop and call .inc()/.set()/.observe() on it inside",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            kind = "a while loop" if isinstance(node, ast.While) else "a for loop"
+            for stmt in [*node.body, *node.orelse]:
+                for call in _registry_factory_calls(stmt):
+                    report(call, kind)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for call in _registry_factory_calls(node):
+                report(call, "a comprehension")
+    return findings
+
+
 RULES: Dict[str, Rule] = {
     rule.id: rule
     for rule in (
@@ -712,6 +806,14 @@ RULES: Dict[str, Rule] = {
             "their defining module",
             applies=_always,
             check=_check_bare_node_alloc,
+        ),
+        Rule(
+            id="REP109",
+            severity=SEVERITY_ERROR,
+            summary="no registry instrument lookups inside "
+            "engine/lmerge/structures loops",
+            applies=_in_registry_loop_scope,
+            check=_check_registry_in_loop,
         ),
     )
 }

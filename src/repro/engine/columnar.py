@@ -81,6 +81,12 @@ _HEADER = Struct("<4sBBHIQ")
 _MAGIC = b"RCB1"
 _VERSION = 1
 _FLAG_HAS_VOLD = 1
+#: A u64 trace id follows the fixed header.  Flag-gated so batches
+#: without trace context (the default) keep the PR 6 wire form
+#: byte-for-byte — old frames decode unchanged, and the 8 bytes are
+#: only paid when a tracer is actually stamping lineage.
+_FLAG_HAS_TRACE = 2
+_TRACE = Struct("<Q")
 
 #: int64 bounds for the exact-integer column representation.
 _I64_MIN = -(2**63)
@@ -126,6 +132,7 @@ class ColumnBatch:
         "_hashes",
         "_elements",
         "_estart",
+        "trace_id",
     )
 
     def __init__(
@@ -157,6 +164,10 @@ class ColumnBatch:
         self._hashes: Optional[array] = None
         self._elements: Optional[Sequence[Element]] = None
         self._estart = 0
+        #: Causal trace context (0 = none): a compact span id stamped by
+        #: the driver at submit and carried through partition/exchange so
+        #: cross-process span events stitch into one trace.
+        self.trace_id = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -420,6 +431,7 @@ class ColumnBatch:
         if self._elements is not None:
             child._elements = self._elements
             child._estart = self._estart + start
+        child.trace_id = self.trace_id
         return child
 
     def take(self, indices: Sequence[int]) -> "ColumnBatch":
@@ -453,6 +465,7 @@ class ColumnBatch:
             # with an object fast path then skip re-materialization.
             base = self._estart
             child._elements = [elements[base + i] for i in indices]
+        child.trace_id = self.trace_id
         return child
 
     def key_hashes(self) -> array:
@@ -510,6 +523,8 @@ class ColumnBatch:
         size = _HEADER.size + n + _pad8(n) + 16 * n + len(arena)
         if self.v_old is not None:
             size += 8 * n
+        if self.trace_id:
+            size += _TRACE.size
         return size, arena
 
     def encode_into(
@@ -525,6 +540,8 @@ class ColumnBatch:
         arena = prebuilt if prebuilt is not None else self._build_arena()
         n = self.n
         flags = _FLAG_HAS_VOLD if self.v_old is not None else 0
+        if self.trace_id:
+            flags |= _FLAG_HAS_TRACE
         _HEADER.pack_into(
             buffer,
             0,
@@ -536,6 +553,9 @@ class ColumnBatch:
             len(arena),
         )
         position = _HEADER.size
+        if self.trace_id:
+            _TRACE.pack_into(buffer, position, self.trace_id)
+            position += _TRACE.size
         buffer[position : position + n] = self.kinds
         position += n + _pad8(n)
         for column in (self.vs, self.ve):
@@ -577,6 +597,10 @@ class ColumnBatch:
         if tcode not in ("q", "d"):
             raise ColumnarError(f"unknown timestamp typecode {tcode!r}")
         position = _HEADER.size
+        trace_id = 0
+        if flags & _FLAG_HAS_TRACE:
+            (trace_id,) = _TRACE.unpack_from(view, position)
+            position += _TRACE.size
         kinds = bytes(view[position : position + n])
         position += n + _pad8(n)
         columns: List[memoryview] = []
@@ -589,7 +613,7 @@ class ColumnBatch:
         arena = bytes(view[position : position + arena_len])
         if len(arena) != arena_len:
             raise ColumnarError("truncated column batch arena")
-        return cls(
+        batch = cls(
             n,
             kinds,
             tcode,
@@ -601,6 +625,8 @@ class ColumnBatch:
             arena,
             n,
         )
+        batch.trace_id = trace_id
+        return batch
 
     def __repr__(self) -> str:  # pragma: no cover
         inserts, adjusts, stables = self.counts()

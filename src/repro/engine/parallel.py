@@ -139,12 +139,19 @@ def _shm_shard_loop(
     in_ring: ShmRing,
     out_ring: ShmRing,
     coalesce_stables: bool,
+    telemetry_interval: float = 0.0,
 ) -> None:
     """The shm-exchange worker: decode :data:`~repro.engine.shm.BATCH`
     frames straight out of the input ring, run the columnar merge path,
     and encode any output back into the output ring.  Control frames
     (attach/detach/shutdown) share the input ring, so they apply in
-    exactly the order the driver issued them."""
+    exactly the order the driver issued them.
+
+    With *telemetry_interval* > 0 the worker keeps a local registry and
+    observer, and ships snapshot deltas to the driver as best-effort
+    :data:`~repro.engine.shm.TELEM` frames — dropped (never blocking)
+    when the output ring is full.
+    """
     try:
         in_ring.child_deregister()
         out_ring.child_deregister()
@@ -157,6 +164,29 @@ def _shm_shard_loop(
             out_ring.set_liveness(parent.is_alive)
         buffer: List[Element] = []
         merge = factory(buffer.append)
+        emitter = observer = None
+        processed = 0
+        if telemetry_interval > 0:
+            # Imported here: obs stays out of the engine's import graph
+            # (and out of the fork image) unless telemetry is on.
+            from repro.obs.lmerge_obs import LMergeObserver
+            from repro.obs.registry import MetricRegistry
+            from repro.obs.telemetry import TelemetryEmitter
+            from repro.obs.trace import RingTracer
+
+            worker_registry = MetricRegistry()
+            observer = LMergeObserver(merge, worker_registry)
+            worker_tracer = RingTracer(capacity=4096)
+            emitter = TelemetryEmitter(
+                worker_registry,
+                shard,
+                tracer=worker_tracer,
+                interval=telemetry_interval,
+            )
+            batch_seconds = worker_registry.histogram(
+                "shard_batch_seconds",
+                help="Worker-side wall seconds per input batch.",
+            )
         while True:
             frame = in_ring.get()
             assert frame is not None  # blocking get
@@ -167,21 +197,52 @@ def _shm_shard_loop(
                 batch = ColumnBatch.decode(
                     memoryview(payload)[2 + sid_len :]
                 )
+                started = perf_counter() if emitter is not None else 0.0
                 merge.process_columns(
                     batch, stream_id, coalesce_stables=coalesce_stables
                 )
                 if buffer:
                     out = ColumnBatch.from_elements(buffer[:])
                     buffer.clear()
+                    # Lineage: the output inherits the triggering input
+                    # batch's trace id, closing the submit->output span.
+                    out.trace_id = batch.trace_id
                     size, prebuilt = out.encoded_size()
                     out_ring.put_frame(
                         shm_rings.OUT,
                         size,
                         lambda view: out.encode_into(view, prebuilt),
                     )
+                if emitter is not None:
+                    processed += batch.n
+                    duration = perf_counter() - started
+                    batch_seconds.observe(duration)
+                    # The worker half of the cross-process trace: ships
+                    # in the next delta and stitches (by tid) to the
+                    # driver's exchange span for the same batch.
+                    worker_tracer.record(
+                        "span",
+                        "shard-batch",
+                        tid=batch.trace_id,
+                        n=batch.n,
+                        dur=duration,
+                    )
+                    observer.sample(clock=float(processed))
+                    delta = emitter.maybe_delta()
+                    if delta is not None:
+                        out_ring.put_pickle(
+                            shm_rings.TELEM, delta, timeout=0
+                        )
             elif kind == shm_rings.CTRL:
                 message = pickle.loads(payload)
                 if message is None:
+                    if emitter is not None:
+                        observer.sample(clock=float(processed))
+                        delta = emitter.delta()
+                        if delta is not None:
+                            out_ring.put_pickle(
+                                shm_rings.TELEM, delta, timeout=0
+                            )
                     out_ring.put_pickle(shm_rings.DONE, merge.stats)
                     return
                 if message[0] == "attach":
@@ -238,6 +299,8 @@ class ParallelRuntime:
         registry=None,
         envelope: str = "columnar",
         ring_capacity: int = 1 << 20,
+        telemetry_interval: float = 0.0,
+        tracer=None,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
@@ -260,6 +323,18 @@ class ParallelRuntime:
         #: submit/poll keep per-shard queue-depth gauges and element
         #: counters current (sampled per micro-batch, not per element).
         self.registry = registry
+        #: Seconds between worker TELEM emissions (0 disables live
+        #: telemetry).  Only meaningful on the shm exchange — the other
+        #: backends share the driver's address space already.
+        self.telemetry_interval = telemetry_interval
+        #: Live TELEM merge target, built lazily in :meth:`start` when
+        #: both a registry and a telemetry interval are configured.
+        self.telemetry = None
+        #: Optional callback fired after each merged TELEM frame with the
+        #: emitting shard — the live-sampling hook
+        #: (:meth:`repro.obs.lmerge_obs.ShardObserver.sample_shard`).
+        self.on_telemetry: Optional[Callable[[int], None]] = None
+        self._tracer = tracer
         self.submitted = 0
         self.collected = 0
         #: Grace period close() gives each worker before escalating to
@@ -284,6 +359,17 @@ class ParallelRuntime:
     @property
     def _uses_shm(self) -> bool:
         return self.backend == "process" and self.envelope == "columnar"
+
+    def _init_telemetry(self) -> None:
+        """Build the driver-side TELEM aggregator when configured.
+
+        Imported lazily so the engine never touches :mod:`repro.obs`
+        unless live telemetry is actually requested.
+        """
+        if self.registry is not None and self.telemetry_interval > 0:
+            from repro.obs.telemetry import TelemetryAggregator
+
+            self.telemetry = TelemetryAggregator(self.registry, self._tracer)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -318,6 +404,7 @@ class ParallelRuntime:
                     self.coalesce_stables,
                 )
         elif self._uses_shm:
+            self._init_telemetry()
             context = multiprocessing.get_context(
                 "fork"
                 if "fork" in multiprocessing.get_all_start_methods()
@@ -336,6 +423,7 @@ class ParallelRuntime:
                         in_ring,
                         out_ring,
                         self.coalesce_stables,
+                        self.telemetry_interval,
                     ),
                     daemon=True,
                 )
@@ -479,7 +567,14 @@ class ParallelRuntime:
                 )
             else:
                 batch = ColumnBatch.decode(payload)
+            if self.telemetry is not None and batch.trace_id:
+                self.telemetry.note_output(batch.trace_id)
             self._pending.append((shard, batch))
+        elif kind == shm_rings.TELEM:
+            if self.telemetry is not None:
+                self.telemetry.merge(pickle.loads(payload))
+                if self.on_telemetry is not None:
+                    self.on_telemetry(shard)
         elif kind == shm_rings.DONE:
             self._final_stats[shard] = pickle.loads(payload)
         elif kind == shm_rings.ERR:
@@ -519,7 +614,8 @@ class ParallelRuntime:
             ):
                 stats[shard].escalations += 1
             if self.registry is not None:
-                self.registry.counter(
+                # Escalations are a per-close rarity, not a hot loop.
+                self.registry.counter(  # noqa: REP109
                     "shard_close_escalations_total", {"shard": shard}
                 ).inc()
 
@@ -663,6 +759,12 @@ class ParallelRuntime:
         """
         registry = self.registry
         started = perf_counter() if registry is not None else 0.0
+        telemetry = self.telemetry
+        if telemetry is not None:
+            # Stamp lineage before encoding: the id rides the RCB1 frame
+            # into the worker and back on the triggering output batch.
+            batch.trace_id = telemetry.next_trace_id(shard)
+            telemetry.note_submit(batch.trace_id)
         size, prebuilt = batch.encoded_size()
         sid_blob = pickle.dumps(stream_id, pickle.HIGHEST_PROTOCOL)
         frame_size = 2 + len(sid_blob) + size

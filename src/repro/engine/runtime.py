@@ -255,6 +255,9 @@ class Runtime:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = registry
         self._edges: List[QueuedEdge] = []
+        #: (edge, depth gauge, peak gauge) handles, grown lazily as edges
+        #: register — see _update_metrics.
+        self._edge_gauges: List[tuple] = []
         self.rounds = 0
 
     def connect(
@@ -342,10 +345,25 @@ class Runtime:
         registry = self.registry
         registry.counter("runtime_rounds_total").inc()
         registry.counter("runtime_elements_moved_total").inc(moved)
-        for edge in self._edges:
+        # Instrument handles are resolved once per edge, not per round
+        # (REP109): pump runs per batch, and the get-or-create lookup
+        # rebuilds the labels key each call.
+        gauges = self._edge_gauges
+        while len(gauges) < len(self._edges):
+            # This IS the once-per-edge handle resolution; the loop only
+            # runs when a new edge registered since the last round.
+            edge = self._edges[len(gauges)]
             labels = {"edge": edge.name}
-            registry.gauge("runtime_queue_depth", labels).set(edge.depth)
-            registry.gauge("runtime_queue_peak", labels).set(edge.peak_depth)
+            gauges.append(
+                (
+                    edge,
+                    registry.gauge("runtime_queue_depth", labels),  # noqa: REP109
+                    registry.gauge("runtime_queue_peak", labels),  # noqa: REP109
+                )
+            )
+        for edge, depth_gauge, peak_gauge in gauges:
+            depth_gauge.set(edge.depth)
+            peak_gauge.set(edge.peak_depth)
 
     def run(self, max_rounds: Optional[int] = None) -> int:
         """Pump until every queue is empty (or *max_rounds*); returns the

@@ -61,6 +61,7 @@ __all__ = [
     "ERR",
     "HB",
     "CKPT",
+    "TELEM",
     "RingClosedError",
     "PeerDeadError",
     "ShmRing",
@@ -74,6 +75,7 @@ DONE = 4  #: pickled final MergeStats (worker -> driver, last frame)
 ERR = 5  #: pickled worker traceback text (worker -> driver, last frame)
 HB = 6  #: pickled heartbeat/progress tuple (supervised worker -> driver)
 CKPT = 7  #: pickled checkpoint acknowledgement (supervised worker -> driver)
+TELEM = 8  #: pickled metric/span delta dict (worker -> driver, best-effort)
 
 _FRAME = Struct("<BI")
 _U64 = Struct("<Q")

@@ -71,6 +71,8 @@ class ShardedLMerge:
         durable_dir: Optional[str] = None,
         fault_plan=None,
         supervisor_options: Optional[dict] = None,
+        telemetry_interval: float = 0.0,
+        tracer=None,
         **merge_kwargs,
     ):
         if num_shards < 1:
@@ -108,6 +110,11 @@ class ShardedLMerge:
         #: gauges), and a :class:`repro.obs.lmerge_obs.ShardObserver`
         #: sampled on every collect.
         self.registry = registry
+        #: Seconds between worker TELEM emissions (0 = live telemetry
+        #: off).  Only the shm exchange (process + columnar) streams;
+        #: other backends already share the driver registry.
+        self.telemetry_interval = telemetry_interval
+        self.tracer = tracer
         self._union = ShardUnion(
             num_shards, name=f"{name}.union", registry=registry
         )
@@ -125,6 +132,8 @@ class ShardedLMerge:
                 queue_capacity=queue_capacity,
                 coalesce_stables=coalesce_stables,
                 registry=registry,
+                telemetry_interval=telemetry_interval,
+                tracer=tracer,
                 **(supervisor_options or {}),
             ).start()
         else:
@@ -136,12 +145,19 @@ class ShardedLMerge:
                 coalesce_stables=coalesce_stables,
                 registry=registry,
                 envelope=envelope,
+                telemetry_interval=telemetry_interval,
+                tracer=tracer,
             ).start()
         self._observer = None
         if registry is not None:
             from repro.obs.lmerge_obs import ShardObserver
 
             self._observer = ShardObserver(self, registry)
+            # Live sampling: every merged TELEM frame re-reads the
+            # emitting shard's queue depth and frontier while the
+            # exchange is actually loaded (satellite fix for the
+            # collect-time-only gauges).
+            self._runtime.on_telemetry = self._observer.sample_shard
         self._attached: List[StreamId] = []
         self._closed = False
         self._stats: Optional[MergeStats] = None
@@ -346,6 +362,8 @@ def shard(
     durable_dir: Optional[str] = None,
     fault_plan=None,
     supervisor_options: Optional[dict] = None,
+    telemetry_interval: float = 0.0,
+    tracer=None,
     **merge_kwargs,
 ) -> ShardedLMerge:
     """Wrap an LMerge variant in an N-shard partition-parallel plan.
@@ -378,5 +396,7 @@ def shard(
         durable_dir=durable_dir,
         fault_plan=fault_plan,
         supervisor_options=supervisor_options,
+        telemetry_interval=telemetry_interval,
+        tracer=tracer,
         **merge_kwargs,
     )

@@ -14,7 +14,14 @@ timing.  This package makes those first-class and *opt-in*:
   per-shard queue depth and CTI lag;
 * :mod:`repro.obs.export` — Prometheus text format, JSONL event logs, and
   the :class:`RunReport` JSON document (rendered by ``python -m repro
-  report``).
+  report``);
+* :mod:`repro.obs.telemetry` — the distributed pipeline: worker-side
+  :class:`TelemetryEmitter` snapshot deltas over TELEM frames, the
+  driver-side :class:`TelemetryAggregator` (per-shard labels, stitched
+  traces), and the crash :class:`FlightRecorder`;
+* :mod:`repro.obs.http` — a stdlib ``/metrics`` + ``/health`` endpoint
+  (:class:`MetricsServer`), scraped live by ``repro top``
+  (:mod:`repro.obs.top`).
 
 Nothing here is active by default: operators carry the shared
 :data:`NULL_TRACER` and hook points guard on ``registry is not None``,
@@ -28,6 +35,7 @@ from repro.obs.export import (
     prometheus_text,
     write_jsonl,
 )
+from repro.obs.http import MetricsServer
 from repro.obs.lmerge_obs import (
     LMergeObserver,
     ShardObserver,
@@ -40,6 +48,14 @@ from repro.obs.registry import (
     Histogram,
     MetricRegistry,
     TimeSeries,
+)
+from repro.obs.telemetry import (
+    FlightRecorder,
+    TelemetryAggregator,
+    TelemetryEmitter,
+    make_trace_id,
+    trace_seq,
+    trace_shard,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, RingTracer
 
@@ -60,4 +76,11 @@ __all__ = [
     "prometheus_text",
     "write_jsonl",
     "instrument_value",
+    "TelemetryEmitter",
+    "TelemetryAggregator",
+    "FlightRecorder",
+    "make_trace_id",
+    "trace_shard",
+    "trace_seq",
+    "MetricsServer",
 ]

@@ -72,16 +72,19 @@ def prometheus_text(registry: MetricRegistry) -> str:
     lines: List[str] = []
     typed: Dict[str, str] = {}
 
-    def type_line(name: str, prom_type: str) -> None:
+    def type_line(name: str, prom_type: str, help: str = "") -> None:
         if typed.get(name) is None:
             typed[name] = prom_type
+            if help:
+                escaped = help.replace("\\", r"\\").replace("\n", r"\n")
+                lines.append(f"# HELP {name} {escaped}")
             lines.append(f"# TYPE {name} {prom_type}")
 
     for instrument in registry:
         name = _prom_name(instrument.name)
         labels = instrument.labels
         if isinstance(instrument, Histogram):
-            type_line(name, "summary")
+            type_line(name, "summary", instrument.help)
             for q in (0.5, 0.9, 0.99):
                 lines.append(
                     f"{name}{_prom_labels(labels, {'quantile': str(q)})} "
@@ -95,13 +98,13 @@ def prometheus_text(registry: MetricRegistry) -> str:
                 f"{name}_count{_prom_labels(labels)} {instrument.count}"
             )
         elif isinstance(instrument, TimeSeries):
-            type_line(f"{name}_total", "counter")
+            type_line(f"{name}_total", "counter", instrument.help)
             lines.append(
                 f"{name}_total{_prom_labels(labels)} "
                 f"{_prom_value(instrument.total)}"
             )
         else:  # Counter / Gauge
-            type_line(name, instrument.kind)
+            type_line(name, instrument.kind, instrument.help)
             lines.append(
                 f"{name}{_prom_labels(labels)} "
                 f"{_prom_value(instrument.value)}"  # type: ignore[attr-defined]

@@ -1,0 +1,145 @@
+"""A stdlib-only ``/metrics`` + ``/health`` HTTP endpoint.
+
+:class:`MetricsServer` serves the live registry in Prometheus text
+exposition format from a daemon thread — the first brick of the
+``repro.serve`` front door (ROADMAP).  Zero cost to the merge hot path:
+the server only *reads* the registry when a scrape arrives, and
+rendering retries briefly if a concurrent registration mutates the
+instrument table mid-iteration (registries are plain dicts, unlocked by
+design — the hot path must never take a lock for telemetry's sake).
+
+::
+
+    registry = MetricRegistry()
+    server = MetricsServer(registry, port=9464).start()
+    ...                       # run the merge; scrape http://host:9464/metrics
+    server.stop()
+
+Routes:
+
+* ``GET /metrics`` — ``prometheus_text(registry)``, content type
+  ``text/plain; version=0.0.4``;
+* ``GET /health`` — ``{"status": "ok", "uptime_seconds": ...}`` JSON,
+  200 while the server is up (liveness for orchestrators);
+* anything else — 404.
+
+Pass ``port=0`` to bind an ephemeral port (tests); the bound port is
+available as :attr:`MetricsServer.port` after :meth:`start`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs.export import prometheus_text
+from repro.obs.registry import MetricRegistry
+
+__all__ = ["MetricsServer"]
+
+_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Rendering retries when a scrape races a concurrent instrument
+#: registration (dict mutated during iteration).
+_RENDER_RETRIES = 5
+
+
+def _render(registry: MetricRegistry) -> str:
+    for attempt in range(_RENDER_RETRIES):
+        try:
+            return prometheus_text(registry)
+        except RuntimeError:  # dict changed size during iteration
+            time.sleep(0.001 * (attempt + 1))
+    return prometheus_text(registry)  # last try surfaces the error
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set by MetricsServer on the server instance; reached via self.server.
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        registry = self.server.registry  # type: ignore[attr-defined]
+        if self.path.split("?", 1)[0] == "/metrics":
+            body = _render(registry).encode()
+            self.send_response(200)
+            self.send_header("Content-Type", _CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path.split("?", 1)[0] == "/health":
+            started = self.server.started_at  # type: ignore[attr-defined]
+            body = json.dumps(
+                {"status": "ok", "uptime_seconds": time.time() - started}
+            ).encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404, "unknown path (try /metrics or /health)")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        return None  # scrapes are periodic; don't spam stderr
+
+
+class MetricsServer:
+    """Serve a registry's Prometheus text from a background thread."""
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        port: int = 9464,
+        host: str = "127.0.0.1",
+    ):
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            raise RuntimeError("metrics server already started")
+        httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), _Handler
+        )
+        httpd.daemon_threads = True
+        httpd.registry = self.registry  # type: ignore[attr-defined]
+        httpd.started_at = time.time()  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -118,14 +118,23 @@ class LMergeObserver:
         self.samples += 1
 
         frontier = merge.max_stable
-        registry.gauge("lmerge_output_frontier", self._labels).set(frontier)
+        registry.gauge(
+            "lmerge_output_frontier",
+            self._labels,
+            help="Latest Stable(t) the merge has emitted.",
+        ).set(frontier)
         leader = merge.leading_stream()
         lags: Dict[object, float] = {}
         for stream_id in merge.input_ids:
             labels = {**self._labels, "input": stream_id}
             lag = frontier_lag(frontier, merge.input_stable(stream_id))
             lags[stream_id] = lag
-            registry.gauge("lmerge_frontier_lag", labels).set(lag)
+            registry.gauge(
+                "lmerge_frontier_lag",
+                labels,
+                help="How far this input's stable point trails the "
+                "output frontier.",
+            ).set(lag)
             registry.gauge("lmerge_leading", labels).set(
                 1 if stream_id == leader else 0
             )
@@ -143,22 +152,33 @@ class LMergeObserver:
         self._last_inserts_in = stats.inserts_in
         self._last_inserts_out = stats.inserts_out
         if d_in > 0:
-            registry.counter("lmerge_inserts_in_total", self._labels).inc(d_in)
+            registry.counter(
+                "lmerge_inserts_in_total",
+                self._labels,
+                help="Input inserts presented to the merge.",
+            ).inc(d_in)
             dropped = d_in - d_out
             if dropped > 0:
                 registry.counter(
-                    "lmerge_duplicates_dropped_total", self._labels
+                    "lmerge_duplicates_dropped_total",
+                    self._labels,
+                    help="Redundant presentations absorbed by duplicate "
+                    "elimination.",
                 ).inc(dropped)
 
         # Bounded-state accounting (PR 8): resident index size as gauges,
         # reclamation/spill traffic as counter deltas (registry counters
         # are increase-only, the merge counters are cumulative).
-        registry.gauge("lmerge_index_nodes", self._labels).set(
-            getattr(merge, "index_nodes", 0)
-        )
-        registry.gauge("lmerge_index_bytes", self._labels).set(
-            getattr(merge, "index_bytes", 0)
-        )
+        registry.gauge(
+            "lmerge_index_nodes",
+            self._labels,
+            help="Resident merge-index nodes.",
+        ).set(getattr(merge, "index_nodes", 0))
+        registry.gauge(
+            "lmerge_index_bytes",
+            self._labels,
+            help="Approximate resident merge-index bytes.",
+        ).set(getattr(merge, "index_bytes", 0))
         pruned = getattr(merge, "pruned_nodes", 0)
         if pruned > self._last_pruned:
             registry.counter(
@@ -229,23 +249,68 @@ class ShardObserver:
         best = max(frontiers) if frontiers else -math.inf
         for shard, frontier in enumerate(frontiers):
             labels = {**self._labels, "shard": shard}
-            registry.gauge("shard_frontier", labels).set(frontier)
-            registry.gauge("shard_cti_lag", labels).set(
-                frontier_lag(best, frontier)
-            )
+            registry.gauge(
+                "shard_frontier",
+                labels,
+                help="This shard's emitted stable frontier.",
+            ).set(frontier)
+            registry.gauge(
+                "shard_cti_lag",
+                labels,
+                help="How far this shard's frontier trails the leader.",
+            ).set(frontier_lag(best, frontier))
         depths = plan.queue_depths()
         for shard, depth in enumerate(depths):
             if depth is None:
                 continue
             labels = {**self._labels, "shard": shard}
-            gauge = registry.gauge("shard_queue_depth", labels)
+            gauge = registry.gauge(
+                "shard_queue_depth",
+                labels,
+                help="Exchange queue occupancy toward this shard.",
+            )
             gauge.set(depth)
-            peak = registry.gauge("shard_queue_peak", labels)
+            peak = registry.gauge(
+                "shard_queue_peak",
+                labels,
+                help="High-water exchange queue occupancy this run.",
+            )
             if depth > peak.value or self.samples == 1:
                 peak.set(depth)
         registry.gauge("shard_emitted_stable", self._labels).set(
             plan.max_stable
         )
+
+    def sample_shard(self, shard: int) -> None:
+        """Sample one shard's queue depth and frontier, live.
+
+        The TELEM-merge hook (:attr:`ParallelRuntime.on_telemetry`):
+        :meth:`sample` only runs at collect time, when the driver has
+        already drained and the queues read near-empty — this fires
+        *while* the exchange is loaded, so mid-run scrapes see real
+        depths and peaks instead of zeros.
+        """
+        registry = self.registry
+        plan = self.plan
+        labels = {**self._labels, "shard": shard}
+        depth = self.plan.queue_depths()[shard]
+        if depth is not None:
+            gauge = registry.gauge(
+                "shard_queue_depth",
+                labels,
+                help="Exchange queue occupancy toward this shard.",
+            )
+            gauge.set(depth)
+            peak = registry.gauge(
+                "shard_queue_peak",
+                labels,
+                help="High-water exchange queue occupancy this run.",
+            )
+            if depth > peak.value:
+                peak.set(depth)
+        frontiers = plan.shard_frontiers
+        if shard < len(frontiers):
+            registry.gauge("shard_frontier", labels).set(frontiers[shard])
 
     def record_stats(self) -> None:
         """Fold the per-shard :class:`MergeStats` into labeled counters

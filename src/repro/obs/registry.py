@@ -30,12 +30,28 @@ through the registry.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+import re
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 #: A frozen, order-normalized label set — the second half of a metric key.
 LabelSet = Tuple[Tuple[str, str], ...]
 
 Number = Union[int, float]
+
+#: The Prometheus metric-name charset.  Names are validated at
+#: registration (not cleaned at export): a misspelled name would
+#: otherwise silently fork into two series — one registered, one
+#: rendered — and the scrape side could never join them back.
+_VALID_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
 
 
 def _freeze_labels(labels: Optional[Mapping[str, object]]) -> LabelSet:
@@ -57,12 +73,15 @@ def _json_number(value: Number) -> Union[Number, str]:
 class Instrument:
     """Base class: a named, labeled measurement."""
 
-    __slots__ = ("name", "labels")
+    __slots__ = ("name", "labels", "help")
     kind = "instrument"
 
-    def __init__(self, name: str, labels: LabelSet = ()):
+    def __init__(self, name: str, labels: LabelSet = (), help: str = ""):
         self.name = name
         self.labels = labels
+        #: Optional one-line description, rendered as a Prometheus
+        #: ``# HELP`` line and carried through snapshots.
+        self.help = help
 
     def reset(self) -> None:
         raise NotImplementedError
@@ -85,8 +104,8 @@ class Counter(Instrument):
     __slots__ = ("value",)
     kind = "counter"
 
-    def __init__(self, name: str, labels: LabelSet = ()):
-        super().__init__(name, labels)
+    def __init__(self, name: str, labels: LabelSet = (), help: str = ""):
+        super().__init__(name, labels, help)
         self.value: Number = 0
 
     def inc(self, amount: Number = 1) -> None:
@@ -107,8 +126,8 @@ class Gauge(Instrument):
     __slots__ = ("value",)
     kind = "gauge"
 
-    def __init__(self, name: str, labels: LabelSet = ()):
-        super().__init__(name, labels)
+    def __init__(self, name: str, labels: LabelSet = (), help: str = ""):
+        super().__init__(name, labels, help)
         self.value: Number = 0
 
     def set(self, value: Number) -> None:
@@ -135,8 +154,14 @@ class Histogram(Instrument):
     __slots__ = ("count", "total", "min", "max", "window", "_samples", "_next")
     kind = "histogram"
 
-    def __init__(self, name: str, labels: LabelSet = (), window: int = 1024):
-        super().__init__(name, labels)
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        help: str = "",
+        window: int = 1024,
+    ):
+        super().__init__(name, labels, help)
         if window < 1:
             raise ValueError("histogram window must be positive")
         self.window = window
@@ -159,6 +184,42 @@ class Histogram(Instrument):
         else:
             self._samples[self._next] = value
             self._next = (self._next + 1) % self.window
+
+    def absorb(
+        self,
+        count: int,
+        total: Number,
+        samples: Sequence[Number],
+        min_value: Optional[Number] = None,
+        max_value: Optional[Number] = None,
+    ) -> None:
+        """Fold another histogram's *delta* into this one.
+
+        The telemetry merge primitive (:mod:`repro.obs.telemetry`):
+        ``count``/``total`` are exact deltas, *samples* is the shipped
+        window tail feeding this side's percentile ring.  ``min``/``max``
+        stay exact when the shipper passes its own extrema.
+        """
+        if count <= 0:
+            return
+        self.count += count
+        self.total += total
+        lo = min_value if min_value is not None else (
+            min(samples) if samples else None
+        )
+        hi = max_value if max_value is not None else (
+            max(samples) if samples else None
+        )
+        if lo is not None and lo < self.min:
+            self.min = lo
+        if hi is not None and hi > self.max:
+            self.max = hi
+        for value in samples:
+            if len(self._samples) < self.window:
+                self._samples.append(value)
+            else:
+                self._samples[self._next] = value
+                self._next = (self._next + 1) % self.window
 
     @property
     def mean(self) -> float:
@@ -205,8 +266,14 @@ class TimeSeries(Instrument):
     __slots__ = ("bucket", "_buckets", "total")
     kind = "timeseries"
 
-    def __init__(self, name: str, labels: LabelSet = (), bucket: float = 1.0):
-        super().__init__(name, labels)
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        help: str = "",
+        bucket: float = 1.0,
+    ):
+        super().__init__(name, labels, help)
         if bucket <= 0:
             raise ValueError("bucket must be positive")
         self.bucket = bucket
@@ -258,48 +325,70 @@ class MetricRegistry:
     # -- instrument factories ---------------------------------------------
 
     def _get_or_create(
-        self, cls: type, name: str, labels: Optional[Mapping[str, object]], **kwargs
+        self,
+        cls: type,
+        name: str,
+        labels: Optional[Mapping[str, object]],
+        help: str = "",
+        **kwargs,
     ) -> Instrument:
         key = (name, _freeze_labels(labels))
         instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = cls(key[0], key[1], **kwargs)
+            if not _VALID_NAME.match(name):
+                raise ValueError(
+                    f"invalid metric name {name!r}: must match "
+                    f"[a-zA-Z_:][a-zA-Z0-9_:]*"
+                )
+            instrument = cls(key[0], key[1], help, **kwargs)
             self._instruments[key] = instrument
         elif not isinstance(instrument, cls):
             raise TypeError(
                 f"metric {name!r} already registered as {instrument.kind}, "
                 f"requested {cls.kind}"
             )
+        elif help and not instrument.help:
+            # First caller to supply a description wins; later empty
+            # lookups (hot-path handle fetches) never clear it.
+            instrument.help = help
         return instrument
 
     def counter(
-        self, name: str, labels: Optional[Mapping[str, object]] = None
+        self,
+        name: str,
+        labels: Optional[Mapping[str, object]] = None,
+        help: str = "",
     ) -> Counter:
-        return self._get_or_create(Counter, name, labels)  # type: ignore[return-value]
+        return self._get_or_create(Counter, name, labels, help)  # type: ignore[return-value]
 
     def gauge(
-        self, name: str, labels: Optional[Mapping[str, object]] = None
+        self,
+        name: str,
+        labels: Optional[Mapping[str, object]] = None,
+        help: str = "",
     ) -> Gauge:
-        return self._get_or_create(Gauge, name, labels)  # type: ignore[return-value]
+        return self._get_or_create(Gauge, name, labels, help)  # type: ignore[return-value]
 
     def histogram(
         self,
         name: str,
         labels: Optional[Mapping[str, object]] = None,
+        help: str = "",
         window: int = 1024,
     ) -> Histogram:
         return self._get_or_create(  # type: ignore[return-value]
-            Histogram, name, labels, window=window
+            Histogram, name, labels, help, window=window
         )
 
     def timeseries(
         self,
         name: str,
         labels: Optional[Mapping[str, object]] = None,
+        help: str = "",
         bucket: float = 1.0,
     ) -> TimeSeries:
         return self._get_or_create(  # type: ignore[return-value]
-            TimeSeries, name, labels, bucket=bucket
+            TimeSeries, name, labels, help, bucket=bucket
         )
 
     # -- iteration & lookup ------------------------------------------------
@@ -328,13 +417,14 @@ class MetricRegistry:
         """
         out: Dict[str, List[dict]] = {kind: [] for kind in _KINDS}
         for instrument in self:
-            out[instrument.kind].append(
-                {
-                    "name": instrument.name,
-                    "labels": dict(instrument.labels),
-                    "value": instrument.snapshot_value(),
-                }
-            )
+            entry = {
+                "name": instrument.name,
+                "labels": dict(instrument.labels),
+                "value": instrument.snapshot_value(),
+            }
+            if instrument.help:
+                entry["help"] = instrument.help
+            out[instrument.kind].append(entry)
         return out
 
     def reset(self) -> None:

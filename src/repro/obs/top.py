@@ -1,0 +1,187 @@
+"""``repro top`` — a refreshing terminal view of a live merge's metrics.
+
+Scrapes a :class:`~repro.obs.http.MetricsServer` (``repro merge
+--serve-metrics <port>`` on the other side), parses the Prometheus text
+exposition, and renders the interesting series as a terminal table that
+refreshes in place — per-shard queue depth, frontier, CTI lag, exchange
+traffic, and the headline merge gauges.
+
+Everything is stdlib: :mod:`urllib.request` for the scrape, ANSI
+escapes for the repaint.  The parser is intentionally small (names,
+label sets, float values — the subset :func:`prometheus_text` emits)
+and is reused by the tests to validate scrape output.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Tuple
+
+__all__ = ["parse_metrics", "render_table", "top"]
+
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{([^}]*)\})?"
+    r"\s+(\S+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: One parsed sample: (name, sorted label tuple, value).
+Sample = Tuple[str, Tuple[Tuple[str, str], ...], float]
+
+
+def parse_metrics(text: str) -> List[Sample]:
+    """Parse Prometheus text exposition into (name, labels, value) rows."""
+    out: List[Sample] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            continue
+        name, blob, raw = match.groups()
+        labels = tuple(sorted(_LABEL.findall(blob))) if blob else ()
+        try:
+            value = float(raw.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            continue
+        out.append((name, labels, value))
+    return out
+
+
+def _fmt(value: float) -> str:
+    if value != value or abs(value) == float("inf"):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:,.3f}"
+
+
+#: Metrics the table surfaces, in display order.  Everything else is
+#: summarized by the footer count.
+_SHARD_METRICS = (
+    "shard_queue_depth",
+    "shard_queue_peak",
+    "shard_frontier",
+    "shard_cti_lag",
+    "lmerge_frontier_lag",
+    "lmerge_index_nodes",
+    "exchange_bytes_total",
+    "telemetry_frames_total",
+)
+_HEADLINE_METRICS = (
+    "lmerge_output_frontier",
+    "shard_emitted_stable",
+    "lmerge_inserts_in_total",
+    "lmerge_duplicates_dropped_total",
+    "shard_elements_submitted_total",
+    "shard_elements_collected_total",
+)
+
+
+def render_table(samples: List[Sample], width: int = 72) -> str:
+    """The samples as a fixed-width terminal table."""
+    by_name: Dict[str, List[Tuple[Tuple[Tuple[str, str], ...], float]]] = {}
+    for name, labels, value in samples:
+        by_name.setdefault(name, []).append((labels, value))
+    lines: List[str] = []
+    rule = "-" * width
+
+    def shard_of(labels: Tuple[Tuple[str, str], ...]) -> str:
+        for key, value in labels:
+            if key == "shard":
+                return value
+        return "-"
+
+    lines.append("repro top — live merge telemetry")
+    lines.append(rule)
+    for name in _HEADLINE_METRICS:
+        rows = by_name.get(name)
+        if not rows:
+            continue
+        total = sum(v for _, v in rows)
+        lines.append(f"  {name:<40} {_fmt(total):>14}")
+    shard_rows: Dict[str, Dict[str, float]] = {}
+    for name in _SHARD_METRICS:
+        for labels, value in by_name.get(name, ()):
+            shard = shard_of(labels)
+            # Multiple series per (metric, shard) — e.g. per-input
+            # frontier lag — fold by max: the straggler is the signal.
+            cell = shard_rows.setdefault(shard, {})
+            cell[name] = max(cell.get(name, value), value)
+    if shard_rows:
+        lines.append(rule)
+        header = f"  {'shard':>5} {'depth':>7} {'peak':>7} " \
+                 f"{'frontier':>10} {'cti lag':>9} {'lag':>9} " \
+                 f"{'nodes':>8} {'telem':>7}"
+        lines.append(header)
+        for shard in sorted(shard_rows, key=lambda s: (s == "-", s)):
+            cell = shard_rows[shard]
+
+            def col(metric: str) -> str:
+                return _fmt(cell[metric]) if metric in cell else "."
+
+            lines.append(
+                f"  {shard:>5} {col('shard_queue_depth'):>7} "
+                f"{col('shard_queue_peak'):>7} "
+                f"{col('shard_frontier'):>10} "
+                f"{col('shard_cti_lag'):>9} "
+                f"{col('lmerge_frontier_lag'):>9} "
+                f"{col('lmerge_index_nodes'):>8} "
+                f"{col('telemetry_frames_total'):>7}"
+            )
+    lines.append(rule)
+    lines.append(f"  {len(samples)} series total")
+    return "\n".join(lines)
+
+
+def _scrape(url: str, timeout: float) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8", "replace")
+
+
+def top(
+    url: str,
+    interval: float = 1.0,
+    iterations: int = 0,
+    out=None,
+) -> int:
+    """The ``repro top`` loop: scrape, render, repaint.
+
+    *iterations* = 0 runs until interrupted; a positive count renders
+    that many frames (tests, one-shot inspection).  Returns an exit
+    status (0 on success, 1 when the endpoint never answered).
+    """
+    if out is None:
+        out = sys.stdout
+    if "://" not in url:
+        url = f"http://{url}"
+    if not url.endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    scraped_once = False
+    frame = 0
+    try:
+        while True:
+            try:
+                text = _scrape(url, timeout=max(1.0, interval))
+                scraped_once = True
+                table = render_table(parse_metrics(text))
+            except (urllib.error.URLError, OSError) as exc:
+                if not scraped_once and iterations:
+                    out.write(f"repro top: cannot scrape {url}: {exc}\n")
+                    return 1
+                table = f"repro top: waiting for {url} ({exc})"
+            if out.isatty():  # repaint in place
+                out.write("\x1b[2J\x1b[H")
+            out.write(table + "\n")
+            out.flush()
+            frame += 1
+            if iterations and frame >= iterations:
+                return 0 if scraped_once else 1
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

@@ -44,7 +44,7 @@ import pickle
 import sys
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import monotonic, perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -56,6 +56,7 @@ from repro.engine.parallel import (
     ShardFactory,
 )
 from repro.engine.shm import RingClosedError, ShmRing
+from repro.obs.telemetry import FlightRecorder, make_trace_id
 from repro.resilience.faults import KILL_EXIT_CODE, FaultPlan
 from repro.resilience.snapshot import load_snapshot, save_snapshot
 from repro.resilience.store import StateStore
@@ -77,6 +78,9 @@ class RecoveryRecord:
     replayed_entries: int
     replayed_elements: int
     seconds: float
+    #: The victim's last flight-recorder flush (its final N batches as
+    #: span events, trace ids stitching into the driver-side journal).
+    flight: List[dict] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -87,6 +91,7 @@ class RecoveryRecord:
             "replayed_entries": self.replayed_entries,
             "replayed_elements": self.replayed_elements,
             "seconds": self.seconds,
+            "flight": self.flight,
         }
 
 
@@ -103,6 +108,8 @@ class _WorkerConfig:
     fault_plan: Optional[FaultPlan]
     fault_floor: int
     fsync: bool
+    telemetry_interval: float = 0.0
+    flight_capacity: int = 64
 
 
 def _supervised_shard_loop(
@@ -138,6 +145,26 @@ def _supervised_shard_loop(
         floor = config.fault_floor
         batches_since_ckpt = 0
         last_ckpt_stable = merge.max_stable
+        # Always-on flight recorder: crashes are exactly the runs where
+        # opt-in diagnostics would have been off, and the per-batch cost
+        # is one dict append.  Flushed on checkpoints and idle beats.
+        flight = FlightRecorder(capacity=config.flight_capacity)
+        emitter = observer = worker_tracer = None
+        if config.telemetry_interval > 0:
+            from repro.obs.lmerge_obs import LMergeObserver
+            from repro.obs.registry import MetricRegistry
+            from repro.obs.telemetry import TelemetryEmitter
+            from repro.obs.trace import RingTracer
+
+            worker_registry = MetricRegistry()
+            observer = LMergeObserver(merge, worker_registry)
+            worker_tracer = RingTracer(capacity=4096)
+            emitter = TelemetryEmitter(
+                worker_registry,
+                shard,
+                tracer=worker_tracer,
+                interval=config.telemetry_interval,
+            )
         out_ring.put_pickle(
             shm_rings.HB, ("resumed", applied_seq, emitted)
         )
@@ -147,6 +174,14 @@ def _supervised_shard_loop(
                 out_ring.put_pickle(
                     shm_rings.HB, ("hb", applied_seq, emitted), timeout=0
                 )
+                if flight.dirty:
+                    flight.flush(store)
+                if emitter is not None:
+                    delta = emitter.maybe_delta()
+                    if delta is not None:
+                        out_ring.put_pickle(
+                            shm_rings.TELEM, delta, timeout=0
+                        )
                 continue
             kind, payload = frame
             if kind == shm_rings.BATCH:
@@ -167,15 +202,24 @@ def _supervised_shard_loop(
                 batch = ColumnBatch.decode(
                     memoryview(payload)[10 + sid_len :]
                 )
+                # Deterministic causal id: derived from the journal
+                # sequence, so the same batch carries the same trace id
+                # across crash/replay and the flight recorder's entries
+                # stitch into the driver-side trace.
+                tid = make_trace_id(shard, seq)
+                batch_started = perf_counter()
                 merge.process_columns(
                     batch,
                     stream_id,
                     coalesce_stables=config.coalesce_stables,
                 )
                 applied_seq = seq
+                out_rows = 0
                 if buffer:
                     out = ColumnBatch.from_elements(buffer[:])
                     buffer.clear()
+                    out.trace_id = tid
+                    out_rows = len(out)
                     size, prebuilt = out.encoded_size()
                     header = emitted.to_bytes(8, "little")
 
@@ -184,7 +228,36 @@ def _supervised_shard_loop(
                         out.encode_into(view[8:], prebuilt)
 
                     out_ring.put_frame(shm_rings.OUT, 8 + size, fill)
-                    emitted += len(out)
+                    emitted += out_rows
+                flight.record(
+                    "batch",
+                    tid=tid,
+                    seq=seq,
+                    n=batch.n,
+                    out=out_rows,
+                    dur=perf_counter() - batch_started,
+                    stable=merge.max_stable,
+                )
+                # Flush per beat, not per checkpoint: a fault site fires
+                # before the checkpoint, and the postmortem must show the
+                # victim's *final* batches, not its last durable ones.
+                flight.flush(store)
+                if emitter is not None:
+                    # The worker half of the stitched trace: same tid the
+                    # driver journaled at submit, stable across replay.
+                    worker_tracer.record(
+                        "span",
+                        "shard-batch",
+                        tid=tid,
+                        n=batch.n,
+                        dur=perf_counter() - batch_started,
+                    )
+                    observer.sample(clock=float(applied_seq))
+                    delta = emitter.maybe_delta()
+                    if delta is not None:
+                        out_ring.put_pickle(
+                            shm_rings.TELEM, delta, timeout=0
+                        )
                 # Fault sites fire at the batch boundary, *before* the
                 # checkpoint: the killed batch is never durable, so
                 # recovery always has a tail to replay.
@@ -201,6 +274,7 @@ def _supervised_shard_loop(
                     merge.max_stable > last_ckpt_stable
                 ):
                     save_snapshot(store, merge, applied_seq, emitted)
+                    flight.flush(store)
                     store.maybe_compact(min_dead_bytes=64 << 10)
                     batches_since_ckpt = 0
                     last_ckpt_stable = merge.max_stable
@@ -213,6 +287,14 @@ def _supervised_shard_loop(
                 message = pickle.loads(payload)
                 if message is None:
                     save_snapshot(store, merge, applied_seq, emitted)
+                    flight.flush(store)
+                    if emitter is not None:
+                        observer.sample(clock=float(applied_seq))
+                        delta = emitter.delta()
+                        if delta is not None:
+                            out_ring.put_pickle(
+                                shm_rings.TELEM, delta, timeout=0
+                            )
                     out_ring.put_pickle(shm_rings.DONE, merge.stats)
                     store.close()
                     return
@@ -235,6 +317,7 @@ def _supervised_shard_loop(
                     applied_seq = seq
                 elif tag == "ckpt":
                     save_snapshot(store, merge, applied_seq, emitted)
+                    flight.flush(store)
                     store.maybe_compact(min_dead_bytes=64 << 10)
                     batches_since_ckpt = 0
                     last_ckpt_stable = merge.max_stable
@@ -304,6 +387,9 @@ class SupervisedRuntime(ParallelRuntime):
         coalesce_stables: bool = False,
         registry=None,
         ring_capacity: int = 1 << 20,
+        telemetry_interval: float = 0.0,
+        tracer=None,
+        flight_capacity: int = 64,
     ):
         super().__init__(
             factory,
@@ -314,6 +400,8 @@ class SupervisedRuntime(ParallelRuntime):
             registry=registry,
             envelope="columnar",
             ring_capacity=ring_capacity,
+            telemetry_interval=telemetry_interval,
+            tracer=tracer,
         )
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be positive")
@@ -329,6 +417,7 @@ class SupervisedRuntime(ParallelRuntime):
         self.resume_timeout = resume_timeout
         self.fault_plan = fault_plan
         self.fsync = fsync
+        self.flight_capacity = flight_capacity
         #: Completed recoveries, for introspection and chaos reports.
         self.recoveries: List[RecoveryRecord] = []
         n = num_shards
@@ -355,6 +444,7 @@ class SupervisedRuntime(ParallelRuntime):
         if self._started:
             raise RuntimeError("runtime already started")
         self._started = True
+        self._init_telemetry()
         self._context = multiprocessing.get_context(
             "fork"
             if "fork" in multiprocessing.get_all_start_methods()
@@ -401,6 +491,8 @@ class SupervisedRuntime(ParallelRuntime):
             # delivered sequence are spent.
             fault_floor=self._next_seq[shard] - 1,
             fsync=self.fsync,
+            telemetry_interval=self.telemetry_interval,
+            flight_capacity=self.flight_capacity,
         )
         process = self._context.Process(
             target=_supervised_shard_loop,
@@ -468,6 +560,24 @@ class SupervisedRuntime(ParallelRuntime):
             if self._needs_recovery[shard] or self._shard_unhealthy(shard):
                 self._recover(shard)
 
+    def _read_flight(self, shard: int) -> List[dict]:
+        """The dead worker's last flight-recorder flush (postmortem).
+
+        Only called once the worker process is confirmed dead — the
+        store is single-writer, and the respawned incarnation only opens
+        it after this read.
+        """
+        try:
+            store = StateStore(
+                self._store_dir(shard), fsync=False, name=f"flight-{shard}"
+            )
+            try:
+                return FlightRecorder.read(store)
+            finally:
+                store.close()
+        except Exception:  # pragma: no cover - no store yet / torn dir
+            return []
+
     def _recover(self, shard: int) -> None:
         """Kill the remnants, respawn from the last durable checkpoint,
         and replay the journal tail.  Raises :class:`ShardError` once
@@ -511,6 +621,10 @@ class SupervisedRuntime(ParallelRuntime):
                     process.join(timeout=5)
             self._in_rings[shard].destroy()
             self._out_rings[shard].destroy()
+            # The worker is confirmed dead: its StateStore has a single
+            # writer again, so the driver can read the victim's last
+            # flight-recorder flush for the postmortem record.
+            flight = self._read_flight(shard)
             self._needs_recovery[shard] = False
             self._recovery_reason[shard] = ""
             self._spawn(shard)
@@ -548,6 +662,7 @@ class SupervisedRuntime(ParallelRuntime):
             replayed_entries=replayed_entries,
             replayed_elements=replayed_elements,
             seconds=seconds,
+            flight=flight,
         )
         self.recoveries.append(record)
         if registry is not None:
@@ -629,6 +744,10 @@ class SupervisedRuntime(ParallelRuntime):
         try:
             if entry[0] == "batch":
                 _, stream_id, batch = entry
+                if self.telemetry is not None:
+                    # The worker derives the same id from (shard, seq),
+                    # so submit/output pairing survives crash + replay.
+                    self.telemetry.note_submit(make_trace_id(shard, seq))
                 size, prebuilt = batch.encoded_size()
                 sid_blob = pickle.dumps(stream_id, _PICKLE_PROTOCOL)
                 frame_size = 10 + len(sid_blob) + size
@@ -693,6 +812,8 @@ class SupervisedRuntime(ParallelRuntime):
         if kind == shm_rings.OUT:
             emitted_before = int.from_bytes(payload[:8], "little")
             batch = ColumnBatch.decode(memoryview(payload)[8:])
+            if self.telemetry is not None and batch.trace_id:
+                self.telemetry.note_output(batch.trace_id)
             count = len(batch)
             skip = self._delivered[shard] - emitted_before
             if skip < count:
@@ -710,6 +831,11 @@ class SupervisedRuntime(ParallelRuntime):
                     f"sequence gap: worker expected {message[1]}, "
                     f"got {message[2]}"
                 )
+        elif kind == shm_rings.TELEM:
+            if self.telemetry is not None:
+                self.telemetry.merge(pickle.loads(payload))
+                if self.on_telemetry is not None:
+                    self.on_telemetry(shard)
         elif kind == shm_rings.CKPT:
             message = pickle.loads(payload)
             self._note_checkpoint(shard, message)

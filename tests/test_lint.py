@@ -431,6 +431,103 @@ class TestBareNodeAlloc:
         )
 
 
+class TestRegistryInLoop:
+    ENGINE = "src/repro/engine/example.py"
+
+    def test_positive_for_loop_lookup(self):
+        findings = _lint(
+            """
+            def update(registry, edges):
+                for edge in edges:
+                    registry.gauge("queue_depth", {"edge": edge.name}).set(
+                        edge.depth
+                    )
+            """,
+            path=self.ENGINE,
+        )
+        assert _rule_ids(findings) == ["REP109"]
+        assert findings[0].severity == SEVERITY_ERROR
+
+    def test_positive_while_loop_self_registry(self):
+        findings = _lint(
+            """
+            def drain(self):
+                while self.pending:
+                    item = self.pending.pop()
+                    self.registry.counter("drained_total").inc()
+            """,
+            path="src/repro/lmerge/example.py",
+        )
+        assert _rule_ids(findings) == ["REP109"]
+
+    def test_positive_comprehension(self):
+        findings = _lint(
+            """
+            def peaks(registry, shards):
+                return [
+                    registry.gauge("peak", {"shard": s}).value for s in shards
+                ]
+            """,
+            path="src/repro/structures/example.py",
+        )
+        assert _rule_ids(findings) == ["REP109"]
+
+    def test_positive_nested_loop_reported_once(self):
+        findings = _lint(
+            """
+            def update(registry, grid):
+                for row in grid:
+                    for cell in row:
+                        registry.counter("cells_total").inc()
+            """,
+            path=self.ENGINE,
+        )
+        assert _rule_ids(findings) == ["REP109"]
+
+    def test_negative_handle_resolved_before_loop(self):
+        assert not _lint(
+            """
+            def update(registry, edges):
+                depth = registry.gauge("queue_depth")
+                for edge in edges:
+                    depth.set(edge.depth)
+            """,
+            path=self.ENGINE,
+        )
+
+    def test_negative_outside_scope(self):
+        # obs/ and resilience/ sample at observer cadence, not per
+        # element — the rule patrols engine/lmerge/structures only.
+        source = """
+            def update(registry, edges):
+                for edge in edges:
+                    registry.gauge("queue_depth", {"edge": edge.name}).set(0)
+            """
+        assert not _lint(source, path="src/repro/obs/example.py")
+        assert not _lint(source, path="src/repro/resilience/example.py")
+        assert not _lint(source, path=COLD)
+
+    def test_negative_non_registry_receiver(self):
+        assert not _lint(
+            """
+            def update(store, edges):
+                for edge in edges:
+                    store.counter("queue_depth").inc()
+            """,
+            path=self.ENGINE,
+        )
+
+    def test_noqa_suppresses(self):
+        assert not _lint(
+            """
+            def update(registry, edges):
+                for edge in edges:
+                    registry.counter("edges_total").inc()  # noqa: REP109
+            """,
+            path=self.ENGINE,
+        )
+
+
 class TestSuppression:
     def test_bare_noqa(self):
         assert not _lint(
@@ -482,6 +579,7 @@ class TestHarness:
             "REP106",
             "REP107",
             "REP108",
+            "REP109",
         }
 
     def test_repo_is_clean(self):

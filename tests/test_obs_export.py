@@ -28,8 +28,11 @@ _SAMPLE = re.compile(
 _LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
-def parse_prometheus(text):
-    """Parse exposition text into ({name: type}, [(name, labels, value)])."""
+def parse_prometheus(text, helps=None):
+    """Parse exposition text into ({name: type}, [(name, labels, value)]).
+
+    Pass a dict as *helps* to also collect ``# HELP`` lines into it.
+    """
     types = {}
     samples = []
     for line in text.splitlines():
@@ -38,6 +41,11 @@ def parse_prometheus(text):
         if line.startswith("# TYPE "):
             _, _, name, prom_type = line.split(" ")
             types[name] = prom_type
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            if helps is not None:
+                helps[name] = help_text
             continue
         match = _SAMPLE.match(line)
         assert match, f"unparseable sample line: {line!r}"
@@ -103,6 +111,37 @@ class TestPrometheusText:
         registry.counter("c", {"k": "b"}).inc()
         text = prometheus_text(registry)
         assert text.count("# TYPE c counter") == 1
+
+    def test_help_line_before_type(self):
+        registry = MetricRegistry()
+        registry.counter("events_total", help="Elements seen.").inc(3)
+        registry.gauge("depth").set(1)  # no help: no HELP line
+        text = prometheus_text(registry)
+        helps = {}
+        parse_prometheus(text, helps)
+        assert helps == {"events_total": "Elements seen."}
+        lines = text.splitlines()
+        assert lines.index("# HELP events_total Elements seen.") == (
+            lines.index("# TYPE events_total counter") - 1
+        )
+        assert "# HELP depth" not in text
+
+    def test_help_line_emitted_once_and_escaped(self):
+        registry = MetricRegistry()
+        registry.counter("c", {"k": "a"}, help="line\nbreak \\ slash").inc()
+        registry.counter("c", {"k": "b"}).inc()
+        text = prometheus_text(registry)
+        assert text.count("# HELP c ") == 1
+        assert r"line\nbreak \\ slash" in text
+
+    def test_help_on_summary_and_timeseries(self):
+        registry = MetricRegistry()
+        registry.histogram("lat", help="Span latency.").observe(1.0)
+        registry.timeseries("lag", help="Lag series.").record(0.0, 2)
+        helps = {}
+        parse_prometheus(prometheus_text(registry), helps)
+        assert helps["lat"] == "Span latency."
+        assert helps["lag_total"] == "Lag series."
 
 
 class TestWriteJsonl:

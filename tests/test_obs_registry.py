@@ -180,3 +180,75 @@ class TestMetricRegistry:
         c = r.counter("c", {"x": 1})
         assert r.get("c", {"x": 1}) is c
         assert r.get("c") is None
+
+
+class TestHelpAndValidation:
+    def test_invalid_name_rejected_at_registration(self):
+        r = MetricRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            r.counter("bad name")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            r.gauge("1starts_with_digit")
+        r.counter("ok_name:with_colon")  # valid charset passes
+
+    def test_help_stored_and_snapshotted(self):
+        r = MetricRegistry()
+        r.counter("c", help="Things counted.").inc(2)
+        r.gauge("g").set(1)  # no help -> no key in snapshot
+        snap = r.snapshot()
+        (entry,) = snap["counter"]
+        assert entry["help"] == "Things counted."
+        (gauge_entry,) = snap["gauge"]
+        assert "help" not in gauge_entry
+
+    def test_help_backfilled_not_cleared(self):
+        r = MetricRegistry()
+        handle = r.counter("c")  # hot-path fetch, no help yet
+        assert handle.help == ""
+        assert r.counter("c", help="Late description.") is handle
+        assert handle.help == "Late description."
+        # Later helpless lookups keep it; a second help does not override.
+        r.counter("c")
+        r.counter("c", help="other")
+        assert handle.help == "Late description."
+
+    def test_help_on_every_factory(self):
+        r = MetricRegistry()
+        assert r.counter("a", help="x").help == "x"
+        assert r.gauge("b", help="x").help == "x"
+        assert r.histogram("c", help="x", window=8).help == "x"
+        assert r.timeseries("d", help="x", bucket=2.0).help == "x"
+
+
+class TestHistogramAbsorb:
+    def test_absorb_merges_exact_aggregates(self):
+        r = MetricRegistry()
+        h = r.histogram("lat")
+        h.observe(1.0)
+        h.absorb(count=3, total=9.0, samples=[2.0, 3.0, 4.0])
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.min == 1.0 and h.max == 4.0
+
+    def test_absorb_uses_shipped_extrema_over_samples(self):
+        h = MetricRegistry().histogram("lat")
+        # Shipper observed 100 values but only ships a 2-sample tail;
+        # its exact extrema must still land here.
+        h.absorb(
+            count=100, total=500.0, samples=[5.0, 5.0],
+            min_value=0.25, max_value=50.0,
+        )
+        assert h.min == 0.25 and h.max == 50.0
+        assert h.count == 100
+
+    def test_absorb_zero_count_is_noop(self):
+        h = MetricRegistry().histogram("lat")
+        h.absorb(count=0, total=0.0, samples=[])
+        assert h.count == 0
+        assert h.snapshot_value()["min"] is None
+
+    def test_absorb_respects_sample_window(self):
+        h = MetricRegistry().histogram("lat", window=4)
+        h.absorb(count=10, total=55.0, samples=list(range(10)))
+        assert len(h._samples) == 4
+        assert h.count == 10  # exact count independent of window
