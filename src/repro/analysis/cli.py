@@ -11,9 +11,16 @@ Subcommands:
   optionally (``--dynamic``) execute each plan to confirm the inferred
   restriction against what :class:`repro.analysis.checked.MergeCheck`
   observes on live data;
-* ``rules`` — print the lint rule catalog.
+* ``protocol [paths...]`` — statically verify every :class:`ShmRing`
+  frame site against the declared :data:`FRAME_PROTOCOL`
+  (:mod:`repro.analysis.protocol`);
+* ``model`` — exhaustively model-check the SPSC ring + supervisor
+  restart protocol (:mod:`repro.analysis.model`);
+* ``rules`` — print the lint rule catalog; ``--check-docs`` /
+  ``--write-docs`` keep the generated table in ``docs/ANALYSIS.md`` in
+  sync with the registry.
 
-Both analysis commands take ``--format json`` and ``--output PATH`` so CI
+All analysis commands take ``--format json`` and ``--output PATH`` so CI
 can archive machine-readable reports.
 """
 
@@ -23,18 +30,24 @@ import argparse
 import importlib.util
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis.lint import (
+    CATALOG_BEGIN,
     RULES,
     SEVERITY_ERROR,
-    Finding,
-    lint_paths,
+    lint_paths_report,
+    render_docs_catalog,
+    rules_markdown,
 )
+from repro.analysis.model import MUTATIONS, ModelParams, check_model
 from repro.analysis.propflow import check_plan
+from repro.analysis.protocol import DEFAULT_PROTOCOL_PATHS, verify_paths
 
 DEFAULT_PLANS = "examples/plans.py"
+DEFAULT_DOCS = "docs/ANALYSIS.md"
 
 
 def _emit(text: str, output: Optional[str]) -> None:
@@ -50,17 +63,29 @@ def _emit(text: str, output: Optional[str]) -> None:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    findings: List[Finding] = lint_paths(args.paths, rules=args.rules)
+    started = time.perf_counter()
+    report = lint_paths_report(args.paths, rules=args.rules)
+    elapsed = time.perf_counter() - started
+    findings = report.findings
     errors = [f for f in findings if f.severity == SEVERITY_ERROR]
     warnings = [f for f in findings if f.severity != SEVERITY_ERROR]
+    over_budget = (
+        args.budget_seconds is not None and elapsed > args.budget_seconds
+    )
     if args.format == "json":
+        stats = report.stats.to_json()
+        stats["wall_seconds"] = round(elapsed, 4)
+        if args.budget_seconds is not None:
+            stats["budget_seconds"] = args.budget_seconds
+            stats["within_budget"] = not over_budget
         _emit(
             json.dumps(
                 {
-                    "ok": not errors,
+                    "ok": not errors and not over_budget,
                     "errors": len(errors),
                     "warnings": len(warnings),
                     "findings": [f.to_json() for f in findings],
+                    "stats": stats,
                 },
                 indent=2,
             ),
@@ -72,8 +97,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             f"{len(errors)} error(s), {len(warnings)} warning(s) in "
             f"{len(args.paths)} path(s)"
         )
+        if over_budget:
+            lines.append(
+                f"BUDGET EXCEEDED: {elapsed:.2f}s > "
+                f"{args.budget_seconds:.2f}s"
+            )
         _emit("\n".join(lines), args.output)
-    if errors or (args.strict and warnings):
+    if errors or over_budget or (args.strict and warnings):
         return 1
     return 0
 
@@ -169,11 +199,74 @@ def _cmd_check_plan(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+
+
+def _cmd_protocol(args: argparse.Namespace) -> int:
+    paths = args.paths or list(DEFAULT_PROTOCOL_PATHS)
+    report = verify_paths(paths)
+    if args.format == "json":
+        _emit(json.dumps(report.to_json(), indent=2), args.output)
+    else:
+        _emit(report.render(), args.output)
+    return 0 if report.ok else 1
+
+
+# ---------------------------------------------------------------------------
+# model
+# ---------------------------------------------------------------------------
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    params = ModelParams(
+        batches=args.batches,
+        ring_capacity=args.ring_capacity,
+        crashes=args.crashes,
+        checkpoint_every=args.checkpoint_every,
+        mutations=frozenset(args.mutate or ()),
+    )
+    started = time.perf_counter()
+    result = check_model(params)
+    elapsed = time.perf_counter() - started
+    if args.format == "json":
+        payload = result.to_json()
+        payload["wall_seconds"] = round(elapsed, 4)
+        _emit(json.dumps(payload, indent=2), args.output)
+    else:
+        _emit(result.render(), args.output)
+    return 0 if result.ok else 1
+
+
+# ---------------------------------------------------------------------------
 # rules
 # ---------------------------------------------------------------------------
 
 
 def _cmd_rules(args: argparse.Namespace) -> int:
+    docs = Path(args.docs)
+    if args.check_docs or args.write_docs:
+        if not docs.exists():
+            sys.stderr.write(f"docs file not found: {docs}\n")
+            return 2
+        document = docs.read_text(encoding="utf-8")
+        if CATALOG_BEGIN not in document:
+            sys.stderr.write(
+                f"{docs} has no rule-catalog markers; add them once "
+                "(see repro.analysis.lint.CATALOG_BEGIN_LINE)\n"
+            )
+            return 2
+        regenerated = render_docs_catalog(document)
+        if args.write_docs:
+            docs.write_text(regenerated, encoding="utf-8")
+            return 0
+        if regenerated != document:
+            sys.stderr.write(
+                f"{docs} rule catalog is out of date — run "
+                "`python -m repro.analysis rules --write-docs`\n"
+            )
+            return 1
+        return 0
     if args.format == "json":
         _emit(
             json.dumps(
@@ -189,6 +282,9 @@ def _cmd_rules(args: argparse.Namespace) -> int:
             ),
             args.output,
         )
+        return 0
+    if args.format == "markdown":
+        _emit(rules_markdown(), args.output)
         return 0
     for rule in RULES.values():
         _emit(f"{rule.id}  {rule.severity:8}  {rule.summary}", args.output)
@@ -209,6 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--output", help="write the report here")
     lint.add_argument(
         "--strict", action="store_true", help="fail on warnings too"
+    )
+    lint.add_argument(
+        "--budget-seconds",
+        type=float,
+        help="fail if the lint pass exceeds this wall-clock budget",
     )
     lint.set_defaults(func=_cmd_lint)
 
@@ -235,9 +336,60 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--output", help="write the report here")
     plan.set_defaults(func=_cmd_check_plan)
 
+    protocol = commands.add_parser(
+        "protocol", help="verify ShmRing frame sites against FRAME_PROTOCOL"
+    )
+    protocol.add_argument(
+        "paths",
+        nargs="*",
+        help=f"modules to verify (default: {' '.join(DEFAULT_PROTOCOL_PATHS)})",
+    )
+    protocol.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    protocol.add_argument("--output", help="write the report here")
+    protocol.set_defaults(func=_cmd_protocol)
+
+    model = commands.add_parser(
+        "model",
+        help="exhaustively model-check the ring + supervisor protocol",
+    )
+    model.add_argument("--batches", type=int, default=4)
+    model.add_argument("--ring-capacity", type=int, default=2)
+    model.add_argument("--crashes", type=int, default=2)
+    model.add_argument("--checkpoint-every", type=int, default=2)
+    model.add_argument(
+        "--mutate",
+        action="append",
+        choices=sorted(MUTATIONS),
+        help="inject a protocol bug the checker must catch (repeatable)",
+    )
+    model.add_argument("--format", choices=["text", "json"], default="text")
+    model.add_argument("--output", help="write the report here")
+    model.set_defaults(func=_cmd_model)
+
     rules = commands.add_parser("rules", help="print the lint rule catalog")
-    rules.add_argument("--format", choices=["text", "json"], default="text")
+    rules.add_argument(
+        "--format",
+        choices=["text", "json", "markdown"],
+        default="text",
+    )
     rules.add_argument("--output", help="write the catalog here")
+    rules.add_argument(
+        "--docs",
+        default=DEFAULT_DOCS,
+        help=f"docs file holding the generated catalog (default {DEFAULT_DOCS})",
+    )
+    rules.add_argument(
+        "--check-docs",
+        action="store_true",
+        help="fail if the docs catalog is out of date with the registry",
+    )
+    rules.add_argument(
+        "--write-docs",
+        action="store_true",
+        help="regenerate the docs catalog in place",
+    )
     rules.set_defaults(func=_cmd_rules)
     return parser
 

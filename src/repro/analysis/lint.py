@@ -51,12 +51,40 @@ REP109   error     Registry instrument lookups stay out of hot loops: a
                    dict lookup + label-key build per iteration — resolve
                    the handle once before the loop and call
                    ``.inc()``/``.set()``/``.observe()`` on it inside.
+REP110   error     No blocking calls (bare lock ``.acquire()``, untimed
+                   ring/queue ``.get()``, unbounded ``sleep``) inside
+                   hot-path element handlers, nor anywhere between a
+                   ring-slot reserve (binding a ``memoryview`` of ring
+                   storage) and its commit/release — tracked through
+                   branches by the CFG dataflow in
+                   :mod:`repro.analysis.flow`.
+REP111   error     Pool escape: an object acquired from a freelist
+                   (``NODE_POOL.acquire()``, ``pool.acquire()``) must
+                   not be stored into an attribute, subscript, or
+                   container outside the module that defines the pooled
+                   class — the pool recycles it, and an escaped alias
+                   becomes a use-after-release.
+REP112   error     Exception handlers in hot paths must not swallow
+                   punctuation: an ``except`` wrapping a ``Stable`` emit
+                   must re-raise or emit — silently dropping the stable
+                   stalls every downstream frontier (REP102's dynamic
+                   cousin, caught statically).
+REP113   warning   Unused suppression: a ``# noqa: REPxxx`` comment
+                   that names REP rules but suppresses no finding on its
+                   line is dead and hides future regressions — remove
+                   it.  Comments naming only foreign (ruff) codes are
+                   ignored, as is bare ``# noqa``.
 =======  ========  ====================================================
 
 Suppression: append ``# noqa: REP104`` (or a bare ``# noqa``) to the
 offending line.  Run via ``python -m repro.analysis lint <paths>``;
 programmatic entry points are :func:`lint_source`, :func:`lint_file`, and
-:func:`lint_paths`.
+:func:`lint_paths` (or :func:`lint_paths_report` for findings plus the
+shared-pass timing stats the CI budget assertion consumes).
+
+Rules receive a :class:`repro.analysis.flow.ModuleContext`: one parse,
+one node-type index, and one CFG per function, shared by every rule —
+adding a rule does not add a traversal.
 """
 
 from __future__ import annotations
@@ -65,7 +93,26 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
+
+from .flow import (
+    ForwardAnalysis,
+    ModuleContext,
+    context_for_source,
+    receiver_text,
+    shallow_walk,
+    statement_tree,
+)
 
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
@@ -122,13 +169,20 @@ class Finding:
 
 @dataclass(frozen=True)
 class Rule:
-    """A lint rule: stable ID, severity, scope, and an AST check."""
+    """A lint rule: stable ID, severity, scope, and a context check.
+
+    ``check`` receives the shared :class:`ModuleContext` — parse, node
+    index, and CFGs are built once per module and reused across rules.
+    ``detail`` is the long-form description the generated rule catalog
+    in docs/ANALYSIS.md renders (see ``rules_markdown``).
+    """
 
     id: str
     severity: str
     summary: str
     applies: Callable[[Path], bool]
-    check: Callable[[ast.Module, str], List["_RawFinding"]]
+    check: Callable[[ModuleContext], List["_RawFinding"]]
+    detail: str = ""
 
 
 @dataclass(frozen=True)
@@ -164,14 +218,11 @@ def _always(_path: Path) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _wall_clock_aliases(tree: ast.Module) -> Set[str]:
+def _wall_clock_aliases(ctx: ModuleContext) -> Set[str]:
     """Names bound by ``from time import time`` style imports."""
     aliases: Set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom) and node.module in (
-            "time",
-            "datetime",
-        ):
+    for node in ctx.walk(ast.ImportFrom):
+        if node.module in ("time", "datetime"):
             for alias in node.names:
                 if alias.name in WALL_CLOCK_ATTRS:
                     aliases.add(alias.asname or alias.name)
@@ -184,12 +235,10 @@ def _attr_root(node: ast.expr) -> Optional[str]:
     return node.id if isinstance(node, ast.Name) else None
 
 
-def _check_wall_clock(tree: ast.Module, _source: str) -> List[_RawFinding]:
-    aliases = _wall_clock_aliases(tree)
+def _check_wall_clock(ctx: ModuleContext) -> List[_RawFinding]:
+    aliases = _wall_clock_aliases(ctx)
     findings: List[_RawFinding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
+    for node in ctx.walk(ast.Call):
         func = node.func
         if (
             isinstance(func, ast.Attribute)
@@ -226,11 +275,9 @@ def _base_name(base: ast.expr) -> Optional[str]:
     return None
 
 
-def _check_on_stable(tree: ast.Module, _source: str) -> List[_RawFinding]:
+def _check_on_stable(ctx: ModuleContext) -> List[_RawFinding]:
     findings: List[_RawFinding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.ClassDef):
-            continue
+    for node in ctx.walk(ast.ClassDef):
         if not any(_base_name(base) == "Operator" for base in node.bases):
             continue
         methods = {
@@ -293,13 +340,9 @@ def _element_params(
     return names
 
 
-def _check_element_mutation(
-    tree: ast.Module, _source: str
-) -> List[_RawFinding]:
+def _check_element_mutation(ctx: ModuleContext) -> List[_RawFinding]:
     findings: List[_RawFinding] = []
-    for function in ast.walk(tree):
-        if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
+    for function in ctx.walk(ast.FunctionDef, ast.AsyncFunctionDef):
         params = _element_params(function)
         if not params:
             continue
@@ -388,14 +431,12 @@ def _setattr_string_target(node: ast.Call) -> Optional[str]:
     return None
 
 
-def _check_slot_growth(tree: ast.Module, _source: str) -> List[_RawFinding]:
+def _check_slot_growth(ctx: ModuleContext) -> List[_RawFinding]:
     # Union slots along the (same-module) base chain so subclasses may
     # store into inherited slots.
     class_slots: Dict[str, Optional[Set[str]]] = {}
     class_bases: Dict[str, List[str]] = {}
-    classes: List[ast.ClassDef] = [
-        node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
-    ]
+    classes: List[ast.ClassDef] = list(ctx.walk(ast.ClassDef))
     for node in classes:
         class_slots[node.name] = _slot_names(node)
         class_bases[node.name] = [
@@ -470,14 +511,10 @@ def _print_applies(path: Path) -> bool:
     return _in_src(path) and path.name not in PRINT_EXEMPT_FILES
 
 
-def _check_print(tree: ast.Module, _source: str) -> List[_RawFinding]:
+def _check_print(ctx: ModuleContext) -> List[_RawFinding]:
     findings: List[_RawFinding] = []
-    for node in ast.walk(tree):
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id == "print"
-        ):
+    for node in ctx.walk(ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
             findings.append(
                 _RawFinding(
                     node.lineno,
@@ -508,13 +545,9 @@ def _is_mutable_default(node: ast.expr) -> bool:
     )
 
 
-def _check_mutable_default(
-    tree: ast.Module, _source: str
-) -> List[_RawFinding]:
+def _check_mutable_default(ctx: ModuleContext) -> List[_RawFinding]:
     findings: List[_RawFinding] = []
-    for function in ast.walk(tree):
-        if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
+    for function in ctx.walk(ast.FunctionDef, ast.AsyncFunctionDef):
         defaults = list(function.args.defaults) + [
             d for d in function.args.kw_defaults if d is not None
         ]
@@ -571,11 +604,9 @@ def _batch_params(
     return names
 
 
-def _check_columnar_loops(tree: ast.Module, _source: str) -> List[_RawFinding]:
+def _check_columnar_loops(ctx: ModuleContext) -> List[_RawFinding]:
     findings: List[_RawFinding] = []
-    for function in ast.walk(tree):
-        if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
+    for function in ctx.walk(ast.FunctionDef, ast.AsyncFunctionDef):
         if function.name not in COLUMNAR_HOT_FUNCS:
             continue
         params = _batch_params(function)
@@ -626,18 +657,16 @@ def _check_columnar_loops(tree: ast.Module, _source: str) -> List[_RawFinding]:
 POOLED_NODE_CLASSES = {"_Node", "In2TNode", "In3TNode"}
 
 
-def _check_bare_node_alloc(tree: ast.Module, _source: str) -> List[_RawFinding]:
+def _check_bare_node_alloc(ctx: ModuleContext) -> List[_RawFinding]:
     # The defining module is exempt: a file that holds `class In2TNode`
     # IS the pool-aware home of that class (rbtree.py for _Node, etc.).
     defined_here = {
         node.name
-        for node in ast.walk(tree)
-        if isinstance(node, ast.ClassDef) and node.name in POOLED_NODE_CLASSES
+        for node in ctx.walk(ast.ClassDef)
+        if node.name in POOLED_NODE_CLASSES
     }
     findings: List[_RawFinding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
+    for node in ctx.walk(ast.Call):
         func = node.func
         name = None
         if isinstance(func, ast.Name):
@@ -709,9 +738,7 @@ def _registry_factory_calls(root: ast.AST) -> List[ast.Call]:
     return calls
 
 
-def _check_registry_in_loop(
-    tree: ast.Module, _source: str
-) -> List[_RawFinding]:
+def _check_registry_in_loop(ctx: ModuleContext) -> List[_RawFinding]:
     findings: List[_RawFinding] = []
     seen: Set[tuple] = set()  # nested loops: report each call once
 
@@ -731,18 +758,434 @@ def _check_registry_in_loop(
             )
         )
 
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
-            kind = "a while loop" if isinstance(node, ast.While) else "a for loop"
-            for stmt in [*node.body, *node.orelse]:
-                for call in _registry_factory_calls(stmt):
-                    report(call, kind)
-        elif isinstance(
-            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
-        ):
-            for call in _registry_factory_calls(node):
-                report(call, "a comprehension")
+    for node in ctx.walk(ast.For, ast.AsyncFor, ast.While):
+        kind = "a while loop" if isinstance(node, ast.While) else "a for loop"
+        for stmt in [*node.body, *node.orelse]:
+            for call in _registry_factory_calls(stmt):
+                report(call, kind)
+    for node in ctx.walk(
+        ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp
+    ):
+        for call in _registry_factory_calls(node):
+            report(call, "a comprehension")
     return findings
+
+
+# ---------------------------------------------------------------------------
+# REP110 — no blocking calls in hot handlers or reserve→commit windows
+# ---------------------------------------------------------------------------
+
+#: Per-element delivery handlers: code on the element path, where one
+#: blocked call stalls the whole shard.  Top-level worker loops
+#: (``_shard_loop`` etc.) are *not* handlers — their blocking ``get`` on
+#: an idle in-ring is the design.
+HOT_HANDLER_NAMES = {
+    "receive",
+    "receive_batch",
+    "receive_columns",
+    "process",
+    "process_batch",
+    "process_columns",
+    "on_insert",
+    "on_adjust",
+    "on_stable",
+    "emit",
+    "emit_batch",
+    "emit_columns",
+    "_insert",
+    "_adjust",
+    "_stable",
+    "_insert_batch",
+    "_adjust_batch",
+    "_stable_batch",
+    "_insert_columns",
+    "_adjust_columns",
+    "_stable_columns",
+}
+
+#: Receiver-name fragments identifying a lock-like object whose
+#: ``.acquire()`` blocks.  Pool/freelist ``acquire`` is allocation, not
+#: synchronization, and stays legal.
+_LOCK_RECEIVER_HINTS = ("lock", "mutex", "sem", "cond")
+
+#: Receiver-name fragments identifying a channel whose zero-argument
+#: ``.get()`` blocks until a peer produces.
+_CHANNEL_RECEIVER_HINTS = ("ring", "queue")
+
+
+def _blocking_reason(node: ast.Call) -> Optional[str]:
+    """Why *node* is a potentially unbounded blocking call, or None."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        receiver = receiver_text(func.value)
+        if func.attr == "acquire" and any(
+            hint in receiver for hint in _LOCK_RECEIVER_HINTS
+        ):
+            has_bound = any(k.arg == "timeout" for k in node.keywords) or any(
+                k.arg == "blocking"
+                and isinstance(k.value, ast.Constant)
+                and k.value.value is False
+                for k in node.keywords
+            )
+            if not has_bound:
+                return f"{receiver}.acquire() without timeout/blocking=False"
+        if func.attr == "get" and any(
+            hint in receiver for hint in _CHANNEL_RECEIVER_HINTS
+        ):
+            has_timeout = bool(node.args) or any(
+                k.arg == "timeout" for k in node.keywords
+            )
+            if not has_timeout:
+                return f"untimed {receiver}.get()"
+        if func.attr == "sleep" and node.args:
+            if not isinstance(node.args[0], ast.Constant):
+                return "sleep() with a non-constant duration"
+    elif isinstance(func, ast.Name) and func.id == "sleep" and node.args:
+        if not isinstance(node.args[0], ast.Constant):
+            return "sleep() with a non-constant duration"
+    return None
+
+
+class _ReserveWindow(ForwardAnalysis):
+    """Dataflow: is a reserved-but-uncommitted ring slot live here?
+
+    Reserve = binding the result of a ``memoryview(...)`` call (the
+    zero-copy encode window ``ShmRing.put_frame`` hands out); commit =
+    releasing the view or publishing the tail (``.release()`` /
+    ``pack_into``).  The state is the set of live view names — a
+    blocking call while it is non-empty stalls the ring slot itself.
+    """
+
+    def initial(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def join(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a | b
+
+    def transfer(
+        self, state: FrozenSet[str], statement: ast.stmt
+    ) -> FrozenSet[str]:
+        live = set(state)
+        for node in shallow_walk(statement):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in (
+                    "release",
+                    "pack_into",
+                ):
+                    root = receiver_text(func.value)
+                    live.discard(root.split(".")[0])
+                    if func.attr == "pack_into":
+                        live.clear()  # tail publish commits the frame
+                elif (
+                    isinstance(func, ast.Name) and func.id == "pack_into"
+                ):
+                    live.clear()  # bare `from struct import pack_into`
+        if isinstance(statement, ast.Assign):
+            value = statement.value
+            # Unwrap slicing: ``memoryview(buf)[a:b]`` reserves too.
+            while isinstance(value, ast.Subscript):
+                value = value.value
+            is_view = (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "memoryview"
+            )
+            if is_view:
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        live.add(target.id)
+        return frozenset(live)
+
+
+def _check_blocking_calls(ctx: ModuleContext) -> List[_RawFinding]:
+    findings: List[_RawFinding] = []
+    for info in ctx.functions:
+        function = info.node
+        in_handler = function.name in HOT_HANDLER_NAMES
+        # Cheap pre-scan: functions with no memoryview binding cannot
+        # open a reserve window, so skip the CFG entirely unless this is
+        # a handler (whose whole body is checked anyway).
+        has_view = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "memoryview"
+            for node in ast.walk(function)
+        )
+        if not in_handler and not has_view:
+            continue
+        statement_in: Dict[int, FrozenSet[str]] = {}
+        if has_view:
+            cfg = ctx.cfg(function)
+            _, statement_in = _ReserveWindow().run(cfg)
+            statements = [
+                statement
+                for block in cfg.blocks
+                for statement in block.statements
+            ]
+        else:
+            statements = statement_tree(function.body)
+        for statement in statements:
+            window = statement_in.get(id(statement), frozenset())
+            for node in shallow_walk(statement):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = _blocking_reason(node)
+                if reason is None:
+                    continue
+                if window:
+                    findings.append(
+                        _RawFinding(
+                            node.lineno,
+                            node.col_offset,
+                            f"blocking call ({reason}) while ring slot "
+                            f"view {sorted(window)[0]!r} is reserved but "
+                            f"not committed — the consumer cannot pass "
+                            f"the unpublished frame",
+                        )
+                    )
+                elif in_handler:
+                    findings.append(
+                        _RawFinding(
+                            node.lineno,
+                            node.col_offset,
+                            f"blocking call ({reason}) inside hot-path "
+                            f"handler {function.name}(); one stalled "
+                            f"element stalls the shard — bound the wait "
+                            f"and surface backpressure instead",
+                        )
+                    )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP111 — pooled objects must not escape their function
+# ---------------------------------------------------------------------------
+
+#: Receiver fragments identifying a freelist-style allocator.
+_POOL_RECEIVER_HINTS = ("pool", "free_list", "freelist")
+
+#: Escaping container methods: storing the pooled object somewhere that
+#: outlives the function frame.
+_ESCAPE_METHODS = {"append", "add", "insert", "push", "appendleft", "extend"}
+
+
+def _is_pool_acquire(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "acquire"
+        and any(
+            hint in receiver_text(node.func.value)
+            for hint in _POOL_RECEIVER_HINTS
+        )
+    )
+
+
+class _PoolTaint(ForwardAnalysis):
+    """Dataflow: which local names alias a pool-acquired object?"""
+
+    def initial(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def join(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a | b
+
+    def transfer(
+        self, state: FrozenSet[str], statement: ast.stmt
+    ) -> FrozenSet[str]:
+        if not isinstance(statement, ast.Assign):
+            return state
+        value = statement.value
+        tainted_value = _is_pool_acquire(value) or (
+            isinstance(value, ast.Name) and value.id in state
+        )
+        live = set(state)
+        for target in statement.targets:
+            if isinstance(target, ast.Name):
+                if tainted_value:
+                    live.add(target.id)
+                else:
+                    live.discard(target.id)  # strong update: rebound
+        return frozenset(live)
+
+
+def _pool_exempt_module(ctx: ModuleContext) -> bool:
+    """Modules that own the pooled lifecycle: those defining a pooled
+    node class or the freelist itself may store pool objects into their
+    index structures — that IS the pool discipline."""
+    for node in ctx.walk(ast.ClassDef):
+        if node.name in POOLED_NODE_CLASSES or node.name == "FreeList":
+            return True
+    return False
+
+
+def _check_pool_escape(ctx: ModuleContext) -> List[_RawFinding]:
+    if _pool_exempt_module(ctx):
+        return []
+    findings: List[_RawFinding] = []
+    for info in ctx.functions:
+        function = info.node
+        if not any(
+            _is_pool_acquire(node) for node in ast.walk(function)
+        ):
+            continue
+        cfg = ctx.cfg(function)
+        _, statement_in = _PoolTaint().run(cfg)
+        analysis = _PoolTaint()
+        for block in cfg.blocks:
+            for statement in block.statements:
+                before = statement_in.get(id(statement), frozenset())
+                # The state *after* this statement catches the
+                # single-statement idiom `x = pool.acquire()` followed
+                # by an escape in the same statement list.
+                after = analysis.transfer(before, statement)
+                findings.extend(
+                    _escapes_in(statement, before | after)
+                )
+    return findings
+
+
+def _escapes_in(
+    statement: ast.stmt, tainted: FrozenSet[str]
+) -> List[_RawFinding]:
+    findings: List[_RawFinding] = []
+
+    def names_in(node: ast.expr) -> Set[str]:
+        return {
+            sub.id
+            for sub in ast.walk(node)
+            if isinstance(sub, ast.Name) and sub.id in tainted
+        }
+
+    if isinstance(statement, ast.Assign):
+        escaped = names_in(statement.value)
+        if _is_pool_acquire(statement.value):
+            escaped = escaped | {"<acquire() result>"}
+        if escaped:
+            for target in statement.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    where = (
+                        "an attribute"
+                        if isinstance(target, ast.Attribute)
+                        else "a container"
+                    )
+                    findings.append(
+                        _RawFinding(
+                            statement.lineno,
+                            statement.col_offset,
+                            f"pool-acquired object "
+                            f"{sorted(escaped)[0]!r} stored into {where} "
+                            f"that outlives this function; the pool will "
+                            f"recycle it — release it here or construct "
+                            f"an unpooled object",
+                        )
+                    )
+    for node in shallow_walk(statement):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _ESCAPE_METHODS
+        ):
+            escaped = set()
+            for argument in node.args:
+                escaped |= names_in(argument)
+                if _is_pool_acquire(argument):
+                    escaped.add("<acquire() result>")
+            if escaped:
+                findings.append(
+                    _RawFinding(
+                        node.lineno,
+                        node.col_offset,
+                        f"pool-acquired object {sorted(escaped)[0]!r} "
+                        f"passed to .{node.func.attr}(...) on a "
+                        f"container that outlives this function; the "
+                        f"pool will recycle it — release it here or "
+                        f"construct an unpooled object",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP112 — except handlers must not swallow punctuation
+# ---------------------------------------------------------------------------
+
+
+def _is_punctuation_emit(node: ast.AST) -> bool:
+    """A call that emits a Stable downstream: ``emit(Stable(...))``,
+    ``receive(Stable(...))``, ``sink(Stable(...))``, or the dedicated
+    helpers ``_output_stable`` / ``_emit_stable`` / ``emit_stable``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name in ("_output_stable", "_emit_stable", "emit_stable"):
+        return True
+    if name in ("emit", "receive", "sink", "_emit"):
+        for argument in node.args:
+            if (
+                isinstance(argument, ast.Call)
+                and isinstance(argument.func, ast.Name)
+                and argument.func.id == "Stable"
+            ):
+                return True
+    return False
+
+
+def _contains_punctuation_emit(statements: Iterable[ast.stmt]) -> bool:
+    for statement in statement_tree(statements):
+        for node in shallow_walk(statement):
+            if _is_punctuation_emit(node):
+                return True
+    return False
+
+
+def _handler_reraises_or_emits(handler: ast.ExceptHandler) -> bool:
+    for statement in statement_tree(handler.body):
+        if isinstance(statement, ast.Raise):
+            return True
+        for node in shallow_walk(statement):
+            if _is_punctuation_emit(node):
+                return True
+    return False
+
+
+def _check_swallowed_punctuation(ctx: ModuleContext) -> List[_RawFinding]:
+    findings: List[_RawFinding] = []
+    for node in ctx.walk(ast.Try):
+        if not _contains_punctuation_emit(node.body):
+            continue
+        for handler in node.handlers:
+            if _handler_reraises_or_emits(handler):
+                continue
+            caught = (
+                ast.unparse(handler.type)
+                if handler.type is not None
+                else "BaseException"
+            )
+            findings.append(
+                _RawFinding(
+                    handler.lineno,
+                    handler.col_offset,
+                    f"except {caught} wraps a Stable emit but neither "
+                    f"re-raises nor emits punctuation; swallowing the "
+                    f"stable stalls every downstream frontier — re-raise "
+                    f"or emit the punctuation in the handler",
+                )
+            )
+    return findings
+
+
+def _check_no_op(_ctx: ModuleContext) -> List[_RawFinding]:
+    """REP113 is evaluated by the driver (it needs the pre-suppression
+    finding set across all rules); the registry entry carries its
+    metadata for the catalog and CLI."""
+    return []
 
 
 RULES: Dict[str, Rule] = {
@@ -754,6 +1197,9 @@ RULES: Dict[str, Rule] = {
             summary="no wall-clock reads in engine/operators/lmerge",
             applies=_in_hot_path,
             check=_check_wall_clock,
+            detail="no wall-clock reads (`time.time`, `datetime.now`, "
+            "...) in `repro/engine`, `repro/operators`, `repro/lmerge` "
+            "hot paths (`perf_counter` for measurement is fine)",
         ),
         Rule(
             id="REP102",
@@ -762,6 +1208,10 @@ RULES: Dict[str, Rule] = {
             "on_stable or receive",
             applies=_always,
             check=_check_on_stable,
+            detail="data-handling `Operator` subclasses (defining "
+            "`on_insert`/`on_adjust`/`receive_batch`) must also define "
+            "`on_stable` or `receive` — swallowing punctuation stalls "
+            "every downstream consumer",
         ),
         Rule(
             id="REP103",
@@ -769,6 +1219,9 @@ RULES: Dict[str, Rule] = {
             summary="no mutation of received Insert/Adjust/Element params",
             applies=_always,
             check=_check_element_mutation,
+            detail="no mutation of received `Insert`/`Adjust`/`Element` "
+            "parameters — elements are shared, immutable values; "
+            "rebuild instead",
         ),
         Rule(
             id="REP104",
@@ -776,6 +1229,9 @@ RULES: Dict[str, Rule] = {
             summary="slotted classes must not grow attributes",
             applies=_always,
             check=_check_slot_growth,
+            detail="classes with `__slots__` must not assign attributes "
+            "outside the slot set (including via `object.__setattr__` / "
+            "`_set` aliases)",
         ),
         Rule(
             id="REP105",
@@ -783,6 +1239,8 @@ RULES: Dict[str, Rule] = {
             summary="no bare print() in src/ library code",
             applies=_print_applies,
             check=_check_print,
+            detail="no bare `print()` in `src/` library code (CLI "
+            "modules `__main__.py`/`cli.py` exempt)",
         ),
         Rule(
             id="REP106",
@@ -790,6 +1248,7 @@ RULES: Dict[str, Rule] = {
             summary="no mutable default arguments",
             applies=_always,
             check=_check_mutable_default,
+            detail="no mutable default arguments",
         ),
         Rule(
             id="REP107",
@@ -798,6 +1257,10 @@ RULES: Dict[str, Rule] = {
             "hot handlers",
             applies=_in_hot_path,
             check=_check_columnar_loops,
+            detail="columnar hot handlers (`receive_columns`, "
+            "`process_columns`, `_insert_columns`, ...) must not loop "
+            "over a `ColumnBatch` row by row — walk the columns and "
+            "materialize only surviving rows",
         ),
         Rule(
             id="REP108",
@@ -806,6 +1269,10 @@ RULES: Dict[str, Rule] = {
             "their defining module",
             applies=_always,
             check=_check_bare_node_alloc,
+            detail="pooled index node classes (`_Node`, `In2TNode`, "
+            "`In3TNode`) are only constructed in their defining module "
+            "— go through the owning index so reclamation can recycle "
+            "nodes",
         ),
         Rule(
             id="REP109",
@@ -814,6 +1281,67 @@ RULES: Dict[str, Rule] = {
             "engine/lmerge/structures loops",
             applies=_in_registry_loop_scope,
             check=_check_registry_in_loop,
+            detail="no registry instrument lookups "
+            "(`registry.counter/gauge/histogram/timeseries(...)`) "
+            "inside `for`/`while` loops or comprehensions in "
+            "`repro/engine`, `repro/lmerge`, `repro/structures` — the "
+            "get-or-create lookup rebuilds the labels key per "
+            "iteration; resolve the handle once before the loop and "
+            "call `.inc()`/`.set()`/`.observe()` inside",
+        ),
+        Rule(
+            id="REP110",
+            severity=SEVERITY_ERROR,
+            summary="no blocking calls in hot handlers or between "
+            "ring-slot reserve and commit",
+            applies=_in_hot_path,
+            check=_check_blocking_calls,
+            detail="no blocking calls (bare lock `.acquire()`, untimed "
+            "ring/queue `.get()`, `sleep` with a non-constant duration) "
+            "inside hot-path element handlers, nor anywhere between "
+            "reserving a ring-slot `memoryview` and committing it — "
+            "one blocked element handler stalls the whole shard, and a "
+            "blocked reserve stalls the ring's consumer too (CFG "
+            "dataflow tracks the window across branches)",
+        ),
+        Rule(
+            id="REP111",
+            severity=SEVERITY_ERROR,
+            summary="pool-acquired objects must not escape their "
+            "function outside pool-owning modules",
+            applies=_always,
+            check=_check_pool_escape,
+            detail="an object acquired from a freelist "
+            "(`NODE_POOL.acquire()`, `pool.acquire()`) must not be "
+            "stored into an attribute, subscript, or container that "
+            "outlives the function, outside the modules that define "
+            "the pooled classes — the pool recycles released objects, "
+            "so an escaped alias becomes a use-after-release "
+            "(taint-tracked through local aliases by the CFG dataflow)",
+        ),
+        Rule(
+            id="REP112",
+            severity=SEVERITY_ERROR,
+            summary="except handlers around Stable emits must re-raise "
+            "or emit",
+            applies=_in_hot_path,
+            check=_check_swallowed_punctuation,
+            detail="no exception handler in a hot path may swallow "
+            "punctuation: an `except` whose `try` body emits a "
+            "`Stable` must re-raise or itself emit — dropping the "
+            "stable silently stalls every downstream frontier",
+        ),
+        Rule(
+            id="REP113",
+            severity=SEVERITY_WARNING,
+            summary="no unused # noqa: REPxxx suppressions",
+            applies=_always,
+            check=_check_no_op,
+            detail="a `# noqa: REPxxx` comment whose named REP rules "
+            "suppress no finding on that line is dead — remove it "
+            "(checked by the lint driver against the pre-suppression "
+            "finding set; bare `# noqa` and foreign ruff codes are "
+            "left to ruff)",
         ),
     )
 }
@@ -831,15 +1359,187 @@ def _suppressed(source_line: str, rule_id: str) -> bool:
     }
 
 
+_REP_CODE_RE = re.compile(r"^REP\d+$")
+
+
+def _noqa_comments(source: str) -> List[tuple]:
+    """Actual ``# noqa`` COMMENT tokens as ``(line, col, codes)``.
+
+    Tokenizing (rather than scanning raw lines) keeps noqa-shaped text
+    inside docstrings and string fixtures from looking like
+    suppressions."""
+    import io
+    import tokenize
+
+    comments = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match:
+                comments.append(
+                    (token.start[0], token.start[1], match.group("codes"))
+                )
+    except tokenize.TokenizeError:  # pragma: no cover - REP100 owns this
+        pass
+    return comments
+
+
+def _unused_noqa_findings(
+    source: str, hits_by_line: Dict[int, Set[str]]
+) -> List[Finding]:
+    """REP113: ``# noqa`` comments naming REP codes none of which
+    suppressed a finding on their line.  *hits_by_line* maps line number
+    to the rule IDs that produced (pre-suppression) findings there.
+    Bare ``# noqa`` and comments naming only foreign codes are ruff's
+    jurisdiction and are left alone."""
+    findings: List[Finding] = []
+    for line, col, raw_codes in _noqa_comments(source):
+        if not raw_codes:
+            continue
+        codes = [
+            code.strip().upper()
+            for code in raw_codes.split(",")
+            if code.strip()
+        ]
+        rep_codes = [code for code in codes if _REP_CODE_RE.match(code)]
+        if not rep_codes:
+            continue
+        hits = hits_by_line.get(line, set())
+        if any(code in hits for code in rep_codes):
+            continue
+        findings.append(
+            Finding(
+                path="",  # filled by the caller
+                line=line,
+                col=col,
+                rule="REP113",
+                severity=SEVERITY_WARNING,
+                message=f"unused suppression: # noqa: "
+                f"{', '.join(rep_codes)} suppresses nothing on this "
+                f"line — remove it",
+            )
+        )
+    return findings
+
+
+@dataclass
+class LintStats:
+    """Shared-pass accounting across one lint run.
+
+    ``parse_seconds``/``cfg_seconds`` measure the *single* parse and the
+    cached CFG builds per module; ``rule_seconds`` is everything the
+    rule bodies spent on the shared context.  The CI analysis job
+    asserts a wall-clock budget over these, and ``cfg_functions`` being
+    far below ``files × rules`` is the evidence the AST/CFG pass is
+    cached, not rebuilt per rule.
+    """
+
+    files: int = 0
+    rules: int = 0
+    parse_seconds: float = 0.0
+    cfg_seconds: float = 0.0
+    rule_seconds: float = 0.0
+    cfg_functions: int = 0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "files": self.files,
+            "rules": self.rules,
+            "parse_seconds": round(self.parse_seconds, 6),
+            "cfg_seconds": round(self.cfg_seconds, 6),
+            "rule_seconds": round(self.rule_seconds, 6),
+            "cfg_functions": self.cfg_functions,
+            "parses_per_file": 1,
+        }
+
+
+@dataclass
+class LintReport:
+    """Findings plus the shared-pass stats for one lint run."""
+
+    findings: List[Finding]
+    stats: LintStats
+
+
+def _lint_context(
+    ctx: ModuleContext,
+    rules: Optional[Iterable[str]],
+    stats: Optional[LintStats],
+) -> List[Finding]:
+    from time import perf_counter
+
+    selected = (
+        [RULES[rule_id] for rule_id in rules]
+        if rules is not None
+        else list(RULES.values())
+    )
+    location = Path(ctx.path)
+    findings: List[Finding] = []
+    hits_by_line: Dict[int, Set[str]] = {}
+    started = perf_counter()
+    for rule in selected:
+        if not rule.applies(location):
+            continue
+        for raw in rule.check(ctx):
+            hits_by_line.setdefault(raw.line, set()).add(rule.id)
+            source_line = (
+                ctx.lines[raw.line - 1]
+                if 0 < raw.line <= len(ctx.lines)
+                else ""
+            )
+            if _suppressed(source_line, rule.id):
+                continue
+            findings.append(
+                Finding(
+                    path=ctx.path,
+                    line=raw.line,
+                    col=raw.col,
+                    rule=rule.id,
+                    severity=rule.severity,
+                    message=raw.message,
+                )
+            )
+    # REP113 needs the full pre-suppression hit map, so it only runs
+    # when every rule did (a filtered run would see false "unused").
+    if rules is None:
+        for finding in _unused_noqa_findings(ctx.source, hits_by_line):
+            findings.append(
+                Finding(
+                    path=ctx.path,
+                    line=finding.line,
+                    col=finding.col,
+                    rule=finding.rule,
+                    severity=finding.severity,
+                    message=finding.message,
+                )
+            )
+    elapsed = perf_counter() - started
+    if stats is not None:
+        stats.files += 1
+        stats.rules = len(selected)
+        stats.parse_seconds += ctx.parse_seconds
+        stats.cfg_seconds += ctx.cfg_seconds
+        stats.rule_seconds += max(0.0, elapsed - ctx.cfg_seconds)
+        stats.cfg_functions += ctx.cfg_builds
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Iterable[str]] = None,
+    stats: Optional[LintStats] = None,
 ) -> List[Finding]:
     """Lint one module's source; *path* scopes path-dependent rules."""
     try:
-        tree = ast.parse(source, filename=path)
+        ctx = context_for_source(source, path)
     except SyntaxError as exc:
+        if stats is not None:
+            stats.files += 1
         return [
             Finding(
                 path=path,
@@ -850,45 +1550,20 @@ def lint_source(
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    lines = source.splitlines()
-    selected = (
-        [RULES[rule_id] for rule_id in rules]
-        if rules is not None
-        else list(RULES.values())
-    )
-    location = Path(path)
-    findings: List[Finding] = []
-    for rule in selected:
-        if not rule.applies(location):
-            continue
-        for raw in rule.check(tree, source):
-            source_line = (
-                lines[raw.line - 1] if 0 < raw.line <= len(lines) else ""
-            )
-            if _suppressed(source_line, rule.id):
-                continue
-            findings.append(
-                Finding(
-                    path=path,
-                    line=raw.line,
-                    col=raw.col,
-                    rule=rule.id,
-                    severity=rule.severity,
-                    message=raw.message,
-                )
-            )
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+    return _lint_context(ctx, rules, stats)
 
 
 def lint_file(
-    path: "Path | str", rules: Optional[Iterable[str]] = None
+    path: "Path | str",
+    rules: Optional[Iterable[str]] = None,
+    stats: Optional[LintStats] = None,
 ) -> List[Finding]:
     location = Path(path)
     return lint_source(
         location.read_text(encoding="utf-8"),
         path=location.as_posix(),
         rules=rules,
+        stats=stats,
     )
 
 
@@ -907,7 +1582,57 @@ def lint_paths(
     paths: Sequence["Path | str"], rules: Optional[Iterable[str]] = None
 ) -> List[Finding]:
     """Lint every ``.py`` file under *paths* (files or directories)."""
+    return lint_paths_report(paths, rules=rules).findings
+
+
+def lint_paths_report(
+    paths: Sequence["Path | str"], rules: Optional[Iterable[str]] = None
+) -> LintReport:
+    """Like :func:`lint_paths`, but also returns the shared-pass stats."""
+    stats = LintStats()
     findings: List[Finding] = []
     for file in iter_python_files(paths):
-        findings.extend(lint_file(file, rules=rules))
-    return findings
+        findings.extend(lint_file(file, rules=rules, stats=stats))
+    return LintReport(findings=findings, stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# Rule catalog rendering (docs/ANALYSIS.md is generated from this)
+# ---------------------------------------------------------------------------
+
+#: Markers delimiting the generated table inside docs/ANALYSIS.md.
+CATALOG_BEGIN = "<!-- rule-catalog:begin (generated by"
+CATALOG_BEGIN_LINE = (
+    "<!-- rule-catalog:begin (generated by `python -m repro.analysis "
+    "rules --write-docs`; do not edit by hand) -->"
+)
+CATALOG_END_LINE = "<!-- rule-catalog:end -->"
+
+
+def rules_markdown() -> str:
+    """The rule catalog as a markdown table, from the live registry."""
+    lines = ["| rule | severity | meaning |", "|---|---|---|"]
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        meaning = rule.detail or rule.summary
+        lines.append(f"| {rule.id} | {rule.severity} | {meaning} |")
+    return "\n".join(lines)
+
+
+def render_docs_catalog(document: str) -> str:
+    """Replace the marked catalog region of *document* with the current
+    registry table.  Raises ValueError when the markers are missing —
+    the docs file must opt in once."""
+    begin = document.find(CATALOG_BEGIN)
+    end = document.find(CATALOG_END_LINE)
+    if begin < 0 or end < 0 or end < begin:
+        raise ValueError(
+            "docs file lacks rule-catalog markers "
+            f"({CATALOG_BEGIN_LINE!r} ... {CATALOG_END_LINE!r})"
+        )
+    head = document[:begin]
+    tail = document[end + len(CATALOG_END_LINE) :]
+    table = (
+        CATALOG_BEGIN_LINE + "\n" + rules_markdown() + "\n" + CATALOG_END_LINE
+    )
+    return head + table + tail

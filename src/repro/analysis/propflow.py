@@ -50,6 +50,8 @@ from repro.streams.properties import (
     classify,
 )
 
+from .punct import ClassPunctuation, punctuation_of
+
 #: Flag names in declaration order, reused by reports.
 PROPERTY_FLAGS: Tuple[str, ...] = (
     "ordered",
@@ -303,6 +305,10 @@ class PlanCheck:
 
     sites: List[SiteCheck]
     plan: str = "plan"
+    #: Punctuation-monotonicity verdict per operator class in the graph
+    #: (see :mod:`repro.analysis.punct`).  Only ``violated`` flips ``ok``;
+    #: ``unknown`` is reported but tolerated — the pass is conservative.
+    punctuation: List[ClassPunctuation] = field(default_factory=list)
 
     @property
     def errors(self) -> List[SiteCheck]:
@@ -313,20 +319,27 @@ class PlanCheck:
         return [site for site in self.sites if site.is_warning]
 
     @property
+    def punctuation_violations(self) -> List[ClassPunctuation]:
+        return [entry for entry in self.punctuation if not entry.ok]
+
+    @property
     def ok(self) -> bool:
-        return not self.errors
+        return not self.errors and not self.punctuation_violations
 
     def to_json(self) -> dict:
         return {
             "plan": self.plan,
             "ok": self.ok,
             "sites": [site.to_json() for site in self.sites],
+            "punctuation": [
+                entry.to_json() for entry in self.punctuation
+            ],
         }
 
     def render(self) -> str:
-        if not self.sites:
-            return f"{self.plan}: no LMerge sites found"
         lines = []
+        if not self.sites:
+            lines.append(f"{self.plan}: no LMerge sites found")
         for site in self.sites:
             marker = (
                 "ERROR"
@@ -334,6 +347,15 @@ class PlanCheck:
                 else "WARN" if site.is_warning else "ok"
             )
             lines.append(f"[{marker:5}] {self.plan}: {site.message}")
+        for entry in self.punctuation:
+            marker = "ERROR" if not entry.ok else "ok"
+            operators = (
+                f" ({', '.join(entry.operators)})" if entry.operators else ""
+            )
+            lines.append(
+                f"[{marker:5}] {self.plan}: punctuation {entry.verdict} "
+                f"for {entry.class_name}{operators} — {entry.summary()}"
+            )
         return "\n".join(lines)
 
 
@@ -345,8 +367,14 @@ class UnsoundPlanError(Exception):
     ):
         self.check = check
         self.offending = offending if offending is not None else check.errors
-        details = "; ".join(site.message for site in self.offending)
-        super().__init__(f"unsound plan {check.plan!r}: {details}")
+        details = [site.message for site in self.offending]
+        details.extend(
+            f"punctuation {entry.verdict} for {entry.class_name}"
+            for entry in check.punctuation_violations
+        )
+        super().__init__(
+            f"unsound plan {check.plan!r}: " + "; ".join(details)
+        )
 
 
 def _check_site(analysis: GraphAnalysis, site: MergeSite) -> SiteCheck:
@@ -385,12 +413,37 @@ def _check_site(analysis: GraphAnalysis, site: MergeSite) -> SiteCheck:
     )
 
 
+def _check_punctuation(operators: Sequence[Operator]) -> List[ClassPunctuation]:
+    """One punctuation verdict per operator *class* in the graph.
+
+    The verdict is a property of the class body, so operators sharing a
+    class share an entry; the entry lists which instances it covers.
+    """
+    by_class: Dict[type, List[str]] = {}
+    for operator in operators:
+        by_class.setdefault(type(operator), []).append(operator.name)
+    entries: List[ClassPunctuation] = []
+    for cls, names in by_class.items():
+        verdict = punctuation_of(cls)
+        entries.append(
+            ClassPunctuation(
+                class_name=verdict.class_name,
+                verdict=verdict.verdict,
+                sites=verdict.sites,
+                operators=sorted(names),
+            )
+        )
+    entries.sort(key=lambda entry: entry.class_name)
+    return entries
+
+
 def check_plan(*roots: object, plan: str = "plan") -> PlanCheck:
     """Analyze the graph around *roots* and judge every LMerge site."""
     analysis = analyze_graph(*roots)
     checks = [_check_site(analysis, site) for site in analysis.sites]
     checks.sort(key=lambda check: check.merge_name)
-    return PlanCheck(sites=checks, plan=plan)
+    punctuation = _check_punctuation(analysis.order + analysis.cyclic)
+    return PlanCheck(sites=checks, plan=plan, punctuation=punctuation)
 
 
 def verify_plan(
@@ -400,6 +453,6 @@ def verify_plan(
     ``strict=True``, on over-conservative) selections."""
     check = check_plan(*roots, plan=plan)
     offending = check.errors + (check.warnings if strict else [])
-    if offending:
+    if offending or check.punctuation_violations:
         raise UnsoundPlanError(check, offending)
     return check

@@ -1,0 +1,377 @@
+"""Punctuation-monotonicity analysis for operator classes.
+
+Every operator's output stream must carry non-decreasing CTIs: emitting
+``Stable(t)`` promises no future element with ``Vs < t``, so an operator
+that emits a CTI *below* one it already emitted (or below the last one it
+received) silently corrupts every downstream consumer — LMerge prunes
+state at the CTI, aggregates freeze windows at it, joins purge matches at
+it.  This pass proves the property statically, per class, by classifying
+every ``Stable(...)`` construction site in the class body (and its
+operator base classes — helper methods like the windowed aggregate's
+``_emit_stable`` are covered by walking the MRO):
+
+``pass-through``
+    The constructed value is exactly a parameter of the enclosing
+    handler (``Stable(vc)`` inside ``on_stable(self, vc, port)``): the
+    output CTI equals the input CTI, so output monotonicity follows from
+    input monotonicity, which the operator contract already guarantees.
+
+``guarded-monotone``
+    The construction is dominated by ``if x > self.<attr>:`` (or the
+    mirrored ``self.<attr> < x``) where the same ``x`` is also stored
+    into ``self.<attr>`` inside the guard — the classic high-water-mark
+    idiom used by Union, Cleanse, Join, and the windowed aggregates.
+    Each emitted CTI is strictly above the previous one by construction.
+
+``violated``
+    The constructed value is provably *below* a received parameter
+    (``Stable(vc - 1)``): the operator re-opens time it already promised
+    closed.  This is the only classification that fails a plan check.
+
+``unknown``
+    Anything else — a computed expression with no guard.  Reported but
+    not failing: the pass is conservative, never claiming a proof it
+    does not have, and never claiming a violation it cannot show.
+
+The per-class verdict (``proved`` / ``unknown`` / ``violated``) joins the
+property-flow report: :func:`repro.analysis.propflow.check_plan` attaches
+one verdict per operator class in the analyzed graph, and only
+``violated`` flips the plan's ``ok``.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "PUNCT_PROVED",
+    "PUNCT_UNKNOWN",
+    "PUNCT_VIOLATED",
+    "SITE_PASS_THROUGH",
+    "SITE_GUARDED",
+    "SITE_VIOLATED",
+    "SITE_UNKNOWN",
+    "StableSite",
+    "ClassPunctuation",
+    "sites_in_class",
+    "classify_source",
+    "punctuation_of",
+]
+
+PUNCT_PROVED = "proved"
+PUNCT_UNKNOWN = "unknown"
+PUNCT_VIOLATED = "violated"
+
+SITE_PASS_THROUGH = "pass-through"
+SITE_GUARDED = "guarded-monotone"
+SITE_VIOLATED = "violated"
+SITE_UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class StableSite:
+    """One ``Stable(...)`` construction inside an operator class."""
+
+    class_name: str
+    function: str
+    line: int
+    classification: str
+    reason: str
+
+    @property
+    def ok(self) -> bool:
+        return self.classification in (SITE_PASS_THROUGH, SITE_GUARDED)
+
+    def to_json(self) -> dict:
+        return {
+            "class": self.class_name,
+            "function": self.function,
+            "line": self.line,
+            "classification": self.classification,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class ClassPunctuation:
+    """Monotonicity verdict for one operator class."""
+
+    class_name: str
+    verdict: str
+    sites: List[StableSite] = field(default_factory=list)
+    #: Names of operator instances of this class in the analyzed graph
+    #: (filled in by propflow; empty for standalone classification).
+    operators: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict != PUNCT_VIOLATED
+
+    def summary(self) -> str:
+        if not self.sites:
+            return "no Stable construction sites"
+        kinds = sorted({site.classification for site in self.sites})
+        return ", ".join(kinds)
+
+    def to_json(self) -> dict:
+        return {
+            "class": self.class_name,
+            "verdict": self.verdict,
+            "operators": list(self.operators),
+            "sites": [site.to_json() for site in self.sites],
+        }
+
+
+def _is_stable_call(node: ast.AST) -> Optional[ast.expr]:
+    """Return the CTI expression if *node* constructs ``Stable(x)``."""
+    if not isinstance(node, ast.Call) or len(node.args) != 1:
+        return None
+    name = node.func
+    if isinstance(name, ast.Attribute):
+        name = name.attr
+    elif isinstance(name, ast.Name):
+        name = name.id
+    else:
+        return None
+    return node.args[0] if name == "Stable" else None
+
+
+def _param_names(fn: ast.AST) -> List[str]:
+    args = fn.args  # type: ignore[attr-defined]
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return [n for n in names if n != "self"]
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _guard_attr(test: ast.expr, value_dump: str) -> Optional[str]:
+    """The ``self.<attr>`` a high-water-mark guard compares against.
+
+    Matches ``x > self.attr`` / ``x >= self.attr`` and the mirrored
+    ``self.attr < x`` / ``self.attr <= x``, where ``x`` is the emitted
+    expression (compared structurally).
+    """
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return None
+    left, op, right = test.left, test.ops[0], test.comparators[0]
+    if isinstance(op, (ast.Gt, ast.GtE)) and ast.dump(left) == value_dump:
+        return _self_attr(right)
+    if isinstance(op, (ast.Lt, ast.LtE)) and ast.dump(right) == value_dump:
+        return _self_attr(left)
+    return None
+
+
+def _stores_watermark(guard: ast.If, attr: str, value_dump: str) -> bool:
+    """Does the guard body update ``self.<attr>`` to the emitted value?"""
+    for node in ast.walk(guard):
+        if not isinstance(node, ast.Assign):
+            continue
+        if ast.dump(node.value) != value_dump:
+            continue
+        for target in node.targets:
+            if _self_attr(target) == attr:
+                return True
+    return False
+
+
+def _below_param(value: ast.expr, params: Iterable[str]) -> bool:
+    """Is *value* provably less than a received parameter?
+
+    Conservative: only ``param - <positive literal>`` qualifies — enough
+    to catch the canonical regression (re-opening already-closed time)
+    without guessing at arbitrary arithmetic.
+    """
+    if not isinstance(value, ast.BinOp) or not isinstance(value.op, ast.Sub):
+        return False
+    if not (
+        isinstance(value.left, ast.Name) and value.left.id in set(params)
+    ):
+        return False
+    right = value.right
+    return (
+        isinstance(right, ast.Constant)
+        and isinstance(right.value, (int, float))
+        and right.value > 0
+    )
+
+
+def _classify_site(
+    value: ast.expr,
+    fn: ast.AST,
+    guards: Tuple[ast.If, ...],
+) -> Tuple[str, str]:
+    params = _param_names(fn)
+    if isinstance(value, ast.Name) and value.id in params:
+        return (
+            SITE_PASS_THROUGH,
+            f"emits the received CTI parameter {value.id!r} unchanged",
+        )
+    value_dump = ast.dump(value)
+    for guard in reversed(guards):
+        attr = _guard_attr(guard.test, value_dump)
+        if attr is None:
+            continue
+        if _stores_watermark(guard, attr, value_dump):
+            return (
+                SITE_GUARDED,
+                f"dominated by a high-water-mark guard on self.{attr}",
+            )
+        return (
+            SITE_UNKNOWN,
+            f"guarded by self.{attr} but the watermark is never updated",
+        )
+    if _below_param(value, params):
+        return (
+            SITE_VIOLATED,
+            "emits a CTI strictly below the received parameter — "
+            "re-opens time the operator already promised closed",
+        )
+    return (
+        SITE_UNKNOWN,
+        "computed CTI with no dominating high-water-mark guard",
+    )
+
+
+def _walk_function(
+    fn: ast.AST,
+    class_name: str,
+    sites: List[StableSite],
+) -> None:
+    fn_name = fn.name  # type: ignore[attr-defined]
+
+    def visit(node: ast.AST, guards: Tuple[ast.If, ...]) -> None:
+        value = _is_stable_call(node)
+        if value is not None:
+            classification, reason = _classify_site(value, fn, guards)
+            sites.append(
+                StableSite(
+                    class_name=class_name,
+                    function=fn_name,
+                    line=getattr(node, "lineno", 0),
+                    classification=classification,
+                    reason=reason,
+                )
+            )
+        if isinstance(node, ast.If):
+            for child in node.body:
+                visit(child, guards + (node,))
+            # The guard only dominates its own body; the else branch and
+            # the test itself see the outer guard stack.
+            for child in node.orelse:
+                visit(child, guards)
+            visit(node.test, guards)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn:
+                return  # nested defs are separate scopes
+        for child in ast.iter_child_nodes(node):
+            visit(child, guards)
+
+    visit(fn, ())
+
+
+def sites_in_class(classdef: ast.ClassDef) -> List[StableSite]:
+    """Classify every ``Stable(...)`` construction in one class body."""
+    sites: List[StableSite] = []
+    for statement in classdef.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _walk_function(statement, classdef.name, sites)
+    return sites
+
+
+def _verdict(sites: List[StableSite]) -> str:
+    if any(s.classification == SITE_VIOLATED for s in sites):
+        return PUNCT_VIOLATED
+    if any(s.classification == SITE_UNKNOWN for s in sites):
+        return PUNCT_UNKNOWN
+    return PUNCT_PROVED
+
+
+def classify_source(
+    source: str, path: str = "<source>"
+) -> Dict[str, ClassPunctuation]:
+    """Classify every class in *source* — fixture-friendly entry point."""
+    tree = ast.parse(source, filename=path)
+    results: Dict[str, ClassPunctuation] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            sites = sites_in_class(node)
+            results[node.name] = ClassPunctuation(
+                class_name=node.name,
+                verdict=_verdict(sites),
+                sites=sites,
+            )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Live-class classification (used by propflow's check_plan)
+# ----------------------------------------------------------------------
+
+_class_cache: Dict[type, ClassPunctuation] = {}
+
+
+def _class_sites(cls: type) -> Tuple[List[StableSite], bool]:
+    """Sites of one class body; ``(sites, source_available)``."""
+    try:
+        source = textwrap.dedent(inspect.getsource(cls))
+    except (OSError, TypeError):
+        return [], False
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return [], False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == cls.__name__:
+            return sites_in_class(node), True
+    return [], True
+
+
+def punctuation_of(cls: type) -> ClassPunctuation:
+    """Monotonicity verdict for a live operator class.
+
+    Walks the MRO up to (and excluding) the framework base
+    ``repro.engine.operator.Operator`` so that helper methods inherited
+    from intermediate bases — e.g. the windowed aggregate's guarded
+    ``_emit_stable`` — count toward the subclass's verdict.  Results are
+    cached per class; the pass runs once per class per process no matter
+    how many operators or plans reference it.
+    """
+    cached = _class_cache.get(cls)
+    if cached is not None:
+        return cached
+    sites: List[StableSite] = []
+    unreadable = False
+    for base in cls.__mro__:
+        if base is object:
+            continue
+        if (
+            base.__name__ == "Operator"
+            and base.__module__ == "repro.engine.operator"
+        ):
+            break
+        base_sites, available = _class_sites(base)
+        sites.extend(base_sites)
+        if not available:
+            unreadable = True
+    verdict = _verdict(sites)
+    if verdict == PUNCT_PROVED and unreadable:
+        # A class we cannot read may hide an unguarded emit.
+        verdict = PUNCT_UNKNOWN
+    result = ClassPunctuation(
+        class_name=cls.__name__, verdict=verdict, sites=sites
+    )
+    _class_cache[cls] = result
+    return result

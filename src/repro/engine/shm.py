@@ -49,9 +49,10 @@ from __future__ import annotations
 
 import pickle
 import time
+from dataclasses import dataclass
 from multiprocessing import shared_memory
 from struct import Struct
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 __all__ = [
     "CTRL",
@@ -62,6 +63,9 @@ __all__ = [
     "HB",
     "CKPT",
     "TELEM",
+    "FRAME_PROTOCOL",
+    "FrameSpec",
+    "frame_name",
     "RingClosedError",
     "PeerDeadError",
     "ShmRing",
@@ -76,6 +80,125 @@ ERR = 5  #: pickled worker traceback text (worker -> driver, last frame)
 HB = 6  #: pickled heartbeat/progress tuple (supervised worker -> driver)
 CKPT = 7  #: pickled checkpoint acknowledgement (supervised worker -> driver)
 TELEM = 8  #: pickled metric/span delta dict (worker -> driver, best-effort)
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """The declared contract for one frame kind.
+
+    This is the machine-readable half of the ring protocol: the comments
+    above say what each kind *means*, this says what a conforming site
+    must *do*, and ``repro.analysis.protocol`` statically checks every
+    ``put``/``put_pickle``/``put_frame``/``get`` call in the codebase
+    against it.  Adding a frame kind for a new subsystem means adding a
+    constant above and a spec here — the verifier then covers its call
+    sites with no further wiring (see docs/ANALYSIS.md).
+    """
+
+    #: Wire byte, equal to the module constant.
+    kind: int
+    #: Constant name, e.g. ``"CTRL"``.
+    name: str
+    #: Which side of the ring may produce this kind: ``"driver"`` or
+    #: ``"worker"``.  A worker writing CTRL (or a driver writing OUT)
+    #: is a protocol violation — the SPSC rings are directional.
+    producer: str
+    #: Terminal frames (DONE/ERR) end the producer's conversation on
+    #: that ring: no conforming site puts another frame after one.
+    terminal: bool
+    #: Put discipline:
+    #: ``"blocking"`` — the put may wait indefinitely (backpressure is
+    #: the point: OUT, and DONE as the final frame behind it);
+    #: ``"bounded"`` — the put must pass a finite ``timeout=`` so a
+    #: stuck peer cannot wedge the producer (CTRL/BATCH retry loops,
+    #: HB, CKPT, ERR);
+    #: ``"best_effort"`` — the put must pass literal ``timeout=0`` and
+    #: ignore the result; dropping the frame must be safe (TELEM).
+    discipline: str
+    #: One-line payload description for reports and docs.
+    payload: str
+
+
+#: The ShmRing frame protocol, declared once.  ``repro.analysis
+#: protocol`` verifies every call site against this table, and the
+#: bounded model checker (``repro.analysis.model``) explores the
+#: driver/worker state machine implied by it.
+FRAME_PROTOCOL: Dict[int, FrameSpec] = {
+    spec.kind: spec
+    for spec in (
+        FrameSpec(
+            kind=CTRL,
+            name="CTRL",
+            producer="driver",
+            terminal=False,
+            discipline="bounded",
+            payload="pickled control tuple (attach / detach / shutdown)",
+        ),
+        FrameSpec(
+            kind=BATCH,
+            name="BATCH",
+            producer="driver",
+            terminal=False,
+            discipline="bounded",
+            payload="stream-id header + ColumnBatch wire frame",
+        ),
+        FrameSpec(
+            kind=OUT,
+            name="OUT",
+            producer="worker",
+            terminal=False,
+            discipline="blocking",
+            payload="ColumnBatch wire frame of shard output",
+        ),
+        FrameSpec(
+            kind=DONE,
+            name="DONE",
+            producer="worker",
+            terminal=True,
+            discipline="blocking",
+            payload="pickled final MergeStats",
+        ),
+        FrameSpec(
+            kind=ERR,
+            name="ERR",
+            producer="worker",
+            terminal=True,
+            discipline="bounded",
+            payload="pickled worker traceback text",
+        ),
+        FrameSpec(
+            kind=HB,
+            name="HB",
+            producer="worker",
+            terminal=False,
+            discipline="bounded",
+            payload="pickled heartbeat/progress tuple",
+        ),
+        FrameSpec(
+            kind=CKPT,
+            name="CKPT",
+            producer="worker",
+            terminal=False,
+            discipline="bounded",
+            payload="pickled checkpoint acknowledgement",
+        ),
+        FrameSpec(
+            kind=TELEM,
+            name="TELEM",
+            producer="worker",
+            terminal=False,
+            discipline="best_effort",
+            payload="pickled metric/span delta dict",
+        ),
+    )
+}
+
+
+def frame_name(kind: int) -> str:
+    """Human name of a frame kind byte (``"?3"``-style for unknown)."""
+    spec = FRAME_PROTOCOL.get(kind)
+    return spec.name if spec is not None else f"?{kind}"
+
 
 _FRAME = Struct("<BI")
 _U64 = Struct("<Q")

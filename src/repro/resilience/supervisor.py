@@ -165,8 +165,11 @@ def _supervised_shard_loop(
                 tracer=worker_tracer,
                 interval=config.telemetry_interval,
             )
+        # Bounded like every heartbeat: if the driver is wedged with a
+        # full ring, blocking here would deadlock the restart — a missed
+        # announce is recovered by the driver's resume timeout instead.
         out_ring.put_pickle(
-            shm_rings.HB, ("resumed", applied_seq, emitted)
+            shm_rings.HB, ("resumed", applied_seq, emitted), timeout=5.0
         )
         while True:
             frame = in_ring.get(timeout=config.heartbeat_interval)

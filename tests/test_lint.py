@@ -528,6 +528,266 @@ class TestRegistryInLoop:
         )
 
 
+class TestBlockingCalls:
+    def test_positive_lock_in_hot_handler(self):
+        findings = _lint(
+            """
+            class Op:
+                def on_insert(self, element, port):
+                    self._lock.acquire()
+            """,
+            rules=["REP110"],
+        )
+        assert _rule_ids(findings) == ["REP110"]
+
+    def test_positive_untimed_get_in_hot_handler(self):
+        findings = _lint(
+            """
+            class Op:
+                def receive(self, element, port=0):
+                    frame = self.in_ring.get()
+            """,
+            rules=["REP110"],
+        )
+        assert _rule_ids(findings) == ["REP110"]
+
+    def test_positive_blocking_inside_reserve_window(self):
+        findings = _lint(
+            """
+            def writer(lock, buf):
+                view = memoryview(buf)[0:8]
+                lock.acquire()
+                pack_into("<Q", buf, 0, 1)
+            """,
+            rules=["REP110"],
+        )
+        assert _rule_ids(findings) == ["REP110"]
+
+    def test_negative_blocking_outside_window(self):
+        assert not _lint(
+            """
+            def writer(lock, buf):
+                lock.acquire()
+                view = memoryview(buf)[0:8]
+                view[0] = 1
+                pack_into("<Q", buf, 0, 1)
+                lock.acquire()
+            """,
+            rules=["REP110"],
+        )
+
+    def test_negative_bounded_acquire_in_handler(self):
+        assert not _lint(
+            """
+            class Op:
+                def on_insert(self, element, port):
+                    if not self._lock.acquire(timeout=0.1):
+                        return
+            """,
+            rules=["REP110"],
+        )
+
+    def test_negative_timed_get_in_handler(self):
+        assert not _lint(
+            """
+            class Op:
+                def receive(self, element, port=0):
+                    frame = self.in_ring.get(0.5)
+            """,
+            rules=["REP110"],
+        )
+
+    def test_negative_released_view_closes_window(self):
+        assert not _lint(
+            """
+            def writer(lock, buf):
+                view = memoryview(buf)[0:8]
+                view.release()
+                lock.acquire()
+            """,
+            rules=["REP110"],
+        )
+
+
+class TestPoolEscape:
+    def test_positive_append_escape(self):
+        findings = _lint(
+            """
+            class Index:
+                def insert(self, key):
+                    node = self._pool.acquire()
+                    self._spine.append(node)
+            """,
+            rules=["REP111"],
+        )
+        assert _rule_ids(findings) == ["REP111"]
+
+    def test_positive_attribute_escape(self):
+        findings = _lint(
+            """
+            class Index:
+                def insert(self, key):
+                    self.head = self._pool.acquire()
+            """,
+            rules=["REP111"],
+        )
+        assert _rule_ids(findings) == ["REP111"]
+
+    def test_positive_escape_through_rebinding(self):
+        findings = _lint(
+            """
+            class Index:
+                def insert(self, key):
+                    node = self._free_list.acquire()
+                    alias = node
+                    self._table[key] = alias
+            """,
+            rules=["REP111"],
+        )
+        assert _rule_ids(findings) == ["REP111"]
+
+    def test_negative_local_use_and_release(self):
+        assert not _lint(
+            """
+            class Index:
+                def insert(self, key):
+                    node = self._pool.acquire()
+                    node.key = key
+                    self._pool.release(node)
+            """,
+            rules=["REP111"],
+        )
+
+    def test_negative_pool_owning_module_exempt(self):
+        # The module defining the pooled node class IS the pool
+        # discipline: storing nodes into its index is the point.
+        assert not _lint(
+            """
+            class _Node:
+                __slots__ = ("key",)
+
+            class Index:
+                def insert(self, key):
+                    node = self._pool.acquire()
+                    self._spine.append(node)
+            """,
+            rules=["REP111"],
+        )
+
+    def test_negative_rebind_kills_taint(self):
+        assert not _lint(
+            """
+            class Index:
+                def insert(self, key):
+                    node = self._pool.acquire()
+                    self._pool.release(node)
+                    node = fresh()
+                    self._spine.append(node)
+            """,
+            rules=["REP111"],
+        )
+
+
+class TestSwallowedPunctuation:
+    def test_positive_pass_handler(self):
+        findings = _lint(
+            """
+            class Op:
+                def on_stable(self, vc, port):
+                    try:
+                        self.emit(Stable(vc))
+                    except Exception:
+                        pass
+            """,
+            rules=["REP112"],
+        )
+        assert _rule_ids(findings) == ["REP112"]
+
+    def test_negative_reraise(self):
+        assert not _lint(
+            """
+            class Op:
+                def on_stable(self, vc, port):
+                    try:
+                        self.emit(Stable(vc))
+                    except Exception:
+                        self.errors += 1
+                        raise
+            """,
+            rules=["REP112"],
+        )
+
+    def test_negative_handler_emits(self):
+        assert not _lint(
+            """
+            class Op:
+                def on_stable(self, vc, port):
+                    try:
+                        self._emit_stable(vc)
+                    except RuntimeError:
+                        self.emit(Stable(vc))
+            """,
+            rules=["REP112"],
+        )
+
+    def test_negative_try_without_punctuation(self):
+        assert not _lint(
+            """
+            class Op:
+                def on_insert(self, element, port):
+                    try:
+                        self.count += 1
+                    except Exception:
+                        pass
+            """,
+            rules=["REP112"],
+        )
+
+
+class TestUnusedNoqa:
+    def test_positive_suppresses_nothing(self):
+        findings = _lint(
+            """
+            x = 1  # noqa: REP105
+            """
+        )
+        assert _rule_ids(findings) == ["REP113"]
+        assert findings[0].severity == SEVERITY_WARNING
+
+    def test_negative_suppression_in_use(self):
+        assert not _lint(
+            """
+            def f(a=[]):  # noqa: REP106
+                return a
+            """
+        )
+
+    def test_negative_bare_noqa_not_flagged(self):
+        assert not _lint(
+            """
+            x = 1  # noqa
+            """
+        )
+
+    def test_negative_foreign_codes_not_flagged(self):
+        assert not _lint(
+            """
+            x = 1  # noqa: E501
+            """
+        )
+
+    def test_negative_noqa_text_in_string(self):
+        # Only real comment tokens count — noqa-shaped text inside
+        # strings and docstrings is data, not a suppression.
+        assert not _lint(
+            '''
+            FIXTURE = """
+            x = 1  # noqa: REP105
+            """
+            '''
+        )
+
+
 class TestSuppression:
     def test_bare_noqa(self):
         assert not _lint(
@@ -552,7 +812,9 @@ class TestSuppression:
                 return a
             """
         )
-        assert _rule_ids(findings) == ["REP106"]
+        # The REP106 finding survives, and the REP101 suppression —
+        # which suppressed nothing — is itself flagged (REP113).
+        assert sorted(_rule_ids(findings)) == ["REP106", "REP113"]
 
 
 class TestHarness:
@@ -580,6 +842,10 @@ class TestHarness:
             "REP107",
             "REP108",
             "REP109",
+            "REP110",
+            "REP111",
+            "REP112",
+            "REP113",
         }
 
     def test_repo_is_clean(self):

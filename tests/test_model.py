@@ -1,0 +1,113 @@
+"""Bounded model checker: exhaustive pass + mutations provably caught."""
+
+import pytest
+
+from repro.analysis.model import MUTATIONS, ModelParams, check_model
+
+
+class TestBaseModel:
+    def test_default_bounds_hold_all_properties(self):
+        result = check_model(ModelParams())
+        assert result.ok, result.render()
+        assert result.violations == []
+        assert result.states > 100
+        assert result.transitions > result.states
+        assert result.terminal_states > 0
+
+    def test_exploration_is_deterministic(self):
+        a = check_model(ModelParams())
+        b = check_model(ModelParams())
+        assert (a.states, a.transitions, a.terminal_states) == (
+            b.states,
+            b.transitions,
+            b.terminal_states,
+        )
+
+    def test_ci_bounds_stay_exhaustive_and_clean(self):
+        result = check_model(
+            ModelParams(batches=6, ring_capacity=2, crashes=3)
+        )
+        assert result.ok, result.render()
+        # Larger bounds explore strictly more behaviour.
+        assert result.states > check_model(ModelParams()).states
+
+    def test_no_crashes_degenerate_case(self):
+        result = check_model(ModelParams(crashes=0))
+        assert result.ok, result.render()
+
+    def test_tiny_ring_does_not_deadlock(self):
+        result = check_model(ModelParams(ring_capacity=1))
+        assert result.ok, result.render()
+
+
+class TestMutations:
+    """Each seeded protocol bug must produce a counterexample — the
+    properties are load-bearing, not vacuously true."""
+
+    @pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+    def test_mutation_is_caught(self, mutation):
+        result = check_model(
+            ModelParams(mutations=frozenset({mutation}))
+        )
+        assert not result.ok, f"{mutation} not caught"
+        assert result.violations
+
+    def test_counterexample_has_a_trace(self):
+        result = check_model(
+            ModelParams(mutations=frozenset({"no_dedup"}))
+        )
+        violation = result.violations[0]
+        assert violation.trace, "counterexample without a trace"
+        assert all(isinstance(step, str) for step in violation.trace)
+
+    def test_no_replay_loses_output(self):
+        result = check_model(
+            ModelParams(mutations=frozenset({"no_replay"}))
+        )
+        properties = result.to_json()["properties"]
+        assert not properties["exact_delivery"]
+
+
+class TestParams:
+    def test_out_of_range_batches_rejected(self):
+        with pytest.raises(ValueError):
+            check_model(ModelParams(batches=0))
+        with pytest.raises(ValueError):
+            check_model(ModelParams(batches=9))
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ValueError):
+            check_model(ModelParams(mutations=frozenset({"no_such"})))
+
+    def test_params_json_roundtrip_fields(self):
+        payload = ModelParams(
+            batches=3, mutations=frozenset({"no_salvage"})
+        ).to_json()
+        assert payload["batches"] == 3
+        assert payload["mutations"] == ["no_salvage"]
+
+
+class TestReportShape:
+    def test_json_schema(self):
+        payload = check_model(ModelParams()).to_json()
+        assert set(payload) >= {
+            "params",
+            "ok",
+            "states",
+            "transitions",
+            "terminal_states",
+            "properties",
+            "violations",
+        }
+        assert set(payload["properties"]) == {
+            "deadlock_free",
+            "no_lost_terminal",
+            "exact_delivery",
+        }
+        assert payload["ok"] is True
+        assert all(payload["properties"].values())
+
+    def test_render_mentions_verdict(self):
+        text = check_model(ModelParams()).render()
+        assert "deadlock" in text.lower()
+        assert "states" in text.lower()

@@ -175,7 +175,7 @@ class TestSoundness:
         assert "no LMerge sites" in check.render()
 
     def test_undeclared_restriction_raises(self):
-        class FakeAdapter(Operator):  # noqa: REP102 — inert test double
+        class FakeAdapter(Operator):  # inert test double
             def __init__(self, target):
                 super().__init__("fake")
                 self.lmerge = target
